@@ -1,0 +1,315 @@
+(* Benchmark harness.
+
+   Part 1 — bechamel micro-benchmarks of every layer: the B+tree gap map
+   (against the reference implementation, across fanouts), the range lock
+   manager, representative operations, whole directory-suite operations per
+   configuration, the baselines, and the availability analysis. One
+   Test.make per paper table/figure wraps a scaled-down generation of that
+   table so regressions in any experiment's pipeline show up as timing
+   changes.
+
+   Part 2 — the actual reproduction: prints every table and figure of the
+   paper's evaluation (Figures 14 and 15), plus the ablations DESIGN.md
+   commits to (quorum stability, availability, per-operation message costs,
+   concurrency, locality, crash timeline), at full paper parameters.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Repdir_key
+open Repdir_quorum
+
+let cfg_322 = Config.simple ~n:3 ~r:2 ~w:2
+
+(* --- gap map micro-benchmarks -------------------------------------------------- *)
+
+module Btree = Repdir_gapmap.Btree
+module Reference = Repdir_gapmap.Reference
+
+let filled_btree ~branching n =
+  let g = Btree.create_with ~branching () in
+  for i = 0 to n - 1 do
+    Btree.insert g (Key.of_int (2 * i)) 1 "v"
+  done;
+  g
+
+let filled_reference n =
+  let g = Reference.create () in
+  for i = 0 to n - 1 do
+    Reference.insert g (Key.of_int (2 * i)) 1 "v"
+  done;
+  g
+
+let bench_btree_lookup ~branching n =
+  let g = filled_btree ~branching n in
+  let rng = Repdir_util.Rng.create 1L in
+  Test.make
+    ~name:(Printf.sprintf "btree(b=%d)/lookup/%d" branching n)
+    (Staged.stage (fun () ->
+         ignore
+           (Btree.lookup g (Repdir_key.Bound.Key (Key.of_int (Repdir_util.Rng.int rng (2 * n)))))))
+
+let bench_reference_lookup n =
+  let g = filled_reference n in
+  let rng = Repdir_util.Rng.create 1L in
+  Test.make
+    ~name:(Printf.sprintf "reference/lookup/%d" n)
+    (Staged.stage (fun () ->
+         ignore
+           (Reference.lookup g
+              (Repdir_key.Bound.Key (Key.of_int (Repdir_util.Rng.int rng (2 * n)))))))
+
+let bench_btree_insert_coalesce ~branching n =
+  let g = filled_btree ~branching n in
+  let i = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "btree(b=%d)/insert+coalesce/%d" branching n)
+    (Staged.stage (fun () ->
+         (* Insert a fresh odd key, then coalesce it away between its even
+            neighbours: a steady-state churn cycle. *)
+         let k = (2 * (!i mod (n - 1))) + 1 in
+         incr i;
+         Btree.insert g (Key.of_int k) 3 "v";
+         ignore
+           (Btree.coalesce g
+              ~lo:(Repdir_key.Bound.Key (Key.of_int (k - 1)))
+              ~hi:(Repdir_key.Bound.Key (Key.of_int (k + 1)))
+              4)))
+
+(* --- lock manager --------------------------------------------------------------- *)
+
+let bench_lock_acquire_release () =
+  let open Repdir_lock in
+  let m = Lock_manager.create () in
+  let iv = Repdir_key.Bound.Interval.point (Repdir_key.Bound.Key "k") in
+  let txn = ref 0 in
+  Test.make ~name:"lock/acquire+release"
+    (Staged.stage (fun () ->
+         incr txn;
+         (match Lock_manager.acquire m ~txn:!txn Mode.Rep_modify iv ~on_grant:ignore with
+         | Lock_manager.Granted -> ()
+         | Lock_manager.Waiting | Lock_manager.Deadlock _ -> assert false);
+         Lock_manager.release_all m ~txn:!txn))
+
+(* --- representative operations ---------------------------------------------------- *)
+
+let bench_rep_insert_coalesce () =
+  let open Repdir_rep in
+  let rep = Rep.create ~name:"bench" () in
+  let txn0 = 1 in
+  for i = 0 to 199 do
+    Rep.insert rep ~txn:txn0 (Key.of_int (2 * i)) 1 "v"
+  done;
+  Rep.commit rep ~txn:txn0;
+  let t = ref 1 in
+  Test.make ~name:"rep/txn(insert+coalesce)"
+    (Staged.stage (fun () ->
+         incr t;
+         let txn = !t in
+         let k = (2 * (txn mod 199)) + 1 in
+         Rep.insert rep ~txn (Key.of_int k) 3 "v";
+         ignore
+           (Rep.coalesce rep ~txn
+              ~lo:(Repdir_key.Bound.Key (Key.of_int (k - 1)))
+              ~hi:(Repdir_key.Bound.Key (Key.of_int (k + 1)))
+              4);
+         Rep.commit rep ~txn))
+
+(* --- whole-suite operations --------------------------------------------------------- *)
+
+let make_suite ~config ~entries =
+  let open Repdir_rep in
+  let open Repdir_core in
+  let n = Config.n_reps config in
+  let reps = Array.init n (fun i -> Rep.create ~name:(Printf.sprintf "r%d" i) ()) in
+  let suite =
+    Suite.create ~config ~transport:(Transport.local reps)
+      ~txns:(Repdir_txn.Txn.Manager.create ())
+      ()
+  in
+  for i = 0 to entries - 1 do
+    match Suite.insert suite (Key.of_int i) "v" with
+    | Ok () -> ()
+    | Error `Already_present -> assert false
+  done;
+  suite
+
+let bench_suite_lookup ~config =
+  let open Repdir_core in
+  let suite = make_suite ~config ~entries:100 in
+  let rng = Repdir_util.Rng.create 3L in
+  Test.make
+    ~name:(Printf.sprintf "suite(%s)/lookup" (Config.to_string config))
+    (Staged.stage (fun () ->
+         ignore (Suite.lookup suite (Key.of_int (Repdir_util.Rng.int rng 100)))))
+
+let bench_suite_insert_delete ~config =
+  let open Repdir_core in
+  let suite = make_suite ~config ~entries:100 in
+  let i = ref 0 in
+  Test.make
+    ~name:(Printf.sprintf "suite(%s)/insert+delete" (Config.to_string config))
+    (Staged.stage (fun () ->
+         incr i;
+         let k = Key.of_int (1000 + (!i mod 100)) in
+         (match Suite.insert suite k "v" with Ok () -> () | Error `Already_present -> ());
+         ignore (Suite.delete suite k)))
+
+(* --- baselines ------------------------------------------------------------------------ *)
+
+let bench_file_voting_modify () =
+  let open Repdir_baselines in
+  let fv = File_voting.create ~config:cfg_322 () in
+  for i = 0 to 99 do
+    ignore (File_voting.insert fv (Key.of_int i) "v")
+  done;
+  let i = ref 0 in
+  Test.make ~name:"baseline/file-voting/update@100"
+    (Staged.stage (fun () ->
+         incr i;
+         ignore (File_voting.update fv (Key.of_int (!i mod 100)) "v'")))
+
+let bench_availability () =
+  let votes = [| 3; 2; 2; 1; 1 |] in
+  Test.make ~name:"availability/exact-dp(5 reps)"
+    (Staged.stage (fun () ->
+         ignore (Availability.quorum_probability ~votes ~quorum:5 ~p_up:0.9)))
+
+(* --- one scaled-down Test per paper table/figure -------------------------------------- *)
+
+let bench_tables =
+  [
+    Test.make ~name:"table/figure14(1 config, 300 ops)"
+      (Staged.stage (fun () ->
+           ignore
+             (Repdir_harness.Experiment.run ~config:cfg_322 ~n_entries:100 ~ops:300 ())));
+    Test.make ~name:"table/figure15(100 entries, 300 ops)"
+      (Staged.stage (fun () ->
+           ignore
+             (Repdir_harness.Experiment.run ~config:cfg_322 ~n_entries:100 ~ops:300 ())));
+    Test.make ~name:"table/quorum-stability(300 ops)"
+      (Staged.stage (fun () ->
+           ignore
+             (Repdir_harness.Experiment.run ~picker:(Picker.Fixed [| 0; 1; 2 |])
+                ~config:cfg_322 ~n_entries:100 ~ops:300 ())));
+    Test.make ~name:"table/availability(exact)"
+      (Staged.stage (fun () -> ignore (Repdir_harness.Figures.availability ())));
+    Test.make ~name:"table/messages(200 ops)"
+      (Staged.stage (fun () ->
+           ignore (Repdir_harness.Figures.messages ~ops:200 ~entries:50 ())));
+    Test.make ~name:"table/concurrency(1 cell, t=100)"
+      (Staged.stage (fun () ->
+           ignore
+             (Repdir_harness.Concurrency.run ~duration:100.0
+                ~scheme:Repdir_harness.Concurrency.Gap ~clients:2 ~config:cfg_322 ())));
+    Test.make ~name:"table/locality(400 ops)"
+      (Staged.stage (fun () -> ignore (Repdir_harness.Locality.run ~ops:400 ())));
+    Test.make ~name:"table/faults(20 ops/phase)"
+      (Staged.stage (fun () -> ignore (Repdir_harness.Faults.run ~ops_per_phase:20 ())));
+    Test.make ~name:"table/latency(200 ops)"
+      (Staged.stage (fun () ->
+           ignore (Repdir_harness.Latency.run ~ops:200 ~config:cfg_322 ())));
+    Test.make ~name:"table/space(500 ops)"
+      (Staged.stage (fun () ->
+           ignore (Repdir_harness.Figures.space_and_traffic ~ops:500 ~entries:50 ())));
+  ]
+
+(* --- runner ---------------------------------------------------------------------------- *)
+
+let run_benchmarks tests ~quota =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"repdir" ~fmt:"%s %s" tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> (name, ns) :: acc
+        | Some _ | None -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let table = Repdir_util.Table.create ~header:[ "benchmark"; "time/run" ] () in
+  let pretty ns =
+    if Float.is_nan ns then "-"
+    else if ns >= 1.0e9 then Printf.sprintf "%.2f s" (ns /. 1.0e9)
+    else if ns >= 1.0e6 then Printf.sprintf "%.2f ms" (ns /. 1.0e6)
+    else if ns >= 1.0e3 then Printf.sprintf "%.2f us" (ns /. 1.0e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter (fun (name, ns) -> Repdir_util.Table.add_row table [ name; pretty ns ]) rows;
+  Repdir_util.Table.print table
+
+let section title = Printf.printf "\n==== %s ====\n\n%!" title
+
+let () =
+  section "Micro-benchmarks (bechamel, time per run)";
+  run_benchmarks ~quota:0.25
+    [
+      bench_reference_lookup 1_000;
+      bench_btree_lookup ~branching:8 1_000;
+      bench_btree_lookup ~branching:32 1_000;
+      bench_btree_lookup ~branching:128 1_000;
+      bench_btree_lookup ~branching:32 100_000;
+      bench_btree_insert_coalesce ~branching:32 1_000;
+      bench_lock_acquire_release ();
+      bench_rep_insert_coalesce ();
+      bench_suite_lookup ~config:cfg_322;
+      bench_suite_insert_delete ~config:cfg_322;
+      bench_suite_lookup ~config:(Config.simple ~n:5 ~r:3 ~w:3);
+      bench_suite_insert_delete ~config:(Config.simple ~n:5 ~r:3 ~w:3);
+      bench_file_voting_modify ();
+      bench_availability ();
+    ];
+
+  section "Per-table pipeline benchmarks (scaled-down, bechamel)";
+  run_benchmarks ~quota:0.5 bench_tables;
+
+  (* ---- full reproductions, paper parameters ---- *)
+  let module F = Repdir_harness.Figures in
+  section "Figure 14 — deletion statistics across configurations (~100 entries, 10k ops)";
+  Repdir_util.Table.print (F.figure14 ());
+
+  section "Figure 15 — detailed statistics for 3-2-2 suites (100k ops per size)";
+  Repdir_util.Table.print (F.figure15 ());
+
+  section "Ablation (§5) — random vs stable write quorums (3-2-2, 10k ops)";
+  Repdir_util.Table.print (F.quorum_stability ());
+
+  section "Availability — exact read/write quorum availability";
+  Repdir_util.Table.print (F.availability ());
+
+  section "Messages — representative calls per operation";
+  Repdir_util.Table.print (F.messages ());
+
+  section "Concurrency (§2) — gap-versioned vs single-version, 3-2-2";
+  Repdir_util.Table.print
+    (Repdir_harness.Concurrency.table ~duration:1000.0 ~config:cfg_322 ());
+
+  section "Figure 16 — locality quorums on a 4-2-3 suite";
+  Repdir_util.Table.print (Repdir_harness.Locality.table ());
+
+  section "Crash/recovery timeline (3-2-2, discrete-event simulation)";
+  Repdir_util.Table.print (Repdir_harness.Faults.table ());
+
+  section "Latency (§5) — sequential vs parallel quorum RPCs, 3-2-2";
+  Repdir_util.Table.print (Repdir_harness.Latency.table ~config:cfg_322 ());
+
+  section "Latency (§5) — sequential vs parallel quorum RPCs, 5-3-3";
+  Repdir_util.Table.print
+    (Repdir_harness.Latency.table ~config:(Config.simple ~n:5 ~r:3 ~w:3) ());
+
+  section "Space and write traffic vs baselines (identical churn)";
+  Repdir_util.Table.print (Repdir_harness.Figures.space_and_traffic ());
+
+  section "Skewed access (§2) — gap-scheme throughput under Zipf popularity, 8 clients";
+  Repdir_util.Table.print
+    (Repdir_harness.Concurrency.skew_table ~duration:1000.0 ~config:cfg_322 ());
+
+  section "Batching (§4) — representative calls per delete vs chain depth";
+  Repdir_util.Table.print (Repdir_harness.Figures.batching ());
+
+  print_newline ()

@@ -1,0 +1,229 @@
+(* Command-line interface to the replicated-directory experiments.
+
+   Every table and figure of the paper's evaluation, plus the ablations
+   described in DESIGN.md, can be regenerated from here; `bench/main.exe`
+   runs the same harness functions together with timing micro-benchmarks. *)
+
+open Cmdliner
+open Repdir_util
+open Repdir_harness
+
+let print_table t = print_string (Table.render t)
+
+(* --- common options ----------------------------------------------------------- *)
+
+let seed_t =
+  let doc = "Random seed; equal seeds reproduce runs exactly." in
+  Arg.(value & opt int64 1983L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ops_t default =
+  let doc = "Number of measured operations per simulation." in
+  Arg.(value & opt int default & info [ "ops" ] ~docv:"N" ~doc)
+
+let entries_t =
+  let doc = "Directory size (entries) the workload oscillates around." in
+  Arg.(value & opt int 100 & info [ "entries" ] ~docv:"N" ~doc)
+
+(* --- figure 14 ------------------------------------------------------------------ *)
+
+let figure14_cmd =
+  let run seed ops entries =
+    print_endline
+      (Printf.sprintf
+         "Figure 14: deletion statistics, ~%d-entry directories, %d ops per configuration"
+         entries ops);
+    print_table (Figures.figure14 ~seed ~ops ~entries ())
+  in
+  Cmd.v
+    (Cmd.info "figure14" ~doc:"Reproduce Figure 14 (statistics across suite configurations)")
+    Term.(const run $ seed_t $ ops_t 10_000 $ entries_t)
+
+(* --- figure 15 ------------------------------------------------------------------ *)
+
+let figure15_cmd =
+  let sizes_t =
+    let doc = "Comma-separated directory sizes." in
+    Arg.(value & opt (list int) [ 100; 1_000; 10_000 ] & info [ "sizes" ] ~docv:"SIZES" ~doc)
+  in
+  let run seed ops sizes =
+    print_endline
+      (Printf.sprintf "Figure 15: detailed statistics for 3-2-2 suites, %d ops per size" ops);
+    print_table (Figures.figure15 ~seed ~ops ~sizes ())
+  in
+  Cmd.v
+    (Cmd.info "figure15" ~doc:"Reproduce Figure 15 (detailed 3-2-2 statistics by size)")
+    Term.(const run $ seed_t $ ops_t 100_000 $ sizes_t)
+
+(* --- ablations and analyses ------------------------------------------------------- *)
+
+let stability_cmd =
+  let run seed ops entries =
+    print_endline "Quorum stability ablation (§5): random vs fixed write quorums, 3-2-2";
+    print_table (Figures.quorum_stability ~seed ~ops ~entries ())
+  in
+  Cmd.v
+    (Cmd.info "quorum-stability" ~doc:"§5 ablation: stable quorums make coalescing nearly free")
+    Term.(const run $ seed_t $ ops_t 10_000 $ entries_t)
+
+let availability_cmd =
+  let p_ups_t =
+    let doc = "Comma-separated per-representative up-probabilities." in
+    Arg.(value & opt (list float) [ 0.5; 0.9; 0.95; 0.99 ] & info [ "p" ] ~docv:"PROBS" ~doc)
+  in
+  let run p_ups =
+    print_endline "Exact read/write availability by configuration";
+    print_table (Figures.availability ~p_ups ())
+  in
+  Cmd.v
+    (Cmd.info "availability" ~doc:"Exact quorum availability analysis")
+    Term.(const run $ p_ups_t)
+
+let messages_cmd =
+  let run seed ops entries =
+    print_endline "Representative calls per suite operation (avg)";
+    print_table (Figures.messages ~seed ~ops ~entries ())
+  in
+  Cmd.v
+    (Cmd.info "messages" ~doc:"Per-operation representative-call costs")
+    Term.(const run $ seed_t $ ops_t 4_000 $ entries_t)
+
+let concurrency_cmd =
+  let duration_t =
+    Arg.(value & opt float 2000.0 & info [ "duration" ] ~docv:"T" ~doc:"Virtual duration.")
+  in
+  let clients_t =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "clients" ] ~docv:"LIST"
+           ~doc:"Client counts to sweep.")
+  in
+  let run seed duration client_counts =
+    print_endline
+      "Concurrency (§2): gap-versioned directory vs single-version (file-voting) layout, 3-2-2";
+    print_table
+      (Concurrency.table ~seed ~duration ~client_counts
+         ~config:(Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
+         ())
+  in
+  Cmd.v
+    (Cmd.info "concurrency" ~doc:"Concurrent-transaction throughput, gap vs single version")
+    Term.(const run $ seed_t $ duration_t $ clients_t)
+
+let skew_cmd =
+  let clients_t =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent clients.")
+  in
+  let duration_t =
+    Arg.(value & opt float 2000.0 & info [ "duration" ] ~docv:"T" ~doc:"Virtual duration.")
+  in
+  let run seed duration clients =
+    print_endline
+      "Skewed access (§2): gap-scheme throughput under Zipf key popularity, 3-2-2";
+    print_table
+      (Concurrency.skew_table ~seed ~duration ~clients
+         ~config:(Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
+         ())
+  in
+  Cmd.v
+    (Cmd.info "skew" ~doc:"Throughput under skewed (Zipf) key popularity")
+    Term.(const run $ seed_t $ duration_t $ clients_t)
+
+let locality_cmd =
+  let run seed ops =
+    print_endline "Figure 16: locality quorums on a 4-2-3 suite (A1 A2 local to type A)";
+    print_table (Locality.table ~seed ~ops ())
+  in
+  Cmd.v
+    (Cmd.info "locality" ~doc:"Reproduce the Figure 16 locality configuration")
+    Term.(const run $ seed_t $ ops_t 4_000)
+
+let faults_cmd =
+  let ops_per_phase_t =
+    Arg.(value & opt int 150 & info [ "ops-per-phase" ] ~docv:"N" ~doc:"Operations per phase.")
+  in
+  let run seed ops_per_phase =
+    print_endline "Crash/recovery timeline on the discrete-event simulator (3-2-2 suite)";
+    print_table (Faults.table ~seed ~ops_per_phase ())
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"Availability and consistency under crash/recovery")
+    Term.(const run $ seed_t $ ops_per_phase_t)
+
+let latency_cmd =
+  let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
+  let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
+  let w_t = Arg.(value & opt int 2 & info [ "w" ] ~docv:"W" ~doc:"Write quorum.") in
+  let run seed ops n r w =
+    let config = Repdir_quorum.Config.simple ~n ~r ~w in
+    Printf.printf
+      "Operation latency on the simulated network (%s): sequential vs parallel quorum RPCs\n"
+      (Repdir_quorum.Config.to_string config);
+    print_table (Latency.table ~seed ~ops ~config ())
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"§5 optimization: parallel quorum RPC latency")
+    Term.(const run $ seed_t $ ops_t 1_500 $ n_t $ r_t $ w_t)
+
+let batching_cmd =
+  let run seed ops entries =
+    print_endline "§4 batching: representative calls per delete vs neighbour-chain depth";
+    print_table (Figures.batching ~seed ~ops ~entries ())
+  in
+  Cmd.v
+    (Cmd.info "batching" ~doc:"§4 batching of predecessor/successor chains")
+    Term.(const run $ seed_t $ ops_t 4_000 $ entries_t)
+
+let space_cmd =
+  let run seed ops entries =
+    print_endline "Storage and write traffic across replication strategies (identical churn)";
+    print_table (Figures.space_and_traffic ~seed ~ops ~entries ())
+  in
+  Cmd.v
+    (Cmd.info "space" ~doc:"Space reclamation and write-traffic comparison vs baselines")
+    Term.(const run $ seed_t $ ops_t 3_000 $ entries_t)
+
+(* --- one-off simulation ------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
+  let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
+  let w_t = Arg.(value & opt int 2 & info [ "w" ] ~docv:"W" ~doc:"Write quorum.") in
+  let run seed ops entries n r w =
+    let config = Repdir_quorum.Config.simple ~n ~r ~w in
+    let o = Experiment.run ~seed ~config ~n_entries:entries ~ops () in
+    Printf.printf "%s: %d ops (%d deletes), %d representative calls, %.2fs\n"
+      (Repdir_quorum.Config.to_string config)
+      o.ops o.deletes o.rpcs o.elapsed_s;
+    let line name (s : Stats.t) =
+      Printf.printf "  %-28s avg %.2f  max %g  stddev %.2f  (n=%d)\n" name (Stats.mean s)
+        (Stats.max s) (Stats.stddev s) (Stats.count s)
+    in
+    line "entries in ranges coalesced" o.stats.entries_coalesced;
+    line "deletions while coalescing" o.stats.deletions_while_coalescing;
+    line "insertions while coalescing" o.stats.insertions_while_coalescing
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one simulation with an arbitrary x-y-z configuration")
+    Term.(const run $ seed_t $ ops_t 10_000 $ entries_t $ n_t $ r_t $ w_t)
+
+let () =
+  let info =
+    Cmd.info "repdir" ~version:"1.0.0"
+      ~doc:"Replicated directories via weighted voting with gap version numbers"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figure14_cmd;
+            figure15_cmd;
+            stability_cmd;
+            availability_cmd;
+            messages_cmd;
+            concurrency_cmd;
+            skew_cmd;
+            locality_cmd;
+            faults_cmd;
+            latency_cmd;
+            space_cmd;
+            batching_cmd;
+            simulate_cmd;
+          ]))

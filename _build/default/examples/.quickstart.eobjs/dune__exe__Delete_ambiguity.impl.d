@@ -1,0 +1,1 @@
+examples/delete_ambiguity.ml: Array Config Naive_per_entry Picker Rep Repdir_baselines Repdir_core Repdir_quorum Repdir_rep Repdir_txn Suite Transport

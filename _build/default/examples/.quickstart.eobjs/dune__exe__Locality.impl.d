@@ -1,0 +1,1 @@
+examples/locality.ml: Repdir_harness Repdir_util

@@ -1,0 +1,1 @@
+examples/name_service.ml: List Printf Repdir_core Repdir_harness Repdir_quorum Repdir_sim Sim Sim_world Suite

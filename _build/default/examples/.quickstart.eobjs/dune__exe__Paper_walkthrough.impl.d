@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Array Bound Config Format List Picker Printf Rep Repdir_core Repdir_key Repdir_quorum Repdir_rep Repdir_txn Suite Transport Txn

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Printf Rep Repdir_core Repdir_quorum Repdir_rep Repdir_txn Suite Transport

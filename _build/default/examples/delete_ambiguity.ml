@@ -1,0 +1,63 @@
+(* Why directories cannot use naive per-entry version numbers (§2, Figures
+   1-3): after a deletion, a read quorum can contain one replica that still
+   holds the entry and one that has physically removed it — and a "not
+   present" answer carries no version number to compare against.
+
+   This example drives the honest Naive_per_entry baseline into exactly the
+   paper's Figure 3 state, then shows the same history on the paper's
+   algorithm, where the gap version resolves it.
+
+   Run with: dune exec examples/delete_ambiguity.exe *)
+
+open Repdir_quorum
+open Repdir_baselines
+
+let () =
+  print_endline "=== Naive per-entry versioning (the scheme §2 rejects) ===\n";
+  (* Seed 5 makes the randomly collected quorums reproduce the figures:
+     insert lands on {A, B}, delete on {B, C}, lookup asks {A, C}. We force
+     the quorums below by crashing the replica we want excluded. *)
+  let config = Config.simple ~n:3 ~r:2 ~w:2 in
+  let naive = Naive_per_entry.create ~config () in
+
+  (* Figure 2: insert "b" with write quorum {A, B} (exclude C). *)
+  Naive_per_entry.crash naive 2;
+  (match Naive_per_entry.insert naive "b" "vb" with
+  | Ok () -> print_endline "Insert(\"b\") into representatives A and B"
+  | Error _ -> assert false);
+  Naive_per_entry.recover naive 2;
+
+  (* Figure 3: delete "b" from {B, C} (exclude A). *)
+  Naive_per_entry.crash naive 0;
+  ignore (Naive_per_entry.delete naive "b");
+  print_endline "Delete(\"b\") from representatives B and C";
+  Naive_per_entry.recover naive 0;
+
+  (* Lookup via {A, C} (exclude B): A says present:1, C says not present. *)
+  Naive_per_entry.crash naive 1;
+  (match Naive_per_entry.lookup naive "b" with
+  | Naive_per_entry.Ambiguous ->
+      print_endline "Lookup(\"b\") via {A, C}: AMBIGUOUS —";
+      print_endline "  A answers \"present with version 1\", C answers \"not present\",";
+      print_endline "  and there is no version number for absence to arbitrate.\n"
+  | Naive_per_entry.Present _ | Naive_per_entry.Absent -> assert false);
+  Naive_per_entry.recover naive 1;
+
+  print_endline "=== The paper's algorithm on the same history ===\n";
+  let open Repdir_rep in
+  let open Repdir_core in
+  let reps = Array.init 3 (fun i -> Rep.create ~name:[| "A"; "B"; "C" |].(i) ()) in
+  let transport = Transport.local reps in
+  let txns = Repdir_txn.Txn.Manager.create () in
+  let via order =
+    Suite.create ~picker:(Picker.Fixed (Array.of_list order)) ~config ~transport ~txns ()
+  in
+  ignore (Suite.insert (via [ 0; 1; 2 ]) "b" "vb");
+  print_endline "Insert(\"b\") into representatives A and B (version 1)";
+  ignore (Suite.delete (via [ 1; 2; 0 ]) "b");
+  print_endline "Delete(\"b\") from representatives B and C (gap coalesced at version 2)";
+  match Suite.lookup (via [ 0; 2; 1 ]) "b" with
+  | None ->
+      print_endline "Lookup(\"b\") via {A, C}: not present —";
+      print_endline "  C's \"not present with gap version 2\" outvotes A's stale \"present:1\"."
+  | Some _ -> assert false

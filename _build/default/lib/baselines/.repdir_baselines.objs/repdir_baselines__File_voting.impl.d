@@ -1,0 +1,1 @@
+lib/baselines/file_voting.ml: Array Key Map Option Repdir_key Replica_set

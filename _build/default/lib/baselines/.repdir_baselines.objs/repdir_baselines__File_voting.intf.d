@@ -1,0 +1,1 @@
+lib/baselines/file_voting.mli: Key Repdir_key Repdir_quorum

@@ -1,0 +1,1 @@
+lib/baselines/naive_per_entry.ml: Array Hashtbl Key List Repdir_key Replica_set

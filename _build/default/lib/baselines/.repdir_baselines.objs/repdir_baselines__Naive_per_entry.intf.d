@@ -1,0 +1,1 @@
+lib/baselines/naive_per_entry.mli: Key Repdir_key Repdir_quorum

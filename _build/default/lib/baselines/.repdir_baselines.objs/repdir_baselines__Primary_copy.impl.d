@@ -1,0 +1,1 @@
+lib/baselines/primary_copy.ml: Config Hashtbl Key List Repdir_key Repdir_quorum Replica_set

@@ -1,0 +1,1 @@
+lib/baselines/primary_copy.mli: Key Repdir_key

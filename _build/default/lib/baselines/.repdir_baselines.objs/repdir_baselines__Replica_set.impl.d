@@ -1,0 +1,1 @@
+lib/baselines/replica_set.ml: Array Config List Picker Printf Repdir_quorum Repdir_util Rng

@@ -1,0 +1,1 @@
+lib/baselines/replica_set.mli: Config Repdir_quorum

@@ -1,0 +1,1 @@
+lib/baselines/static_partition.ml: Array Hashtbl Key Map Option Repdir_key Replica_set

@@ -1,0 +1,1 @@
+lib/baselines/static_partition.mli: Key Repdir_key Repdir_quorum

@@ -1,0 +1,1 @@
+lib/baselines/tombstone.ml: Array Hashtbl Key List Repdir_key Replica_set

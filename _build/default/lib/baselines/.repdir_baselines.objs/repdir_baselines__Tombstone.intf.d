@@ -1,0 +1,1 @@
+lib/baselines/tombstone.mli: Key Repdir_key Repdir_quorum

@@ -1,0 +1,1 @@
+lib/baselines/unanimous.ml: Array Config Hashtbl Key Repdir_key Repdir_quorum Replica_set

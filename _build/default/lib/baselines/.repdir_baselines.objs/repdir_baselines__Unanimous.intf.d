@@ -1,0 +1,1 @@
+lib/baselines/unanimous.mli: Key Repdir_key

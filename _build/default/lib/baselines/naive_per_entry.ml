@@ -1,0 +1,67 @@
+open Repdir_key
+
+type entry = { version : int; value : string }
+
+type replica = (Key.t, entry) Hashtbl.t
+
+type t = { set : replica Replica_set.t }
+
+let create ?seed ~config () =
+  { set = Replica_set.create ?seed ~config ~make:(fun _ -> Hashtbl.create 64) () }
+
+type answer = Present of string | Absent | Ambiguous
+
+(* The fundamental flaw: a "not present" reply carries no version, so when
+   replies disagree there is nothing to compare. We return the highest
+   versioned "present" reply only when *no* member contradicts it... but a
+   contradiction is indistinguishable from the member merely having missed
+   the insert. The only sound readings are all-present and all-absent;
+   everything else is ambiguous. *)
+let lookup t key =
+  let members = Replica_set.read_quorum t.set in
+  let present = ref [] and absent = ref 0 in
+  Array.iter
+    (fun i ->
+      match Hashtbl.find_opt (Replica_set.replica t.set i) key with
+      | Some e -> present := e :: !present
+      | None -> incr absent)
+    members;
+  match (!present, !absent) with
+  | [], _ -> Absent
+  | entries, 0 ->
+      let best = List.fold_left (fun b e -> if e.version > b.version then e else b)
+          (List.hd entries) entries
+      in
+      Present best.value
+  | _, _ -> Ambiguous
+
+let insert t key value =
+  match lookup t key with
+  | Present _ -> Error `Already_present
+  | Ambiguous -> Error `Ambiguous
+  | Absent ->
+      let members = Replica_set.read_quorum t.set in
+      let best_version =
+        Array.fold_left
+          (fun acc i ->
+            match Hashtbl.find_opt (Replica_set.replica t.set i) key with
+            | Some e -> max acc e.version
+            | None -> acc)
+          0 members
+      in
+      let write_members = Replica_set.write_quorum t.set in
+      Array.iter
+        (fun i ->
+          Hashtbl.replace (Replica_set.replica t.set i) key
+            { version = best_version + 1; value })
+        write_members;
+      Ok ()
+
+let delete t key =
+  let was_present = lookup t key <> Absent in
+  let members = Replica_set.write_quorum t.set in
+  Array.iter (fun i -> Hashtbl.remove (Replica_set.replica t.set i) key) members;
+  was_present
+
+let crash t i = Replica_set.crash t.set i
+let recover t i = Replica_set.recover t.set i

@@ -1,0 +1,27 @@
+(** The broken scheme of §2 and Figures 1–3: per-entry version numbers with
+    *physical* deletion and no versions for absent keys.
+
+    After a delete, a read quorum can contain one replica that still holds a
+    stale entry ("present with version 1") and one that never saw it or
+    physically deleted it ("not present" — with no version to compare).
+    {!lookup} honestly reports that situation as [`Ambiguous]: the quorum's
+    answers cannot be reconciled. The test suite and the
+    [delete_ambiguity] example drive it into exactly the paper's Figure 3
+    state. *)
+
+open Repdir_key
+
+type t
+
+val create : ?seed:int64 -> config:Repdir_quorum.Config.t -> unit -> t
+
+type answer = Present of string | Absent | Ambiguous
+(** [Ambiguous]: some quorum member says "present", another "not present",
+    and no version information can arbitrate. *)
+
+val lookup : t -> Key.t -> answer
+val insert : t -> Key.t -> string -> (unit, [ `Already_present | `Ambiguous ]) result
+val delete : t -> Key.t -> bool
+
+val crash : t -> int -> unit
+val recover : t -> int -> unit

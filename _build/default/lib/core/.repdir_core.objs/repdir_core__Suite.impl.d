@@ -1,0 +1,1 @@
+lib/core/suite.ml: Array Bound Commit_registry Config Hashtbl Int Key List Option Picker Rep Repdir_gapmap Repdir_key Repdir_quorum Repdir_rep Repdir_txn Repdir_util Rng Set Transport Txn Version

@@ -1,0 +1,1 @@
+lib/core/suite.mli: Bound Config Key Picker Repdir_key Repdir_quorum Repdir_txn Transport Txn Version

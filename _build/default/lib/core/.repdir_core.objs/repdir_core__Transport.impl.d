@@ -1,0 +1,1 @@
+lib/core/transport.ml: Array Format Rep Repdir_rep

@@ -1,0 +1,1 @@
+lib/core/transport.mli: Format Rep Repdir_rep

@@ -1,0 +1,553 @@
+open Repdir_key
+open Repdir_util
+open Repdir_quorum
+open Repdir_txn
+open Repdir_rep
+module Gi = Repdir_gapmap.Gapmap_intf
+
+type value = string
+
+exception Unavailable of string
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  config : Config.t;
+  picker : Picker.strategy;
+  transport : Transport.t;
+  txns : Txn.Manager.t;
+  rng : Rng.t;
+  touched : (Txn.id, Int_set.t ref) Hashtbl.t;
+      (* representatives each open transaction has operated on *)
+  two_phase : bool;
+  registry : Commit_registry.t;
+  batch_depth : int;
+}
+
+let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
+    ?(registry = Commit_registry.create ()) ?(batch_depth = 1) ~config ~transport ~txns () =
+  if Config.n_reps config <> transport.Transport.n_reps then
+    invalid_arg "Suite.create: config and transport disagree on representative count";
+  if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
+  {
+    config;
+    picker;
+    transport;
+    txns;
+    rng = Rng.create seed;
+    touched = Hashtbl.create 16;
+    two_phase;
+    registry;
+    batch_depth;
+  }
+
+let config t = t.config
+let transport t = t.transport
+
+type delete_report = {
+  was_present : bool;
+  removed_per_rep : (int * int) array;
+  repair_inserts : int;
+  ghosts_deleted : int;
+  pred : Bound.t;
+  succ : Bound.t;
+}
+
+(* --- per-operation context --------------------------------------------------- *)
+
+(* An operation context carries the transaction and the set of
+   representatives found unreachable during this operation; those are
+   excluded from quorum re-selection when the operation body is re-run. *)
+type ctx = { txn : Txn.id; mutable excluded : Int_set.t; suite : t }
+
+let fanout ctx f arr = ctx.suite.transport.Transport.fanout.Transport.map f arr
+
+let call ctx i f =
+  (match Hashtbl.find_opt ctx.suite.touched ctx.txn with
+  | Some set -> set := Int_set.add i !set
+  | None -> Hashtbl.replace ctx.suite.touched ctx.txn (ref (Int_set.singleton i)));
+  Transport.call_exn ctx.suite.transport i f
+
+let available ctx i =
+  ctx.suite.transport.Transport.is_up i && not (Int_set.mem i ctx.excluded)
+
+let collect_read_quorum ctx =
+  match
+    Picker.read_quorum ctx.suite.picker ctx.suite.rng ctx.suite.config ~available:(available ctx)
+  with
+  | Some q -> q
+  | None -> raise (Unavailable "cannot collect a read quorum")
+
+let collect_write_quorum ctx =
+  match
+    Picker.write_quorum ctx.suite.picker ctx.suite.rng ctx.suite.config
+      ~available:(available ctx)
+  with
+  | Some q -> q
+  | None -> raise (Unavailable "cannot collect a write quorum")
+
+(* --- DirSuiteLookup (Figure 8) ------------------------------------------------ *)
+
+(* Send DirRepLookup to a read quorum; believe the highest version number.
+   Works over bounds so the real-predecessor walk can look up LOW/HIGH,
+   which every representative reports present at the lowest version. *)
+let suite_lookup_bound ctx bound =
+  let quorum = collect_read_quorum ctx in
+  let replies =
+    fanout ctx (fun i -> call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn bound)) quorum
+  in
+  Array.fold_left
+    (fun ((_, bestv, _) as best) reply ->
+      let ((_, v, _) as candidate) =
+        match reply with
+        | Gi.Present { version; value } -> (true, version, value)
+        | Gi.Absent { gap_version } -> (false, gap_version, "")
+      in
+      if v > bestv then candidate else best)
+    (false, Version.lowest - 1, "")
+    replies
+
+(* --- RealPredecessor / RealSuccessor (Figure 12) ------------------------------- *)
+
+(* Walk downward (resp. upward) through candidate neighbours, skipping
+   ghosts, until a key current in the suite is found. Returns the neighbour,
+   its current version and value, and the largest gap version seen along the
+   walk — which dominates every version ever associated with any key in the
+   range, because each step consults a full read quorum. *)
+(* Batched walks (§4): each quorum member ships a chain of [depth]
+   successive neighbours per call; the walk consumes cached chain elements
+   and only re-calls a representative when its chain is exhausted. A chain
+   anchored at k0 lists *consecutive* entries of that representative, so for
+   any later probe k below the anchor, the first chain element below k is
+   exactly that representative's predecessor of k, and the element's
+   gap-after version is the gap containing (element, k). *)
+let pred_from_cache ctx depth i cache k =
+  let covered =
+    List.find_opt (fun (n : Gi.neighbor) -> Bound.compare n.Gi.key k < 0) !cache
+  in
+  match covered with
+  | Some n -> n
+  | None -> (
+      let chain = call ctx i (fun rep -> Rep.predecessor_chain rep ~txn:ctx.txn k ~depth) in
+      cache := chain;
+      match chain with n :: _ -> n | [] -> assert false)
+
+let succ_from_cache ctx depth i cache k =
+  let covered =
+    List.find_opt (fun (n : Gi.neighbor) -> Bound.compare n.Gi.key k > 0) !cache
+  in
+  match covered with
+  | Some n -> n
+  | None -> (
+      let chain = call ctx i (fun rep -> Rep.successor_chain rep ~txn:ctx.txn k ~depth) in
+      cache := chain;
+      match chain with n :: _ -> n | [] -> assert false)
+
+let real_predecessor_batched ctx depth x =
+  let quorum = collect_read_quorum ctx in
+  let maxv = ref Version.lowest in
+  (* Prefetch every member's first chain concurrently. *)
+  let caches =
+    fanout ctx
+      (fun i ->
+        ( i,
+          ref
+            (call ctx i (fun rep ->
+                 Rep.predecessor_chain rep ~txn:ctx.txn (Bound.Key x) ~depth)) ))
+      quorum
+  in
+  let rec walk k =
+    let pred = ref Bound.Low in
+    Array.iter
+      (fun (i, cache) ->
+        let n = pred_from_cache ctx depth i cache k in
+        pred := Bound.max n.Gi.key !pred;
+        maxv := Version.max n.Gi.gap_version !maxv)
+      caches;
+    let isin, pver, pvalue = suite_lookup_bound ctx !pred in
+    if isin then (!pred, pvalue, pver, !maxv) else walk !pred
+  in
+  walk (Bound.Key x)
+
+let real_successor_batched ctx depth x =
+  let quorum = collect_read_quorum ctx in
+  let maxv = ref Version.lowest in
+  let caches =
+    fanout ctx
+      (fun i ->
+        ( i,
+          ref
+            (call ctx i (fun rep ->
+                 Rep.successor_chain rep ~txn:ctx.txn (Bound.Key x) ~depth)) ))
+      quorum
+  in
+  let rec walk k =
+    let succ = ref Bound.High in
+    Array.iter
+      (fun (i, cache) ->
+        let n = succ_from_cache ctx depth i cache k in
+        succ := Bound.min n.Gi.key !succ;
+        maxv := Version.max n.Gi.gap_version !maxv)
+      caches;
+    let isin, sver, svalue = suite_lookup_bound ctx !succ in
+    if isin then (!succ, svalue, sver, !maxv) else walk !succ
+  in
+  walk (Bound.Key x)
+
+let real_predecessor_single ctx x =
+  let quorum = collect_read_quorum ctx in
+  let maxv = ref Version.lowest in
+  let rec walk k =
+    let neighbours =
+      fanout ctx (fun i -> call ctx i (fun rep -> Rep.predecessor rep ~txn:ctx.txn k)) quorum
+    in
+    let pred = ref Bound.Low in
+    Array.iter
+      (fun (n : Gi.neighbor) ->
+        pred := Bound.max n.Gi.key !pred;
+        maxv := Version.max n.Gi.gap_version !maxv)
+      neighbours;
+    let isin, pver, pvalue = suite_lookup_bound ctx !pred in
+    if isin then (!pred, pvalue, pver, !maxv) else walk !pred
+  in
+  walk (Bound.Key x)
+
+let real_successor_single ctx x =
+  let quorum = collect_read_quorum ctx in
+  let maxv = ref Version.lowest in
+  let rec walk k =
+    let neighbours =
+      fanout ctx (fun i -> call ctx i (fun rep -> Rep.successor rep ~txn:ctx.txn k)) quorum
+    in
+    let succ = ref Bound.High in
+    Array.iter
+      (fun (n : Gi.neighbor) ->
+        succ := Bound.min n.Gi.key !succ;
+        maxv := Version.max n.Gi.gap_version !maxv)
+      neighbours;
+    let isin, sver, svalue = suite_lookup_bound ctx !succ in
+    if isin then (!succ, svalue, sver, !maxv) else walk !succ
+  in
+  walk (Bound.Key x)
+
+let real_predecessor ctx x =
+  let depth = ctx.suite.batch_depth in
+  if depth <= 1 then real_predecessor_single ctx x else real_predecessor_batched ctx depth x
+
+let real_successor ctx x =
+  let depth = ctx.suite.batch_depth in
+  if depth <= 1 then real_successor_single ctx x else real_successor_batched ctx depth x
+
+(* --- operation bodies ----------------------------------------------------------- *)
+
+let do_lookup ctx key =
+  let isin, v, value = suite_lookup_bound ctx (Bound.Key key) in
+  if isin then Some (v, value) else None
+
+(* DirSuiteInsert / DirSuiteUpdate (Figure 9).
+
+   [memo] carries the decision across re-runs of the operation body after a
+   transport failure: without it, the re-run's lookup would observe the
+   operation's *own* uncommitted write and misreport [`Already_present`]
+   (and escalate the version). The memoized version also keeps the re-run's
+   representative writes literally identical, i.e. idempotent. *)
+let do_write ctx memo key value ~must_exist =
+  let decide () =
+    match !memo with
+    | Some d -> d
+    | None ->
+        let isin, ver, _ = suite_lookup_bound ctx (Bound.Key key) in
+        let d =
+          if must_exist && not isin then Error `Not_present
+          else if (not must_exist) && isin then Error `Already_present
+          else Ok (Version.next ver)
+        in
+        memo := Some d;
+        d
+  in
+  match decide () with
+  | Error e -> Error e
+  | Ok ver' ->
+      let quorum = collect_write_quorum ctx in
+      ignore
+        (fanout ctx
+           (fun i -> call ctx i (fun rep -> Rep.insert rep ~txn:ctx.txn key ver' value))
+           quorum);
+      Ok ()
+
+(* DirSuiteDelete (Figure 13). *)
+let do_delete ctx key =
+  let x = Bound.Key key in
+  let quorum = collect_write_quorum ctx in
+  let succ, svalue, sver, ver1 = real_successor ctx key in
+  let pred, pvalue, pver, ver2 = real_predecessor ctx key in
+  let isin, vx, _ = suite_lookup_bound ctx x in
+  let ver = Version.max (Version.max ver1 ver2) vx in
+  (* Make sure the predecessor and successor exist in every quorum member;
+     sentinels exist everywhere by construction. *)
+  let per_member =
+    fanout ctx
+      (fun i ->
+        let repairs = ref 0 in
+        (match succ with
+        | Bound.Key sk ->
+            (match call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn succ) with
+            | Gi.Present _ -> ()
+            | Gi.Absent _ ->
+                incr repairs;
+                call ctx i (fun rep -> Rep.insert rep ~txn:ctx.txn sk sver svalue))
+        | Bound.Low | Bound.High -> ());
+        (match pred with
+        | Bound.Key pk ->
+            (match call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn pred) with
+            | Gi.Present _ -> ()
+            | Gi.Absent _ ->
+                incr repairs;
+                call ctx i (fun rep -> Rep.insert rep ~txn:ctx.txn pk pver pvalue))
+        | Bound.Low | Bound.High -> ());
+        (* Not part of Figure 13: observe whether the victim is physically
+           present here, to separate ghost deletions in the statistics. *)
+        let has_x =
+          match call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn x) with
+          | Gi.Present _ -> true
+          | Gi.Absent _ -> false
+        in
+        (!repairs, has_x))
+      quorum
+  in
+  let repair_inserts = ref 0 in
+  let present_x = ref 0 in
+  Array.iter
+    (fun (repairs, has_x) ->
+      repair_inserts := !repair_inserts + repairs;
+      if has_x then incr present_x)
+    per_member;
+  (* Coalesce the range in each member with a dominating gap version. *)
+  let removed =
+    fanout ctx
+      (fun i ->
+        (i, call ctx i (fun rep -> Rep.coalesce rep ~txn:ctx.txn ~lo:pred ~hi:succ (Version.next ver))))
+      quorum
+  in
+  let total_removed = Array.fold_left (fun acc (_, n) -> acc + n) 0 removed in
+  {
+    was_present = isin;
+    removed_per_rep = removed;
+    repair_inserts = !repair_inserts;
+    ghosts_deleted = total_removed - !present_x;
+    pred;
+    succ;
+  }
+
+(* --- transaction plumbing --------------------------------------------------------- *)
+
+let abort_touched t txn =
+  match Hashtbl.find_opt t.touched txn with
+  | None -> ()
+  | Some set ->
+      Int_set.iter
+        (fun i ->
+          match t.transport.Transport.call i (fun rep -> Rep.abort rep ~txn) with
+          | Ok () | Error _ -> ())
+        !set;
+      Hashtbl.remove t.touched txn
+
+(* Single-phase commit: best effort. A representative that crashed after
+   doing work for us has already lost its volatile state; its WAL lacks our
+   commit record, so recovery discards the work. The quorum intersection
+   property keeps the suite correct as long as a write quorum's worth of
+   commits survive — two-phase commit (below) closes even that window. *)
+let commit_one_phase t txn set =
+  Int_set.iter
+    (fun i ->
+      match t.transport.Transport.call i (fun rep -> Rep.commit rep ~txn) with
+      | Ok () | Error _ -> ())
+    set;
+  Hashtbl.remove t.touched txn
+
+(* Two-phase commit: prepare everywhere, then write the decision to the
+   coordinator registry, then commit. Any prepare failure — or losing the
+   decision race to a recovering in-doubt participant — aborts the whole
+   transaction atomically. *)
+let commit_two_phase t txn set =
+  let all_prepared =
+    Int_set.for_all
+      (fun i ->
+        match t.transport.Transport.call i (fun rep -> Rep.prepare rep ~txn) with
+        | Ok () -> true
+        | Error _ -> false
+        | exception Txn.Abort _ ->
+            (* The representative refused the vote (e.g. it lost this
+               transaction's effects in a crash). *)
+            false)
+      set
+  in
+  let decision =
+    if all_prepared then Commit_registry.try_decide t.registry txn Commit_registry.Committed
+    else Commit_registry.try_decide t.registry txn Commit_registry.Aborted
+  in
+  match decision with
+  | Commit_registry.Committed ->
+      Int_set.iter
+        (fun i ->
+          match t.transport.Transport.call i (fun rep -> Rep.commit rep ~txn) with
+          | Ok () | Error _ ->
+              (* A participant that crashed here is in doubt; its recovery
+                 reads the registry and replays our effects. *)
+              ())
+        set;
+      Hashtbl.remove t.touched txn
+  | Commit_registry.Aborted ->
+      abort_touched t txn;
+      raise (Unavailable "transaction aborted during two-phase commit")
+
+let commit_touched t txn =
+  match Hashtbl.find_opt t.touched txn with
+  | None -> ()
+  | Some set ->
+      if t.two_phase then commit_two_phase t txn !set else commit_one_phase t txn !set
+
+let with_txn t f =
+  let txn = Txn.Manager.begin_txn t.txns in
+  match f txn with
+  | result -> (
+      match commit_touched t txn with
+      | () ->
+          Txn.Manager.commit t.txns txn;
+          result
+      | exception e ->
+          (* Two-phase commit already aborted the participants. *)
+          Txn.Manager.abort t.txns txn;
+          raise e)
+  | exception e ->
+      abort_touched t txn;
+      Txn.Manager.abort t.txns txn;
+      raise e
+
+(* Run an operation body, re-running with the failed representative excluded
+   when the transport fails mid-flight. Representative operations are
+   idempotent for fixed arguments, so a re-run only repeats work. *)
+let run_op t ?txn body =
+  let attempt txn =
+    let ctx = { txn; excluded = Int_set.empty; suite = t } in
+    let rec go () =
+      try body ctx
+      with Transport.Rpc_failed (i, _) ->
+        ctx.excluded <- Int_set.add i ctx.excluded;
+        go ()
+    in
+    go ()
+  in
+  match txn with Some txn -> attempt txn | None -> with_txn t attempt
+
+(* --- public operations --------------------------------------------------------------- *)
+
+let lookup ?txn t key = run_op t ?txn (fun ctx -> do_lookup ctx key)
+let mem ?txn t key = Option.is_some (lookup ?txn t key)
+
+let insert ?txn t key value =
+  let memo = ref None in
+  match run_op t ?txn (fun ctx -> do_write ctx memo key value ~must_exist:false) with
+  | Ok () -> Ok ()
+  | Error `Already_present -> Error `Already_present
+  | Error `Not_present -> assert false
+
+let update ?txn t key value =
+  let memo = ref None in
+  match run_op t ?txn (fun ctx -> do_write ctx memo key value ~must_exist:true) with
+  | Ok () -> Ok ()
+  | Error `Not_present -> Error `Not_present
+  | Error `Already_present -> assert false
+
+let delete ?txn t key = run_op t ?txn (fun ctx -> do_delete ctx key)
+
+(* --- ordered traversal --------------------------------------------------------------- *)
+
+(* The real-successor walk already returns the next *current* entry; the
+   sentinels map to None. *)
+let next_in ctx key =
+  match real_successor ctx key with
+  | Bound.Key k, value, ver, _maxv -> Some (k, ver, value)
+  | (Bound.High | Bound.Low), _, _, _ -> None
+
+let prev_in ctx key =
+  match real_predecessor ctx key with
+  | Bound.Key k, value, ver, _maxv -> Some (k, ver, value)
+  | (Bound.High | Bound.Low), _, _, _ -> None
+
+let next ?txn t key = run_op t ?txn (fun ctx -> next_in ctx key)
+let prev ?txn t key = run_op t ?txn (fun ctx -> prev_in ctx key)
+
+let first ?txn t =
+  run_op t ?txn (fun ctx ->
+      (* Ask every quorum member for the successor of LOW, take the smallest
+         candidate, and resolve it with a suite lookup; if it turns out to be
+         a ghost, continue with the normal walk from it. *)
+      let quorum = collect_read_quorum ctx in
+      let neighbours =
+        fanout ctx
+          (fun i -> call ctx i (fun rep -> Rep.successor rep ~txn:ctx.txn Bound.Low))
+          quorum
+      in
+      let candidate =
+        Array.fold_left (fun acc (n : Gi.neighbor) -> Bound.min acc n.Gi.key) Bound.High
+          neighbours
+      in
+      match candidate with
+      | Bound.High | Bound.Low -> None
+      | Bound.Key k -> (
+          let isin, ver, value = suite_lookup_bound ctx (Bound.Key k) in
+          if isin then Some (k, ver, value) else next_in ctx k))
+
+let last ?txn t =
+  run_op t ?txn (fun ctx ->
+      let quorum = collect_read_quorum ctx in
+      let neighbours =
+        fanout ctx
+          (fun i -> call ctx i (fun rep -> Rep.predecessor rep ~txn:ctx.txn Bound.High))
+          quorum
+      in
+      let candidate =
+        Array.fold_left (fun acc (n : Gi.neighbor) -> Bound.max acc n.Gi.key) Bound.Low
+          neighbours
+      in
+      match candidate with
+      | Bound.High | Bound.Low -> None
+      | Bound.Key k -> (
+          let isin, ver, value = suite_lookup_bound ctx (Bound.Key k) in
+          if isin then Some (k, ver, value) else prev_in ctx k))
+
+let fold_range ?txn t ~lo ~hi ~init ~f =
+  run_op t ?txn (fun ctx ->
+      let start =
+        let isin, _, value = suite_lookup_bound ctx (Bound.Key lo) in
+        if isin then Some (lo, 0, value) else next_in ctx lo
+      in
+      let rec go acc = function
+        | Some (k, _, value) when Key.compare k hi <= 0 ->
+            go (f acc k value) (next_in ctx k)
+        | Some _ | None -> acc
+      in
+      go init start)
+
+let to_alist ?txn t =
+  run_op t ?txn (fun ctx ->
+      let rec go acc = function
+        | Some (k, _, value) -> go ((k, value) :: acc) (next_in ctx k)
+        | None -> List.rev acc
+      in
+      let quorum = collect_read_quorum ctx in
+      let neighbours =
+        fanout ctx
+          (fun i -> call ctx i (fun rep -> Rep.successor rep ~txn:ctx.txn Bound.Low))
+          quorum
+      in
+      match
+        Array.fold_left (fun acc (n : Gi.neighbor) -> Bound.min acc n.Gi.key) Bound.High
+          neighbours
+      with
+      | Bound.High | Bound.Low -> []
+      | Bound.Key k ->
+          let isin, _, value = suite_lookup_bound ctx (Bound.Key k) in
+          let start = if isin then Some (k, 0, value) else next_in ctx k in
+          go [] start)

@@ -1,0 +1,125 @@
+(** The replicated directory suite — the paper's core algorithm (§3.2).
+
+    A suite combines a configuration (votes, R, W), a quorum-selection
+    strategy, and a transport to the representatives. Operations follow the
+    paper's figures:
+
+    - {!lookup} — Figure 8: read from a read quorum, answer with the highest
+      version number's reply.
+    - {!insert}/{!update} — Figure 9: read the key's current version from a
+      read quorum, write the entry with version+1 to a write quorum.
+    - {!delete} — Figures 12/13: locate the real predecessor and real
+      successor (skipping ghosts), copy them to write-quorum members that
+      lack them, then coalesce the range with a dominating gap version.
+
+    Each public operation runs inside its own transaction unless an explicit
+    transaction (created with {!with_txn}) is supplied; locks follow strict
+    2PL at every representative, and commit/abort is propagated to every
+    representative the transaction touched.
+
+    Transport failures mid-operation are handled by excluding the failed
+    representative and re-running the operation body with a fresh quorum;
+    representative operations are idempotent for fixed arguments, so re-runs
+    are safe. If no quorum can be collected the operation raises
+    {!Unavailable} after aborting its transaction. *)
+
+open Repdir_key
+open Repdir_quorum
+open Repdir_txn
+
+type value = string
+
+exception Unavailable of string
+
+type t
+
+val create :
+  ?picker:Picker.strategy ->
+  ?seed:int64 ->
+  ?two_phase:bool ->
+  ?registry:Repdir_txn.Commit_registry.t ->
+  ?batch_depth:int ->
+  config:Config.t ->
+  transport:Transport.t ->
+  txns:Txn.Manager.t ->
+  unit ->
+  t
+(** [two_phase] (default false) commits transactions with two-phase commit
+    against [registry] (which must be the same object the representatives
+    were created with): prepare at every touched representative, record the
+    decision atomically, then commit. A crash between prepare and commit
+    leaves the representative in doubt, and its recovery resolves against
+    the registry — so either all representatives eventually apply the
+    transaction or none do. With the default single-phase commit, a
+    representative that crashes during the commit round simply loses the
+    transaction's effects locally (safe for quorum reasons but not
+    atomic).
+
+    [batch_depth] (default 1) enables the §4 batching: real-predecessor/
+    successor walks ask each quorum member for [batch_depth] successive
+    neighbours per call, so "the real predecessor and real successor will
+    often be located using one remote procedure call to each member of the
+    quorum". Depth 1 reproduces the paper's pseudo-code exactly. *)
+
+val config : t -> Config.t
+val transport : t -> Transport.t
+
+(** Everything {!delete} did, for the paper's §4 statistics. *)
+type delete_report = {
+  was_present : bool;  (** the key had a current entry before the delete *)
+  removed_per_rep : (int * int) array;
+      (** per write-quorum member: (representative index, entries removed by
+          its coalesce) — the "entries in ranges coalesced" samples *)
+  repair_inserts : int;
+      (** real-predecessor/successor copies installed — "insertions while
+          coalescing" *)
+  ghosts_deleted : int;
+      (** entries removed that were not the deleted key itself — "deletions
+          while coalescing" *)
+  pred : Bound.t;  (** the real predecessor used for the coalesce *)
+  succ : Bound.t;  (** the real successor *)
+}
+
+(* --- user operations ------------------------------------------------------- *)
+
+val lookup : ?txn:Txn.id -> t -> Key.t -> (Version.t * value) option
+
+val mem : ?txn:Txn.id -> t -> Key.t -> bool
+
+val insert : ?txn:Txn.id -> t -> Key.t -> value -> (unit, [ `Already_present ]) result
+
+val update : ?txn:Txn.id -> t -> Key.t -> value -> (unit, [ `Not_present ]) result
+
+val delete : ?txn:Txn.id -> t -> Key.t -> delete_report
+(** Deleting an absent key is permitted (Figure 13 never tests presence): the
+    surrounding range is still coalesced, which may clean up ghosts; the
+    report has [was_present = false]. *)
+
+(* --- ordered traversal ------------------------------------------------------ *)
+
+val next : ?txn:Txn.id -> t -> Key.t -> (Key.t * Version.t * value) option
+(** Smallest *current* entry with key strictly greater than the argument
+    (ghosts are skipped via the real-successor walk of Figure 12); [None] at
+    the end of the directory. The argument need not be present. *)
+
+val prev : ?txn:Txn.id -> t -> Key.t -> (Key.t * Version.t * value) option
+(** Mirror of {!next}. *)
+
+val first : ?txn:Txn.id -> t -> (Key.t * Version.t * value) option
+val last : ?txn:Txn.id -> t -> (Key.t * Version.t * value) option
+
+val fold_range :
+  ?txn:Txn.id -> t -> lo:Key.t -> hi:Key.t -> init:'a -> f:('a -> Key.t -> value -> 'a) -> 'a
+(** Fold over current entries with [lo <= key <= hi] in ascending order; one
+    transaction covers the whole scan, so the result is a consistent
+    snapshot under strict 2PL. *)
+
+val to_alist : ?txn:Txn.id -> t -> (Key.t * value) list
+(** The whole directory, ascending — a consistent snapshot. *)
+
+(* --- multi-operation transactions ------------------------------------------ *)
+
+val with_txn : t -> (Txn.id -> 'a) -> 'a
+(** Run several suite operations as one atomic transaction: 2PL locks are
+    held across the whole body and released at the commit (or rollback on
+    exception, which is then re-raised). *)

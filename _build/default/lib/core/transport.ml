@@ -1,0 +1,36 @@
+open Repdir_rep
+
+type error = Timeout | Down of string
+
+let pp_error ppf = function
+  | Timeout -> Format.pp_print_string ppf "timeout"
+  | Down name -> Format.fprintf ppf "down(%s)" name
+
+exception Rpc_failed of int * error
+
+type fanout = { map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array }
+
+let sequential_fanout = { map = (fun f arr -> Array.map f arr) }
+
+type t = {
+  n_reps : int;
+  is_up : int -> bool;
+  call : 'r. int -> (Rep.t -> 'r) -> ('r, error) result;
+  fanout : fanout;
+  mutable rpc_count : int;
+}
+
+let local reps =
+  {
+    n_reps = Array.length reps;
+    is_up = (fun i -> not (Rep.is_crashed reps.(i)));
+    call =
+      (fun i f ->
+        try Ok (f reps.(i)) with Rep.Crashed name -> Error (Down name));
+    fanout = sequential_fanout;
+    rpc_count = 0;
+  }
+
+let call_exn t i f =
+  t.rpc_count <- t.rpc_count + 1;
+  match t.call i f with Ok r -> r | Error e -> raise (Rpc_failed (i, e))

@@ -1,0 +1,49 @@
+(** How a directory-suite client reaches representatives.
+
+    The suite algorithm is written against this record so the same code runs
+    over direct function calls ({!local} — the configuration used for the
+    paper's §4 statistical simulations) and over the discrete-event
+    simulator's RPC layer with latency, crashes and timeouts
+    ({!Repdir_harness.Sim_world}). *)
+
+open Repdir_rep
+
+type error =
+  | Timeout  (** no reply within the RPC deadline *)
+  | Down of string  (** the representative is crashed *)
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Rpc_failed of int * error
+(** Raised by suite internals when a representative call fails; carries the
+    representative index. *)
+
+(** Fan-out strategy for independent per-representative work within one
+    operation. The paper's pseudo-code sends quorum requests one at a time;
+    §5 notes message traffic and latency can be improved — a parallel fanout
+    (the simulator's fork/join) overlaps the round trips. Results keep array
+    order; if any branch raises, the first (by index) exception is re-raised
+    after all branches finish. *)
+type fanout = { map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array }
+
+val sequential_fanout : fanout
+
+type t = {
+  n_reps : int;
+  is_up : int -> bool;
+      (** Availability hint used for quorum selection; a representative that
+          looks up may still fail mid-call. *)
+  call : 'r. int -> (Rep.t -> 'r) -> ('r, error) result;
+      (** Run one representative operation. Exceptions raised by the
+          operation itself (deadlock aborts, missing endpoints) propagate;
+          [Error] is reserved for transport-level failures. *)
+  fanout : fanout;
+  mutable rpc_count : int;  (** total calls issued, for the statistics *)
+}
+
+val local : Rep.t array -> t
+(** Zero-latency transport over in-process representatives. A crashed
+    representative reports [Down]. *)
+
+val call_exn : t -> int -> (Rep.t -> 'r) -> 'r
+(** Like [call] but raising {!Rpc_failed}, and counting the call. *)

@@ -1,0 +1,1 @@
+lib/gapmap/btree.ml: Array Bound Format Gapmap_intf Key List Printf Repdir_key Version

@@ -1,0 +1,1 @@
+lib/gapmap/btree.mli: Gapmap_intf

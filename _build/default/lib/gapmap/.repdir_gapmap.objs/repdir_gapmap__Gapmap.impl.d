@@ -1,0 +1,1 @@
+lib/gapmap/gapmap.ml: Btree Gapmap_intf Reference

@@ -1,0 +1,1 @@
+lib/gapmap/gapmap_intf.ml: Bound Format Key Repdir_key Version

@@ -1,0 +1,1 @@
+lib/gapmap/reference.ml: Bound Format Gapmap_intf Key List Repdir_key Version

@@ -1,0 +1,1 @@
+lib/gapmap/reference.mli: Gapmap_intf

@@ -1,0 +1,13 @@
+(** Convenience entry point: re-exports the shared types and both
+    implementations. See {!Gapmap_intf} for the interface documentation. *)
+
+include Gapmap_intf
+module Reference = Reference
+module Btree = Btree
+
+(* Compile-time checks that both implementations satisfy the interface. *)
+module type CHECK_REFERENCE = S with type t = Reference.t
+module type CHECK_BTREE = S with type t = Btree.t
+
+module Check_reference : CHECK_REFERENCE = Reference
+module Check_btree : CHECK_BTREE = Btree

@@ -1,0 +1,112 @@
+(** Interface shared by the gap-versioned map implementations.
+
+    A gap map is the state of one directory representative: an ordered set of
+    entries [(key, version, value)] bracketed by the LOW and HIGH sentinels,
+    with every *gap* between adjacent entries (or between a sentinel and its
+    neighbouring entry) carrying its own version number. The dynamic
+    partition of §2 of the paper is exactly: each entry is a one-key range
+    with its own version; each gap is a range with its own version.
+
+    Two implementations satisfy {!S}: {!module:Reference} (sorted list;
+    obviously correct, used as the model in property tests) and
+    {!module:Btree} (imperative B+tree with gap versions stored in bounding
+    entries, as §5 of the paper envisions). *)
+
+open Repdir_key
+
+type value = string
+
+(** Result of looking up a single key. *)
+type lookup =
+  | Present of { version : Version.t; value : value }
+  | Absent of { gap_version : Version.t }
+      (** The version of the gap in which the key falls. *)
+
+(** Result of a predecessor/successor query: the neighbouring entry (possibly
+    a sentinel) and the version of the gap separating it from the queried
+    key. [entry_version] is [None] exactly when [key] is a sentinel. *)
+type neighbor = {
+  key : Bound.t;
+  entry_version : Version.t option;
+  gap_version : Version.t;
+}
+
+(** Raised by [coalesce] when one of the range endpoints is not an existing
+    entry (or sentinel), mirroring the error the paper specifies for
+    [DirRepCoalesce]. *)
+exception Missing_endpoint of Bound.t
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  (** An empty directory: only LOW and HIGH, one gap at version
+      {!Version.lowest} between them. *)
+
+  val size : t -> int
+  (** Number of real (non-sentinel) entries. *)
+
+  val mem : t -> Key.t -> bool
+
+  val lookup : t -> Bound.t -> lookup
+  (** Sentinels are always present with version {!Version.lowest}. *)
+
+  val predecessor : t -> Bound.t -> neighbor
+  (** Largest entry strictly below the argument, together with the version of
+      the gap between them (the gap following that entry). Raises
+      [Invalid_argument] on [Low]. *)
+
+  val successor : t -> Bound.t -> neighbor
+  (** Smallest entry strictly above the argument, together with the version
+      of the gap between the argument and that entry (the gap preceding it).
+      Raises [Invalid_argument] on [High]. *)
+
+  val insert : t -> Key.t -> Version.t -> value -> unit
+  (** Create or overwrite the entry for the key. A fresh entry splits the gap
+      containing the key; both halves keep the old gap's version (Fig. 4 of
+      the paper). *)
+
+  val coalesce : t -> lo:Bound.t -> hi:Bound.t -> Version.t -> int
+  (** Delete every entry strictly between [lo] and [hi] and give the
+      resulting single gap the supplied version. Returns the number of
+      entries deleted. Raises {!Missing_endpoint} if [lo] or [hi] is neither
+      a stored entry nor a sentinel, and [Invalid_argument] if [lo >= hi]. *)
+
+  val remove : t -> Key.t -> bool
+  (** Low-level removal of a single entry, used by transaction undo. The two
+      gaps adjoining the entry merge into one that keeps the *predecessor's*
+      gap version (which equals the removed entry's former gap when undoing
+      an insert, since insert gave both halves the same version). Returns
+      false if the key was absent. Directory deletion must go through
+      {!coalesce}; this operation exists for the recovery layer. *)
+
+  val set_gap_after : t -> Bound.t -> Version.t -> unit
+  (** [set_gap_after t b v] sets the version of the gap immediately following
+      [b], where [b] must be [Low] or an existing entry. Used by transaction
+      undo and write-ahead-log replay. Raises {!Missing_endpoint} otherwise
+      and [Invalid_argument] on [High]. *)
+
+  val entries : t -> (Key.t * Version.t * value) list
+  (** All real entries in ascending key order. *)
+
+  val gaps : t -> (Bound.t * Bound.t * Version.t) list
+  (** All gaps, ascending: [(left bound, right bound, gap version)]. There
+      are always [size t + 1] gaps. *)
+
+  val count_strictly_between : t -> lo:Bound.t -> hi:Bound.t -> int
+  (** Number of entries [e] with [lo < e < hi]; the paper's "entries in
+      ranges coalesced" statistic counts these. *)
+
+  val entries_between : t -> lo:Bound.t -> hi:Bound.t -> (Key.t * Version.t * value * Version.t) list
+  (** Entries strictly between the bounds, ascending, each with the version
+      of the gap that follows it. Used by transaction undo (a coalesce must
+      be able to restore exactly what it destroyed). *)
+
+  val check_invariants : t -> (unit, string) result
+  (** Structural validation: entry order, gap count, implementation-specific
+      shape (B+tree balance, occupancy). *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Rendering in the style of the paper's figures:
+      [LOW -0- a:1 -0- c:1 -0- HIGH] (gap versions between dashes). *)
+end

@@ -1,0 +1,7 @@
+(** Reference gap map: an obviously-correct sorted-list implementation.
+
+    This is the executable specification of {!Gapmap_intf.S}; the B+tree
+    implementation is property-tested against it. O(n) per operation — fine
+    for tests and paper-scale simulations. *)
+
+include Gapmap_intf.S

@@ -1,0 +1,1 @@
+lib/harness/concurrency.ml: Array Float Format Key List Option Printf Rep Repdir_core Repdir_key Repdir_rep Repdir_sim Repdir_txn Repdir_util Rng Sim Sim_world Suite Table Txn Zipf

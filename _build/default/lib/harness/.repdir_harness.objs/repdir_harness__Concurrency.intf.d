@@ -1,0 +1,1 @@
+lib/harness/concurrency.mli: Format Repdir_quorum Repdir_util

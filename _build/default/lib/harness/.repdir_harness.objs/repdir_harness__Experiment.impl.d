@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Config List Picker Printf Rep Repdir_core Repdir_quorum Repdir_rep Repdir_txn Repdir_util Repdir_workload Rng Stats Suite Transport Txn Unix Workload

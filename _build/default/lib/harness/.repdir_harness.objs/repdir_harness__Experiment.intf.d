@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Config Picker Repdir_quorum Repdir_util Stats

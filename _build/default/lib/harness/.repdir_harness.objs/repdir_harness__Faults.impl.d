@@ -1,0 +1,1 @@
+lib/harness/faults.ml: Array Hashtbl Int64 Key List Printf Repdir_core Repdir_key Repdir_quorum Repdir_rep Repdir_sim Repdir_util Rng Sim Sim_world String Suite Table

@@ -1,0 +1,1 @@
+lib/harness/faults.mli: Repdir_util

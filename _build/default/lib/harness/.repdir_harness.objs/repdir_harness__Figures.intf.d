@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Repdir_quorum Repdir_util Table

@@ -1,0 +1,1 @@
+lib/harness/latency.ml: Hashtbl Int64 Key List Option Printf Repdir_core Repdir_key Repdir_sim Repdir_util Rng Sim Sim_world Suite Table

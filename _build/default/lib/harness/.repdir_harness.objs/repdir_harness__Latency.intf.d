@@ -1,0 +1,1 @@
+lib/harness/latency.mli: Repdir_quorum Repdir_util

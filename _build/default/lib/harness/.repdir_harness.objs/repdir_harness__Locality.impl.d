@@ -1,0 +1,1 @@
+lib/harness/locality.ml: Array Config Key List Picker Printf Rep Repdir_core Repdir_key Repdir_quorum Repdir_rep Repdir_txn Repdir_util Rng Suite Table Transport Txn

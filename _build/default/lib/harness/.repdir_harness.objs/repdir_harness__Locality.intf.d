@@ -1,0 +1,1 @@
+lib/harness/locality.mli: Repdir_util

@@ -1,0 +1,1 @@
+lib/harness/sim_world.ml: Array Config Net Printf Rep Repdir_core Repdir_lock Repdir_quorum Repdir_rep Repdir_sim Repdir_txn Rpc Sim Suite Transport Txn

@@ -1,0 +1,1 @@
+lib/harness/sim_world.mli: Config Net Picker Rep Repdir_core Repdir_quorum Repdir_rep Repdir_sim Repdir_txn Repdir_util Sim Suite Transport Txn

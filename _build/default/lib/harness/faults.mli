@@ -1,0 +1,28 @@
+(** Availability under a crash/recovery timeline, on the discrete-event
+    simulator.
+
+    A client applies operations continuously while representatives crash and
+    recover on schedule. Per phase we report attempted, succeeded and
+    unavailable operations; a 3-2-2 suite must keep operating with one
+    representative down, refuse service (rather than give wrong answers)
+    with two down, and resume when quorums return. The client's view is
+    checked against a sequential model throughout: no phase may return a
+    stale or phantom answer. *)
+
+type phase = {
+  label : string;
+  up_reps : int;
+  attempted : int;
+  succeeded : int;
+  unavailable : int;
+}
+
+type outcome = {
+  phases : phase list;
+  consistency_violations : int;
+      (** lookups disagreeing with the sequential model; must be 0 *)
+}
+
+val run : ?seed:int64 -> ?ops_per_phase:int -> unit -> outcome
+
+val table : ?seed:int64 -> ?ops_per_phase:int -> unit -> Repdir_util.Table.t

@@ -1,0 +1,49 @@
+(** Reproduction of the paper's evaluation tables and §5 claims.
+
+    Each function runs the necessary simulations and returns a rendered
+    table whose rows match what the paper reports. [ops] and [seed] default
+    to the paper's parameters (10 000 operations for Figure 14, 100 000 for
+    Figure 15); smaller values are useful for quick checks and are used by
+    the test suite. *)
+
+open Repdir_util
+
+val figure14_configs : Repdir_quorum.Config.t list
+(** The suite-configuration sweep: for every replication degree 1–5, the
+    read-one/write-all, balanced, and write-minimal quorum choices that
+    satisfy Gifford's constraints (the scanned paper's Figure 14 body is
+    illegible; §4 specifies only "varying numbers of directory
+    representatives and varying sizes of read and write quorums" at ~100
+    entries). *)
+
+val figure14 : ?seed:int64 -> ?ops:int -> ?entries:int -> unit -> Table.t
+(** Average of the three deletion statistics per configuration. *)
+
+val figure15 : ?seed:int64 -> ?ops:int -> ?sizes:int list -> unit -> Table.t
+(** Avg/Max/Std Dev of the three statistics for 3-2-2 suites of 100, 1 000
+    and 10 000 entries. *)
+
+val quorum_stability : ?seed:int64 -> ?ops:int -> ?entries:int -> unit -> Table.t
+(** §5 ablation: the same 3-2-2 workload under random vs fixed (stable)
+    quorums. With stable write quorums, entries live on the same
+    representatives, so deletes find no ghosts and need no repairs. *)
+
+val availability : ?p_ups:float list -> unit -> Table.t
+(** Exact read/write availability for the Figure 14 configurations across
+    per-representative up-probabilities. *)
+
+val messages : ?seed:int64 -> ?ops:int -> ?entries:int -> unit -> Table.t
+(** Representative calls per operation type across configurations — the
+    paper's "no performance penalty except on Delete" claim quantified. *)
+
+val space_and_traffic : ?seed:int64 -> ?ops:int -> ?entries:int -> unit -> Table.t
+(** Storage and write-traffic comparison across replication strategies after
+    a churn workload: the gap scheme reclaims deleted entries (unlike
+    tombstones) and writes single entries (unlike whole-file or
+    whole-partition voting). All strategies run a 3-2-2 configuration except
+    unanimous update (read-one/write-all). *)
+
+val batching : ?seed:int64 -> ?ops:int -> ?entries:int -> ?depths:int list -> unit -> Table.t
+(** §4 batching: "the real predecessor and real successor will often be
+    located using one remote procedure call to each member of the quorum" —
+    representative calls per delete as the neighbour-chain depth grows. *)

@@ -1,0 +1,144 @@
+open Repdir_util
+open Repdir_key
+open Repdir_txn
+open Repdir_rep
+open Repdir_quorum
+open Repdir_core
+
+type row = {
+  rep : int;
+  reads_from_a : int;
+  writes_from_a : int;
+  reads_from_b : int;
+  writes_from_b : int;
+}
+
+type outcome = {
+  rows : row list;
+  a_reads_local_fraction : float;
+  b_reads_local_fraction : float;
+}
+
+let reads (c : Rep.counters) = c.Rep.lookups + c.Rep.predecessors + c.Rep.successors
+let writes (c : Rep.counters) = c.Rep.inserts + c.Rep.coalesces
+
+let run ?(seed = 16L) ?(ops = 4_000) () =
+  let config = Config.simple ~n:4 ~r:2 ~w:3 in
+  let reps = Array.init 4 (fun i -> Rep.create ~name:(Printf.sprintf "rep%d" i) ()) in
+  let transport = Transport.local reps in
+  let txns = Txn.Manager.create () in
+  let root = Rng.create seed in
+  let suite_a =
+    Suite.create ~seed:(Rng.int64 root)
+      ~picker:(Picker.Locality { local = [| 0; 1 |]; remote = [| 2; 3 |] })
+      ~config ~transport ~txns ()
+  in
+  let suite_b =
+    Suite.create ~seed:(Rng.int64 root)
+      ~picker:(Picker.Locality { local = [| 2; 3 |]; remote = [| 0; 1 |] })
+      ~config ~transport ~txns ()
+  in
+  let rng = Rng.split root in
+  (* Per-type access accounting by counter snapshots around each operation
+     (single-threaded, so deltas attribute exactly). *)
+  let a_reads = Array.make 4 0
+  and a_writes = Array.make 4 0
+  and b_reads = Array.make 4 0
+  and b_writes = Array.make 4 0 in
+  let snapshot () = Array.map (fun r -> (reads (Rep.counters r), writes (Rep.counters r))) reps in
+  (* An inquiry's accesses count as reads; a modification's accesses (even
+     its internal quorum lookups) count toward the write column — Figure 16's
+     claim is that *inquiries* are fully local while the one non-local access
+     per modification spreads over the remote representatives. *)
+  let attribute ~inquiry ~into_reads ~into_writes before =
+    Array.iteri
+      (fun i r ->
+        let r0, w0 = before.(i) in
+        let dr = reads (Rep.counters r) - r0 and dw = writes (Rep.counters r) - w0 in
+        if inquiry then into_reads.(i) <- into_reads.(i) + dr + dw
+        else into_writes.(i) <- into_writes.(i) + dr + dw)
+      reps
+  in
+  (* Keys: type A owns the low half, type B the high half. *)
+  let key_a i = "a-" ^ Key.of_int i and key_b i = "b-" ^ Key.of_int i in
+  let n_keys = 50 in
+  for i = 0 to n_keys - 1 do
+    ignore (Suite.insert suite_a (key_a i) "va");
+    ignore (Suite.insert suite_b (key_b i) "vb")
+  done;
+  Array.fill a_reads 0 4 0;
+  Array.fill a_writes 0 4 0;
+  Array.fill b_reads 0 4 0;
+  Array.fill b_writes 0 4 0;
+  for _ = 1 to ops do
+    let type_a = Rng.bool rng in
+    let suite = if type_a then suite_a else suite_b in
+    let key = (if type_a then key_a else key_b) (Rng.int rng n_keys) in
+    let before = snapshot () in
+    let inquiry =
+      match Rng.int rng 3 with
+      | 0 ->
+          ignore (Suite.lookup suite key);
+          true
+      | 1 ->
+          ignore (Suite.update suite key "v'");
+          false
+      | _ ->
+          (* delete and reinsert, keeping the population stable *)
+          ignore (Suite.delete suite key);
+          ignore (Suite.insert suite key "v");
+          false
+    in
+    if type_a then attribute ~inquiry ~into_reads:a_reads ~into_writes:a_writes before
+    else attribute ~inquiry ~into_reads:b_reads ~into_writes:b_writes before
+  done;
+  let rows =
+    List.init 4 (fun i ->
+        {
+          rep = i;
+          reads_from_a = a_reads.(i);
+          writes_from_a = a_writes.(i);
+          reads_from_b = b_reads.(i);
+          writes_from_b = b_writes.(i);
+        })
+  in
+  let frac local total_arr =
+    let local_sum = List.fold_left (fun acc i -> acc + total_arr.(i)) 0 local in
+    let total = Array.fold_left ( + ) 0 total_arr in
+    if total = 0 then 1.0 else float_of_int local_sum /. float_of_int total
+  in
+  {
+    rows;
+    a_reads_local_fraction = frac [ 0; 1 ] a_reads;
+    b_reads_local_fraction = frac [ 2; 3 ] b_reads;
+  }
+
+let table ?seed ?ops () =
+  let o = run ?seed ?ops () in
+  let t =
+    Table.create
+      ~header:[ "Representative"; "Reads (A)"; "Writes (A)"; "Reads (B)"; "Writes (B)" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      let name = [| "A1"; "A2"; "B1"; "B2" |].(r.rep) in
+      Table.add_row t
+        [
+          name;
+          string_of_int r.reads_from_a;
+          string_of_int r.writes_from_a;
+          string_of_int r.reads_from_b;
+          string_of_int r.writes_from_b;
+        ])
+    o.rows;
+  Table.add_separator t;
+  Table.add_row t
+    [
+      "A reads local";
+      Printf.sprintf "%.1f%%" (100.0 *. o.a_reads_local_fraction);
+      "";
+      Printf.sprintf "%.1f%% (B)" (100.0 *. o.b_reads_local_fraction);
+      "";
+    ];
+  t

@@ -1,0 +1,29 @@
+(** The Figure 16 locality configuration, measured.
+
+    A 4-2-3 suite where representatives A1, A2 are local to type A
+    transactions (keys in the low half) and B1, B2 are local to type B
+    transactions (keys in the high half). With the {!Repdir_quorum.Picker}
+    [Locality] strategy, every inquiry should be answered entirely by the two
+    local representatives, and each modification should touch both local
+    representatives plus exactly one remote one, spread evenly.
+
+    The run drives both transaction types against shared representatives and
+    attributes every representative access to the type that issued it. *)
+
+type row = {
+  rep : int;
+  reads_from_a : int;
+  writes_from_a : int;
+  reads_from_b : int;
+  writes_from_b : int;
+}
+
+type outcome = {
+  rows : row list;
+  a_reads_local_fraction : float;  (** fraction of A's reads served by A1/A2 *)
+  b_reads_local_fraction : float;
+}
+
+val run : ?seed:int64 -> ?ops:int -> unit -> outcome
+
+val table : ?seed:int64 -> ?ops:int -> unit -> Repdir_util.Table.t

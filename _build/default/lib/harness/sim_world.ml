@@ -1,0 +1,112 @@
+open Repdir_sim
+open Repdir_rep
+open Repdir_quorum
+open Repdir_core
+open Repdir_txn
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  reps : Rep.t array;
+  txns : Txn.Manager.t;
+  config : Config.t;
+  rpc_timeout : float;
+  n_clients : int;
+  parallel_rpc : bool;
+  registry : Repdir_txn.Commit_registry.t;
+  two_phase : bool;
+}
+
+(* Fork/join over simulator processes: every branch runs concurrently; the
+   caller suspends until all complete. The first (lowest-index) exception is
+   re-raised after the join, so no branch is abandoned mid-flight. *)
+let parallel_fanout sim =
+  let map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array =
+   fun f arr ->
+    let n = Array.length arr in
+    if n = 0 then [||]
+    else begin
+      let results = Array.make n None in
+      let remaining = ref n in
+      let wake = ref ignore in
+      Array.iteri
+        (fun i x ->
+          Sim.spawn sim (fun () ->
+              let r = try Ok (f x) with e -> Error e in
+              results.(i) <- Some r;
+              decr remaining;
+              if !remaining = 0 then !wake ()))
+        arr;
+      Sim.suspend sim (fun w -> wake := w);
+      Array.map
+        (function Some (Ok r) -> r | Some (Error e) -> raise e | None -> assert false)
+        results
+    end
+  in
+  { Transport.map }
+
+let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(n_clients = 1)
+    ?(parallel_rpc = true) ?(two_phase = false) ~config () =
+  let sim = Sim.create ~seed () in
+  let n = Config.n_reps config in
+  let net = Net.create sim ~n_nodes:(n + n_clients) ?latency () in
+  let waiter register = Sim.suspend sim register in
+  let lock_group = Repdir_lock.Lock_manager.new_group () in
+  let registry = Repdir_txn.Commit_registry.create () in
+  let reps =
+    Array.init n (fun i ->
+        Rep.create ~waiter ~lock_group ~registry ~name:(Printf.sprintf "rep%d" i) ())
+  in
+  {
+    sim;
+    net;
+    reps;
+    txns = Txn.Manager.create ();
+    config;
+    rpc_timeout;
+    n_clients;
+    parallel_rpc;
+    registry;
+    two_phase;
+  }
+
+let sim t = t.sim
+let net t = t.net
+let config t = t.config
+let txns t = t.txns
+let reps t = t.reps
+
+let client_node t i =
+  if i < 0 || i >= t.n_clients then invalid_arg "Sim_world: no such client";
+  Config.n_reps t.config + i
+
+let client_transport t i =
+  let src = client_node t i in
+  {
+    Transport.n_reps = Config.n_reps t.config;
+    is_up = (fun r -> Net.up t.net r);
+    call =
+      (fun r f ->
+        match
+          Rpc.call t.net ~src ~dst:r ~timeout:t.rpc_timeout (fun () -> f t.reps.(r))
+        with
+        | Ok v -> Ok v
+        | Error Rpc.Timeout -> Error Transport.Timeout
+        | exception Rep.Crashed name -> Error (Transport.Down name));
+    fanout = (if t.parallel_rpc then parallel_fanout t.sim else Transport.sequential_fanout);
+    rpc_count = 0;
+  }
+
+let registry t = t.registry
+
+let suite_for_client ?picker ?seed t i =
+  Suite.create ?picker ?seed ~two_phase:t.two_phase ~registry:t.registry ~config:t.config
+    ~transport:(client_transport t i) ~txns:t.txns ()
+
+let crash_rep t i =
+  Net.crash t.net i;
+  Rep.crash t.reps.(i)
+
+let recover_rep t i =
+  Rep.recover t.reps.(i);
+  Net.recover t.net i

@@ -1,0 +1,52 @@
+(** A complete simulated deployment: representative servers on network nodes,
+    suite clients calling them by RPC, and failure injection.
+
+    Node layout: representatives occupy nodes [0 .. n-1]; each client created
+    with {!client_transport} gets its own node. Representative lock waits
+    suspend the server-side RPC process, so concurrent client transactions
+    contend exactly as §3.1 prescribes. *)
+
+open Repdir_sim
+open Repdir_rep
+open Repdir_quorum
+open Repdir_core
+open Repdir_txn
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?latency:(Repdir_util.Rng.t -> float) ->
+  ?rpc_timeout:float ->
+  ?n_clients:int ->
+  ?parallel_rpc:bool ->
+  ?two_phase:bool ->
+  config:Config.t ->
+  unit ->
+  t
+(** [latency] defaults to exponential with mean 1.0; [rpc_timeout] to 50.0
+    time units; [n_clients] to 1. [parallel_rpc] (default true) fans quorum
+    requests out concurrently (the §5 latency optimization); when false,
+    quorum members are contacted one at a time as in the paper's
+    pseudo-code. [two_phase] (default false) commits suite transactions with
+    two-phase commit against a shared coordinator decision registry. *)
+
+val sim : t -> Sim.t
+val net : t -> Net.t
+val config : t -> Config.t
+val txns : t -> Txn.Manager.t
+val reps : t -> Rep.t array
+val registry : t -> Repdir_txn.Commit_registry.t
+
+val client_transport : t -> int -> Transport.t
+(** Transport for client [i] (0-based, [i < n_clients]). Calls must be made
+    from inside a simulator process. *)
+
+val suite_for_client : ?picker:Picker.strategy -> ?seed:int64 -> t -> int -> Suite.t
+
+val crash_rep : t -> int -> unit
+(** Crash both the node (messages drop) and the representative (volatile
+    state lost). *)
+
+val recover_rep : t -> int -> unit
+(** Bring the node back and replay the representative's write-ahead log. *)

@@ -1,0 +1,1 @@
+lib/key/bound.ml: Format Key

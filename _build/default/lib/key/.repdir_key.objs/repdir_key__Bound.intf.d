@@ -1,0 +1,1 @@
+lib/key/bound.mli: Format Key

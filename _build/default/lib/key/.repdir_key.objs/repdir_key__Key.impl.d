@@ -1,0 +1,1 @@
+lib/key/key.ml: Char Format Printf Repdir_util String

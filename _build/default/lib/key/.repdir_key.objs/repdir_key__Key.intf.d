@@ -1,0 +1,1 @@
+lib/key/key.mli: Format Repdir_util

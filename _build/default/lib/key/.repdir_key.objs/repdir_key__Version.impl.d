@@ -1,0 +1,1 @@
+lib/key/version.ml: Format Int Stdlib

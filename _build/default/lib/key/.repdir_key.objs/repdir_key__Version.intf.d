@@ -1,0 +1,1 @@
+lib/key/version.mli: Format

@@ -1,0 +1,14 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Format.pp_print_string
+let to_string k = k
+
+let of_int i =
+  if i < 0 then invalid_arg "Key.of_int: negative";
+  Printf.sprintf "%012d" i
+
+let random rng ~len =
+  if len <= 0 then invalid_arg "Key.random: len must be positive";
+  String.init len (fun _ -> Char.chr (Char.code 'a' + Repdir_util.Rng.int rng 26))

@@ -1,0 +1,20 @@
+(** Directory keys.
+
+    Keys are non-empty strings with the usual lexicographic order. The paper
+    imposes only a total order on keys; strings keep the examples (and the
+    Figure 1–5 walkthrough, whose keys are "a", "b", "bb", "c") literal. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_int : int -> t
+(** [of_int i] is a key that sorts in numeric order for non-negative [i]
+    (zero-padded decimal). Used by workload generators over integer key
+    universes. *)
+
+val random : Repdir_util.Rng.t -> len:int -> t
+(** Random lowercase-alphabetic key of exactly [len] characters. *)

@@ -1,0 +1,22 @@
+(** Version numbers.
+
+    Gifford-style version numbers attached to entries and gaps. The paper
+    notes 48 or more bits may be needed to prevent wrap-around; we use the
+    63-bit native [int], which is monotonically incremented and never
+    recycled. Gaps start at {!lowest} (0); an entry inserted into a gap gets
+    the gap's version plus one, so freshly created directories match the
+    paper's figures (gaps at 0, first entries at 1). *)
+
+type t = int
+
+val lowest : t
+(** The paper's [LowestVersion] constant. *)
+
+val next : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val max : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_int : t -> int
+val of_int : int -> t
+(** Raises [Invalid_argument] on negative input. *)

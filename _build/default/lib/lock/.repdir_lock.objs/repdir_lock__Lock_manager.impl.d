@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Bound List Mode Repdir_key

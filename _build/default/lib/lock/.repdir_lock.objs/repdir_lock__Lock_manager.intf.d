@@ -1,0 +1,1 @@
+lib/lock/lock_manager.mli: Bound Mode Repdir_key

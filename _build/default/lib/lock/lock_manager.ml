@@ -1,0 +1,152 @@
+open Repdir_key
+
+type txn_id = int
+
+type granted = { g_txn : txn_id; g_mode : Mode.t; g_range : Bound.Interval.t }
+
+type waiter = {
+  w_txn : txn_id;
+  w_mode : Mode.t;
+  w_range : Bound.Interval.t;
+  w_on_grant : unit -> unit;
+}
+
+type t = {
+  mutable granted : granted list; (* most recent first *)
+  mutable queue : waiter list; (* FIFO order *)
+  group : t list ref; (* all managers sharing deadlock detection, self included *)
+}
+
+type group = t list ref
+
+type outcome = Granted | Waiting | Deadlock of txn_id list
+
+let new_group () : group = ref []
+
+let create ?group () =
+  let group = match group with Some g -> g | None -> ref [] in
+  let t = { granted = []; queue = []; group } in
+  group := t :: !group;
+  t
+
+let detach t = t.group := List.filter (fun m -> m != t) !(t.group)
+
+let conflicts_granted ~txn mode range g =
+  g.g_txn <> txn
+  && Bound.Interval.intersects range g.g_range
+  && not (Mode.compatible mode g.g_mode)
+
+let conflicts_waiter ~txn mode range w =
+  w.w_txn <> txn
+  && Bound.Interval.intersects range w.w_range
+  && not (Mode.compatible mode w.w_mode)
+
+(* A request can be granted when it is compatible with every granted lock of
+   other transactions and does not jump ahead of a conflicting earlier
+   waiter (FIFO fairness). *)
+let can_grant t ~txn mode range ~queue_prefix =
+  (not (List.exists (conflicts_granted ~txn mode range) t.granted))
+  && not (List.exists (conflicts_waiter ~txn mode range) queue_prefix)
+
+let would_block t ~txn mode range = not (can_grant t ~txn mode range ~queue_prefix:t.queue)
+
+(* Transactions the given request would wait for: holders of conflicting
+   granted locks plus conflicting earlier waiters. *)
+let blockers t ~txn mode range ~queue_prefix =
+  let from_granted =
+    List.filter_map
+      (fun g -> if conflicts_granted ~txn mode range g then Some g.g_txn else None)
+      t.granted
+  in
+  let from_queue =
+    List.filter_map
+      (fun w -> if conflicts_waiter ~txn mode range w then Some w.w_txn else None)
+      queue_prefix
+  in
+  List.sort_uniq compare (from_granted @ from_queue)
+
+(* Transactions a given waiting transaction is blocked by at one manager,
+   derived from the current granted/queue state. *)
+let local_edges_of t waiting_txn =
+  let rec scan prefix = function
+    | [] -> []
+    | w :: rest ->
+        if w.w_txn = waiting_txn then
+          blockers t ~txn:waiting_txn w.w_mode w.w_range ~queue_prefix:(List.rev prefix)
+          @ scan (w :: prefix) rest
+        else scan (w :: prefix) rest
+  in
+  scan [] t.queue
+
+(* Waits-for cycle search: does adding edge [txn -> each of seeds] close a
+   cycle back to [txn]? Edges are gathered across every manager in the
+   group, catching deadlocks whose cycle spans representatives. *)
+let find_cycle t ~txn seeds =
+  let edges_of waiting_txn =
+    List.concat_map (fun m -> local_edges_of m waiting_txn) !(t.group)
+  in
+  let rec dfs path visited node =
+    if node = txn then Some (List.rev (node :: path))
+    else if List.mem node visited then None
+    else
+      let next = edges_of node in
+      let rec try_all = function
+        | [] -> None
+        | n :: rest -> (
+            match dfs (node :: path) (node :: visited) n with
+            | Some c -> Some c
+            | None -> try_all rest)
+      in
+      try_all next
+  in
+  let rec try_seeds = function
+    | [] -> None
+    | s :: rest -> ( match dfs [ txn ] [] s with Some c -> Some c | None -> try_seeds rest)
+  in
+  try_seeds seeds
+
+let acquire t ~txn mode range ~on_grant =
+  if can_grant t ~txn mode range ~queue_prefix:t.queue then begin
+    t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted;
+    Granted
+  end
+  else
+    let seeds = blockers t ~txn mode range ~queue_prefix:t.queue in
+    match find_cycle t ~txn seeds with
+    | Some cycle -> Deadlock cycle
+    | None ->
+        t.queue <-
+          t.queue @ [ { w_txn = txn; w_mode = mode; w_range = range; w_on_grant = on_grant } ];
+        Waiting
+
+(* Grant queued requests that have become compatible, preserving FIFO order:
+   a waiter is granted only if it does not conflict with granted locks nor
+   with any waiter still queued ahead of it. *)
+let drain_queue t =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | w :: rest ->
+        if can_grant t ~txn:w.w_txn w.w_mode w.w_range ~queue_prefix:(List.rev kept) then begin
+          t.granted <- { g_txn = w.w_txn; g_mode = w.w_mode; g_range = w.w_range } :: t.granted;
+          w.w_on_grant ();
+          go kept rest
+        end
+        else go (w :: kept) rest
+  in
+  t.queue <- go [] t.queue
+
+let release_all t ~txn =
+  t.granted <- List.filter (fun g -> g.g_txn <> txn) t.granted;
+  t.queue <- List.filter (fun w -> w.w_txn <> txn) t.queue;
+  drain_queue t
+
+let holds t ~txn =
+  List.filter_map
+    (fun g -> if g.g_txn = txn then Some (g.g_mode, g.g_range) else None)
+    t.granted
+
+let granted_count t = List.length t.granted
+let waiting_count t = List.length t.queue
+
+let active_txns t =
+  List.sort_uniq compare (List.map (fun g -> g.g_txn) t.granted)

@@ -1,0 +1,68 @@
+(** Range lock manager for one directory representative.
+
+    Implements strict two-phase locking over key ranges with the Figure 7
+    compatibility matrix. A transaction acquires locks as its operations
+    execute and releases everything at commit or abort ({!release_all}),
+    which together with per-representative serializability gives globally
+    serializable schedules (Traiger et al., cited in §3.3).
+
+    Grants are FIFO-fair: a request that conflicts with an earlier *waiting*
+    request queues behind it even if it is compatible with all granted locks,
+    so writers are not starved by a stream of readers.
+
+    The manager is a passive data structure: blocking is delegated to the
+    caller via the [on_grant] callback, which the discrete-event simulator
+    uses to resume a suspended process. Deadlocks are detected at acquire
+    time by a waits-for-graph cycle search; the victim is the requester. *)
+
+open Repdir_key
+
+type t
+
+type txn_id = int
+
+type group
+(** A deadlock-detection scope. Transactions span representatives, so a
+    waits-for cycle can cross lock managers (a *distributed* deadlock: T1
+    waits for T2 at representative A while T2 waits for T1 at representative
+    B). Managers created in the same group share their waits-for edges; the
+    cycle search at acquire time walks the union, acting as the centralized
+    global detector of classical distributed 2PL systems. *)
+
+val new_group : unit -> group
+
+type outcome =
+  | Granted  (** The lock is held; proceed. *)
+  | Waiting  (** Queued; [on_grant] fires when the lock is eventually held. *)
+  | Deadlock of txn_id list
+      (** Granting would close a waits-for cycle (the returned list, starting
+          and ending at the requester). The request is *not* queued; the
+          caller must abort the transaction. *)
+
+val create : ?group:group -> unit -> t
+(** Without a [group], deadlock detection is local to this manager. *)
+
+val detach : t -> unit
+(** Remove the manager from its group (when a representative discards its
+    volatile lock table on crash). *)
+
+val acquire :
+  t -> txn:txn_id -> Mode.t -> Bound.Interval.t -> on_grant:(unit -> unit) -> outcome
+(** [on_grant] is invoked (synchronously, from within a later {!release_all})
+    only for requests that first returned [Waiting]. *)
+
+val release_all : t -> txn:txn_id -> unit
+(** Release every lock held by the transaction and drop its waiting requests,
+    then grant any newly-compatible queued requests in FIFO order. *)
+
+val holds : t -> txn:txn_id -> (Mode.t * Bound.Interval.t) list
+(** Locks currently granted to the transaction, most recent first. *)
+
+val would_block : t -> txn:txn_id -> Mode.t -> Bound.Interval.t -> bool
+(** True if an {!acquire} now would not return [Granted]. Does not enqueue. *)
+
+val granted_count : t -> int
+val waiting_count : t -> int
+
+val active_txns : t -> txn_id list
+(** Transactions holding at least one lock, in no particular order. *)

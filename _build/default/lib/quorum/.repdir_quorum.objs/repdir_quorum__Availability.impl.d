@@ -1,0 +1,1 @@
+lib/quorum/availability.ml: Array Config Repdir_util Rng

@@ -1,0 +1,1 @@
+lib/quorum/availability.mli: Config Repdir_util Rng

@@ -1,0 +1,1 @@
+lib/quorum/picker.ml: Array Config Format List Repdir_util Rng

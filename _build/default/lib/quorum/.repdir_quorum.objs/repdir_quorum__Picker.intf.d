@@ -1,0 +1,1 @@
+lib/quorum/picker.mli: Config Format Repdir_util Rng

@@ -1,0 +1,45 @@
+open Repdir_util
+
+let check_p p = if p < 0.0 || p > 1.0 then invalid_arg "Availability: p_up out of [0,1]"
+
+let quorum_probability ~votes ~quorum ~p_up =
+  check_p p_up;
+  let total = Array.fold_left ( + ) 0 votes in
+  if quorum > total then 0.0
+  else begin
+    (* dist.(j) = probability the up representatives' votes total exactly j. *)
+    let dist = Array.make (total + 1) 0.0 in
+    dist.(0) <- 1.0;
+    Array.iter
+      (fun v ->
+        for j = total downto 0 do
+          let up = if j >= v then dist.(j - v) *. p_up else 0.0 in
+          dist.(j) <- (dist.(j) *. (1.0 -. p_up)) +. up
+        done)
+      votes;
+    let acc = ref 0.0 in
+    for j = quorum to total do
+      acc := !acc +. dist.(j)
+    done;
+    !acc
+  end
+
+let read_availability (c : Config.t) ~p_up =
+  quorum_probability ~votes:c.votes ~quorum:c.read_quorum ~p_up
+
+let write_availability (c : Config.t) ~p_up =
+  quorum_probability ~votes:c.votes ~quorum:c.write_quorum ~p_up
+
+let both_availability (c : Config.t) ~p_up =
+  quorum_probability ~votes:c.votes ~quorum:(max c.read_quorum c.write_quorum) ~p_up
+
+let monte_carlo rng ~votes ~quorum ~p_up ~trials =
+  check_p p_up;
+  if trials <= 0 then invalid_arg "Availability.monte_carlo: trials must be positive";
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let sum = ref 0 in
+    Array.iter (fun v -> if Rng.float rng 1.0 < p_up then sum := !sum + v) votes;
+    if !sum >= quorum then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

@@ -1,0 +1,26 @@
+(** Availability analysis for weighted-voting configurations.
+
+    Both the paper and Gifford motivate voting by the ability to tailor
+    read/write availability through vote and quorum choices. With each
+    representative independently up with probability [p_up], the probability
+    that some set of live representatives musters a quorum is computed
+    exactly by dynamic programming over achievable vote totals, and
+    cross-checked by Monte Carlo in the test suite. *)
+
+open Repdir_util
+
+val quorum_probability : votes:int array -> quorum:int -> p_up:float -> float
+(** Probability that the votes of up representatives total at least
+    [quorum]. [p_up] must lie in [\[0, 1\]]. *)
+
+val read_availability : Config.t -> p_up:float -> float
+val write_availability : Config.t -> p_up:float -> float
+
+val both_availability : Config.t -> p_up:float -> float
+(** Probability that the live set can muster a read *and* a write quorum
+    simultaneously — i.e. votes of up representatives reach
+    [max R W]. *)
+
+val monte_carlo :
+  Rng.t -> votes:int array -> quorum:int -> p_up:float -> trials:int -> float
+(** Simulation estimate of {!quorum_probability}, for validation. *)

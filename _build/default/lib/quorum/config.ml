@@ -1,0 +1,38 @@
+type t = { votes : int array; read_quorum : int; write_quorum : int }
+
+let make ~votes ~read_quorum ~write_quorum =
+  let total = Array.fold_left ( + ) 0 votes in
+  if Array.length votes = 0 then Error "no representatives"
+  else if Array.exists (fun v -> v < 0) votes then Error "negative votes"
+  else if total = 0 then Error "no votes assigned"
+  else if read_quorum <= 0 || write_quorum <= 0 then Error "quorums must be positive"
+  else if read_quorum + write_quorum <= total then
+    Error
+      (Printf.sprintf "R + W must exceed total votes (%d + %d <= %d)" read_quorum write_quorum
+         total)
+  else if 2 * write_quorum <= total then
+    Error (Printf.sprintf "2W must exceed total votes (2*%d <= %d)" write_quorum total)
+  else if read_quorum > total || write_quorum > total then Error "quorum exceeds total votes"
+  else Ok { votes; read_quorum; write_quorum }
+
+let make_exn ~votes ~read_quorum ~write_quorum =
+  match make ~votes ~read_quorum ~write_quorum with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Config.make: " ^ e)
+
+let simple ~n ~r ~w = make_exn ~votes:(Array.make n 1) ~read_quorum:r ~write_quorum:w
+let n_reps t = Array.length t.votes
+let total_votes t = Array.fold_left ( + ) 0 t.votes
+let votes_of t i = t.votes.(i)
+
+let pp ppf t =
+  if Array.for_all (fun v -> v = 1) t.votes then
+    Format.fprintf ppf "%d-%d-%d" (Array.length t.votes) t.read_quorum t.write_quorum
+  else
+    Format.fprintf ppf "votes[%a] R=%d W=%d"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Format.pp_print_int)
+      (Array.to_seq t.votes) t.read_quorum t.write_quorum
+
+let to_string t = Format.asprintf "%a" pp t

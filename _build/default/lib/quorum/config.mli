@@ -1,0 +1,33 @@
+(** Directory suite configurations: vote assignment and quorum sizes.
+
+    A suite has a vote count per representative and read/write quorum sizes
+    R and W measured in votes. Gifford's constraints are enforced:
+    [R + W > total votes] (every read quorum intersects every write quorum)
+    and [2 * W > total votes] (any two write quorums intersect, so version
+    numbers increase monotonically along every key's history).
+
+    The paper's x-y-z notation (x representatives, read quorum y, write
+    quorum z, one vote each) is built with {!simple}. Zero-vote
+    representatives — Gifford's "weak" representatives used as hints — are
+    permitted: they can receive writes but never count toward a quorum. *)
+
+type t = private { votes : int array; read_quorum : int; write_quorum : int }
+
+val make : votes:int array -> read_quorum:int -> write_quorum:int -> (t, string) result
+
+val make_exn : votes:int array -> read_quorum:int -> write_quorum:int -> t
+
+val simple : n:int -> r:int -> w:int -> t
+(** [simple ~n ~r ~w] is the paper's n-r-w suite: n representatives with one
+    vote each. Raises [Invalid_argument] if the quorum constraints fail. *)
+
+val n_reps : t -> int
+val total_votes : t -> int
+
+val votes_of : t -> int -> int
+(** Votes of one representative (by index). *)
+
+val pp : Format.formatter -> t -> unit
+(** Uniform one-vote suites render in the paper's x-y-z notation. *)
+
+val to_string : t -> string

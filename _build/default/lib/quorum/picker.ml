@@ -1,0 +1,53 @@
+open Repdir_util
+
+type strategy =
+  | Random
+  | Fixed of int array
+  | Locality of { local : int array; remote : int array }
+
+let pp_strategy ppf = function
+  | Random -> Format.pp_print_string ppf "random"
+  | Fixed order ->
+      Format.fprintf ppf "fixed[%a]"
+        (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') Format.pp_print_int)
+        (Array.to_seq order)
+  | Locality _ -> Format.pp_print_string ppf "locality"
+
+(* Walk candidates in order, accumulating voting members until the quorum is
+   reached. Zero-vote representatives contribute nothing and are skipped. *)
+let take_until_quorum config ~available ~quorum candidates =
+  let chosen = ref [] in
+  let votes = ref 0 in
+  let consider i =
+    if !votes < quorum && available i && Config.votes_of config i > 0 then begin
+      chosen := i :: !chosen;
+      votes := !votes + Config.votes_of config i
+    end
+  in
+  List.iter consider candidates;
+  if !votes >= quorum then Some (Array.of_list (List.rev !chosen)) else None
+
+let shuffled_indices rng config =
+  let idx = Array.init (Config.n_reps config) (fun i -> i) in
+  Rng.shuffle rng idx;
+  Array.to_list idx
+
+let collect strategy rng config ~available ~quorum =
+  match strategy with
+  | Random -> take_until_quorum config ~available ~quorum (shuffled_indices rng config)
+  | Fixed order -> take_until_quorum config ~available ~quorum (Array.to_list order)
+  | Locality { local; remote } ->
+      (* Local representatives first; the remainder spread uniformly over the
+         remote ones, which distributes the non-local write of Figure 16. *)
+      let remote_order =
+        let r = Array.copy remote in
+        Rng.shuffle rng r;
+        Array.to_list r
+      in
+      take_until_quorum config ~available ~quorum (Array.to_list local @ remote_order)
+
+let read_quorum strategy rng config ~available =
+  collect strategy rng config ~available ~quorum:config.Config.read_quorum
+
+let write_quorum strategy rng config ~available =
+  collect strategy rng config ~available ~quorum:config.Config.write_quorum

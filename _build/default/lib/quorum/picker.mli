@@ -1,0 +1,39 @@
+(** Quorum collection policies.
+
+    The paper's §4 simulations select quorum members "randomly from a uniform
+    distribution" ({!Random}); §5 observes that *stable* write quorums make
+    deletion coalescing nearly free ({!Fixed}), and Figure 16 shows a
+    locality configuration where transactions read entirely from local
+    representatives and spread their one non-local write across the remote
+    ones ({!Locality}). *)
+
+open Repdir_util
+
+type strategy =
+  | Random
+      (** Uniformly random minimal quorum among available representatives. *)
+  | Fixed of int array
+      (** Preference order; the first available representatives that reach
+          the quorum are used, so quorums change only on failures. *)
+  | Locality of { local : int array; remote : int array }
+      (** Reads collect the local representatives first; writes take all
+          needed local representatives and spread the remainder uniformly
+          over remote ones (Figure 16). *)
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+val collect :
+  strategy -> Rng.t -> Config.t -> available:(int -> bool) -> quorum:int -> int array option
+(** Representative indices whose votes total at least [quorum] votes, or
+    [None] if unattainable. General form used by the baselines. *)
+
+val read_quorum :
+  strategy -> Rng.t -> Config.t -> available:(int -> bool) -> int array option
+(** Representative indices whose votes total at least R, or [None] if no
+    available set reaches the quorum. The result never contains zero-vote
+    representatives. *)
+
+val write_quorum :
+  strategy -> Rng.t -> Config.t -> available:(int -> bool) -> int array option
+(** Same for W. With a [Locality] strategy the local representatives are
+    always included (they are where subsequent local reads look). *)

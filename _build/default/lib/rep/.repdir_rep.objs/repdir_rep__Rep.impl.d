@@ -1,0 +1,1 @@
+lib/rep/rep.ml: Bound Commit_registry Format List Lock_manager Mode Repdir_gapmap Repdir_key Repdir_lock Repdir_txn Txn Undo Wal

@@ -1,0 +1,1 @@
+lib/rep/rep.mli: Bound Format Gapmap_intf Key Repdir_gapmap Repdir_key Repdir_lock Repdir_txn Version

@@ -1,0 +1,273 @@
+open Repdir_key
+open Repdir_lock
+open Repdir_txn
+module Btree = Repdir_gapmap.Btree
+module Undo_apply = Undo.Apply (Btree)
+module Wal_replay = Wal.Replay (Btree)
+
+exception Crashed of string
+
+type waiter = ((unit -> unit) -> unit) -> unit
+
+type counters = {
+  mutable lookups : int;
+  mutable predecessors : int;
+  mutable successors : int;
+  mutable inserts : int;
+  mutable coalesces : int;
+  mutable lock_waits : int;
+}
+
+type t = {
+  name : string;
+  branching : int;
+  waiter : waiter;
+  lock_group : Lock_manager.group;
+  registry : Commit_registry.t;
+  mutable map : Btree.t;
+  mutable locks : Lock_manager.t;
+  mutable undo : Undo.t;
+  wal : Wal.t;
+  mutable crashed : bool;
+  counters : counters;
+}
+
+let no_waiter _register =
+  failwith "Rep: lock wait in sequential mode (no waiter installed)"
+
+let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
+    ?(lock_group = Lock_manager.new_group ()) ?(registry = Commit_registry.create ()) ~name () =
+  {
+    name;
+    branching;
+    waiter;
+    lock_group;
+    registry;
+    map = Btree.create_with ~branching ();
+    locks = Lock_manager.create ~group:lock_group ();
+    undo = Undo.create ();
+    wal = Wal.create ();
+    crashed = false;
+    counters =
+      { lookups = 0; predecessors = 0; successors = 0; inserts = 0; coalesces = 0; lock_waits = 0 };
+  }
+
+let name t = t.name
+let counters t = t.counters
+let size t = Btree.size t.map
+let check_alive t = if t.crashed then raise (Crashed t.name)
+
+(* Acquire a lock, blocking through the waiter if needed; a would-be deadlock
+   unwinds as a transaction abort before anything is queued. The simulation
+   is single-threaded and non-preemptive, so the grant callback cannot fire
+   between [acquire] returning [Waiting] and the waiter installing the real
+   wake-up function. *)
+let lock_blocking t ~txn mode range =
+  let wake = ref ignore in
+  match Lock_manager.acquire t.locks ~txn mode range ~on_grant:(fun () -> !wake ()) with
+  | Lock_manager.Granted -> ()
+  | Lock_manager.Deadlock cycle -> raise (Txn.Abort (Txn.Deadlock cycle))
+  | Lock_manager.Waiting ->
+      t.counters.lock_waits <- t.counters.lock_waits + 1;
+      t.waiter (fun w -> wake := w)
+
+(* --- Figure 6 operations --------------------------------------------------- *)
+
+let lookup t ~txn bound =
+  check_alive t;
+  t.counters.lookups <- t.counters.lookups + 1;
+  lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.point bound);
+  Btree.lookup t.map bound
+
+(* DirRepPredecessor locks RepLookup(y, x) where y is the key returned — but
+   y is only known after reading. We read, lock [y, x], and re-read; if a
+   concurrent transaction changed the predecessor before our lock was
+   granted, retry with the wider knowledge. Under strict 2PL the loop
+   terminates: each iteration's lock is kept, monotonically freezing a wider
+   range of the key space. *)
+let predecessor t ~txn bound =
+  check_alive t;
+  t.counters.predecessors <- t.counters.predecessors + 1;
+  let rec stabilize () =
+    let candidate = Btree.predecessor t.map bound in
+    lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make candidate.key bound);
+    let now = Btree.predecessor t.map bound in
+    if Bound.equal now.key candidate.key then now else stabilize ()
+  in
+  stabilize ()
+
+let successor t ~txn bound =
+  check_alive t;
+  t.counters.successors <- t.counters.successors + 1;
+  let rec stabilize () =
+    let candidate = Btree.successor t.map bound in
+    lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make bound candidate.key);
+    let now = Btree.successor t.map bound in
+    if Bound.equal now.key candidate.key then now else stabilize ()
+  in
+  stabilize ()
+
+(* Batched walks (§4): read a chain of successive neighbours, lock the whole
+   span, and re-read to validate — the same stabilize pattern as the single-
+   step operations. *)
+let read_pred_chain t bound ~depth =
+  let rec go acc k remaining =
+    if remaining = 0 || Bound.equal k Bound.Low then List.rev acc
+    else
+      let n = Btree.predecessor t.map k in
+      go (n :: acc) n.key (remaining - 1)
+  in
+  go [] bound depth
+
+let predecessor_chain t ~txn bound ~depth =
+  if depth <= 0 then invalid_arg "Rep.predecessor_chain: depth must be positive";
+  if Bound.equal bound Bound.Low then invalid_arg "Rep.predecessor_chain: LOW";
+  t.counters.predecessors <- t.counters.predecessors + 1;
+  check_alive t;
+  let rec stabilize () =
+    let chain = read_pred_chain t bound ~depth in
+    let lowest =
+      match List.rev chain with [] -> bound | last :: _ -> last.key
+    in
+    lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lowest bound);
+    let now = read_pred_chain t bound ~depth in
+    if now = chain then chain (* nearest predecessor first, keys descending *)
+    else stabilize ()
+  in
+  stabilize ()
+
+let read_succ_chain t bound ~depth =
+  let rec go acc k remaining =
+    if remaining = 0 || Bound.equal k Bound.High then List.rev acc
+    else
+      let n = Btree.successor t.map k in
+      go (n :: acc) n.key (remaining - 1)
+  in
+  go [] bound depth
+
+let successor_chain t ~txn bound ~depth =
+  if depth <= 0 then invalid_arg "Rep.successor_chain: depth must be positive";
+  if Bound.equal bound Bound.High then invalid_arg "Rep.successor_chain: HIGH";
+  t.counters.successors <- t.counters.successors + 1;
+  check_alive t;
+  let rec stabilize () =
+    let chain = read_succ_chain t bound ~depth in
+    let highest = match List.rev chain with [] -> bound | last :: _ -> last.key in
+    lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make bound highest);
+    let now = read_succ_chain t bound ~depth in
+    if now = chain then chain else stabilize ()
+  in
+  stabilize ()
+
+let insert t ~txn key version value =
+  check_alive t;
+  t.counters.inserts <- t.counters.inserts + 1;
+  lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.point (Bound.Key key));
+  (* Undo first: inverse depends on whether the entry already exists. *)
+  (match Btree.lookup t.map (Bound.Key key) with
+  | Present { version = old_version; value = old_value } ->
+      Undo.record t.undo ~txn (Undo.Restore_entry (key, old_version, old_value))
+  | Absent _ -> Undo.record t.undo ~txn (Undo.Remove_entry key));
+  Wal.append t.wal (Wal.Insert (txn, key, version, value));
+  Btree.insert t.map key version value
+
+let gap_after t bound =
+  (* Version of the gap immediately following an entry or LOW. *)
+  (Btree.successor t.map bound).gap_version
+
+let endpoint_exists t = function
+  | Bound.Low | Bound.High -> true
+  | Bound.Key _ as b -> (
+      match Btree.lookup t.map b with
+      | Repdir_gapmap.Gapmap_intf.Present _ -> true
+      | Repdir_gapmap.Gapmap_intf.Absent _ -> false)
+
+let coalesce t ~txn ~lo ~hi version =
+  check_alive t;
+  t.counters.coalesces <- t.counters.coalesces + 1;
+  lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.make lo hi);
+  (* Validate the endpoints before logging anything: a failed coalesce must
+     leave both the undo log and the write-ahead log untouched. *)
+  if not (endpoint_exists t lo) then raise (Repdir_gapmap.Gapmap_intf.Missing_endpoint lo);
+  if not (endpoint_exists t hi) then raise (Repdir_gapmap.Gapmap_intf.Missing_endpoint hi);
+  (* Record the inverse before destroying anything. Application order on
+     rollback (most-recent-first) must be: re-insert every removed entry,
+     then restore every gap version (including lo's). So record gap
+     restorations first, newest-last entry re-insertions after. *)
+  let doomed = Btree.entries_between t.map ~lo ~hi in
+  let old_lo_gap = gap_after t lo in
+  Undo.record t.undo ~txn (Undo.Restore_gap (lo, old_lo_gap));
+  List.iter
+    (fun (k, _, _, g) -> Undo.record t.undo ~txn (Undo.Restore_gap (Bound.Key k, g)))
+    doomed;
+  List.iter
+    (fun (k, v, value, _) -> Undo.record t.undo ~txn (Undo.Restore_entry (k, v, value)))
+    doomed;
+  Wal.append t.wal (Wal.Coalesce (txn, lo, hi, version));
+  Btree.coalesce t.map ~lo ~hi version
+
+(* --- transaction boundary --------------------------------------------------- *)
+
+let prepare t ~txn =
+  check_alive t;
+  (* Refuse to vote for a transaction whose effects here predate our last
+     crash: the volatile state (including the in-memory results of those
+     operations) is gone, so committing would half-apply the transaction. *)
+  if Wal.ops_before_last_recovery t.wal txn then
+    raise (Txn.Abort (Txn.Unavailable (t.name ^ " lost the transaction's effects in a crash")));
+  Wal.append t.wal (Wal.Prepare txn)
+
+let commit t ~txn =
+  check_alive t;
+  Wal.append t.wal (Wal.Commit txn);
+  Undo.forget t.undo ~txn;
+  Lock_manager.release_all t.locks ~txn
+
+let abort t ~txn =
+  check_alive t;
+  Wal.append t.wal (Wal.Abort txn);
+  Undo_apply.rollback t.undo ~txn t.map;
+  Lock_manager.release_all t.locks ~txn
+
+(* --- crash and recovery ------------------------------------------------------ *)
+
+let crash t =
+  t.crashed <- true;
+  t.map <- Btree.create_with ~branching:t.branching ();
+  Lock_manager.detach t.locks;
+  t.locks <- Lock_manager.create ~group:t.lock_group ();
+  t.undo <- Undo.create ()
+
+let is_crashed t = t.crashed
+
+let recover t =
+  (* Resolve in-doubt (prepared, undecided) transactions against the
+     coordinator decision registry; racing resolutions are serialized by the
+     registry's first-writer-wins rule. *)
+  List.iter
+    (fun txn -> ignore (Commit_registry.try_decide t.registry txn Commit_registry.Aborted))
+    (Wal.in_doubt t.wal);
+  t.map <- Wal_replay.replay ~decided:(Commit_registry.decided_commit t.registry) t.wal;
+  Lock_manager.detach t.locks;
+  t.locks <- Lock_manager.create ~group:t.lock_group ();
+  t.undo <- Undo.create ();
+  t.crashed <- false;
+  Wal.append t.wal Wal.Recovery_marker
+
+let checkpoint t =
+  check_alive t;
+  if Undo.active_txns t.undo <> [] || Lock_manager.granted_count t.locks > 0 then
+    invalid_arg "Rep.checkpoint: transactions are active";
+  let cp = Wal.checkpoint_of_map (Btree.entries t.map) ~gaps:(Btree.gaps t.map) in
+  Wal.append t.wal (Wal.Checkpoint cp);
+  Wal.truncate_to_checkpoint t.wal
+
+let wal_length t = Wal.length t.wal
+
+(* --- inspection --------------------------------------------------------------- *)
+
+let entries t = Btree.entries t.map
+let gaps t = Btree.gaps t.map
+let check_invariants t = Btree.check_invariants t.map
+
+let pp ppf t = Format.fprintf ppf "%s: %a" t.name Btree.pp t.map

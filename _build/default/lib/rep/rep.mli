@@ -1,0 +1,129 @@
+(** A directory representative (§3.1, Figure 6).
+
+    One replica of the directory data: a B+tree gap map guarded by a range
+    lock manager, with per-transaction undo logs and a write-ahead log for
+    crash recovery. Every operation is performed on behalf of a transaction
+    and takes the lock the paper specifies:
+
+    - [lookup x] — RepLookup(x, x)
+    - [predecessor x] — RepLookup(y, x) where y is the key returned
+    - [successor x] — RepLookup(x, y) where y is the key returned
+    - [insert x] — RepModify(x, x)
+    - [coalesce l h] — RepModify(l, h)
+
+    Locks are held until {!commit} or {!abort} (strict two-phase locking).
+
+    Blocking: when a lock cannot be granted immediately the representative
+    invokes the [waiter] it was created with, passing a registration function
+    for the wake-up callback; the discrete-event simulator suspends the
+    calling process there. The default waiter raises, which is correct for
+    single-transaction (sequential) use where blocking is impossible. When a
+    lock request would close a waits-for cycle, [Txn.Abort (Deadlock _)] is
+    raised to unwind to the transaction boundary. *)
+
+open Repdir_key
+open Repdir_gapmap
+
+exception Crashed of string
+(** Raised by every operation while the representative is crashed. *)
+
+type waiter = ((unit -> unit) -> unit) -> unit
+(** [waiter register]: block the current logical thread; [register] must be
+    called immediately with the wake-up callback and returns at once; the
+    waiter itself returns only once the callback has fired. *)
+
+type t
+
+(** Operation counters, for the performance characterization. *)
+type counters = {
+  mutable lookups : int;
+  mutable predecessors : int;
+  mutable successors : int;
+  mutable inserts : int;
+  mutable coalesces : int;
+  mutable lock_waits : int;  (** lock requests that could not be granted immediately *)
+}
+
+val create :
+  ?branching:int ->
+  ?waiter:waiter ->
+  ?lock_group:Repdir_lock.Lock_manager.group ->
+  ?registry:Repdir_txn.Commit_registry.t ->
+  name:string ->
+  unit ->
+  t
+(** [lock_group] shares waits-for deadlock detection across representatives
+    (see {!Repdir_lock.Lock_manager.group}); required whenever concurrent
+    transactions span representatives. [registry] is the coordinator decision
+    record consulted for two-phase commit and in-doubt recovery. *)
+
+val name : t -> string
+val counters : t -> counters
+val size : t -> int
+
+(* --- Figure 6 operations -------------------------------------------------- *)
+
+val lookup : t -> txn:Repdir_txn.Txn.id -> Bound.t -> Gapmap_intf.lookup
+val predecessor : t -> txn:Repdir_txn.Txn.id -> Bound.t -> Gapmap_intf.neighbor
+val successor : t -> txn:Repdir_txn.Txn.id -> Bound.t -> Gapmap_intf.neighbor
+val predecessor_chain :
+  t -> txn:Repdir_txn.Txn.id -> Bound.t -> depth:int -> Gapmap_intf.neighbor list
+(** Up to [depth] successive predecessors (descending), each with the version
+    of the gap following it — the §4 batching: "each member of a read quorum
+    sends the results of three successive DirRepPredecessor ... operations in
+    a single message". The list ends early at LOW (inclusive). Takes one
+    RepLookup lock spanning the whole returned range. *)
+
+val successor_chain :
+  t -> txn:Repdir_txn.Txn.id -> Bound.t -> depth:int -> Gapmap_intf.neighbor list
+(** Mirror of {!predecessor_chain}: up to [depth] successive successors
+    (ascending), each with the version of the gap *preceding* it. *)
+
+val insert : t -> txn:Repdir_txn.Txn.id -> Key.t -> Version.t -> Gapmap_intf.value -> unit
+
+val coalesce :
+  t -> txn:Repdir_txn.Txn.id -> lo:Bound.t -> hi:Bound.t -> Version.t -> int
+(** Returns the number of entries deleted (the paper's "entries in ranges
+    coalesced" statistic for this representative). Raises
+    {!Gapmap_intf.Missing_endpoint} if an endpoint entry is absent. *)
+
+(* --- transaction boundary -------------------------------------------------- *)
+
+val prepare : t -> txn:Repdir_txn.Txn.id -> unit
+(** Two-phase commit vote: durably record that the transaction's effects are
+    complete here. Locks stay held; the outcome is the coordinator's
+    decision. A crash after prepare leaves the transaction in doubt, and
+    {!recover} resolves it against the registry. *)
+
+val commit : t -> txn:Repdir_txn.Txn.id -> unit
+val abort : t -> txn:Repdir_txn.Txn.id -> unit
+(** Both release the transaction's locks; abort also rolls back its effects. *)
+
+(* --- failure injection and recovery ---------------------------------------- *)
+
+val crash : t -> unit
+(** Lose all volatile state (gap map, lock table, undo logs). The write-ahead
+    log survives. In-flight transactions are implicitly aborted: their
+    records lack a commit record and are ignored at replay. *)
+
+val is_crashed : t -> bool
+
+val recover : t -> unit
+(** Rebuild the gap map from the write-ahead log. Transactions prepared but
+    undecided at the crash are resolved against the registry: if the
+    coordinator had decided commit, their effects are replayed; otherwise the
+    representative registers an abort resolution (first-writer-wins with the
+    coordinator) and discards them. *)
+
+val checkpoint : t -> unit
+(** Write a checkpoint record and truncate the log. Raises [Invalid_argument]
+    if any transaction is active on this representative. *)
+
+val wal_length : t -> int
+
+(* --- inspection ------------------------------------------------------------ *)
+
+val entries : t -> (Key.t * Version.t * Gapmap_intf.value) list
+val gaps : t -> (Bound.t * Bound.t * Version.t) list
+val check_invariants : t -> (unit, string) result
+val pp : Format.formatter -> t -> unit

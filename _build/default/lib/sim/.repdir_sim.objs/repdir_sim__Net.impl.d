@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Hashtbl List Printf Repdir_util Rng Sim

@@ -1,0 +1,1 @@
+lib/sim/net.mli: Repdir_util Rng Sim

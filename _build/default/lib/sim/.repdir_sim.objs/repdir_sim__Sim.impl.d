@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Effect Heap Repdir_util Rng

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Repdir_util Rng

@@ -1,0 +1,81 @@
+open Repdir_util
+
+type node_id = int
+
+type t = {
+  sim : Sim.t;
+  n : int;
+  up : bool array;
+  cut : (node_id * node_id, unit) Hashtbl.t; (* normalized (min, max) pairs *)
+  latency : Rng.t -> float;
+  lat_rng : Rng.t;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let default_latency rng = Rng.exponential rng ~mean:1.0
+
+let create sim ~n_nodes ?(latency = default_latency) () =
+  if n_nodes <= 0 then invalid_arg "Net.create: need at least one node";
+  {
+    sim;
+    n = n_nodes;
+    up = Array.make n_nodes true;
+    cut = Hashtbl.create 8;
+    latency;
+    lat_rng = Rng.split (Sim.rng sim);
+    sent = 0;
+    dropped = 0;
+  }
+
+let sim t = t.sim
+let n_nodes t = t.n
+
+let check_node t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Net: no such node %d" i)
+
+let up t i =
+  check_node t i;
+  t.up.(i)
+
+let crash t i =
+  check_node t i;
+  t.up.(i) <- false
+
+let recover t i =
+  check_node t i;
+  t.up.(i) <- true
+
+let norm a b = if a <= b then (a, b) else (b, a)
+
+let set_link t a b connected =
+  check_node t a;
+  check_node t b;
+  if connected then Hashtbl.remove t.cut (norm a b) else Hashtbl.replace t.cut (norm a b) ()
+
+let linked t a b =
+  check_node t a;
+  check_node t b;
+  a = b || not (Hashtbl.mem t.cut (norm a b))
+
+let partition t group_a group_b =
+  List.iter (fun a -> List.iter (fun b -> if a <> b then set_link t a b false) group_b) group_a
+
+let heal_partition t = Hashtbl.reset t.cut
+
+let send t ~src ~dst handler =
+  check_node t src;
+  check_node t dst;
+  t.sent <- t.sent + 1;
+  if (not t.up.(src)) || not (linked t src dst) then t.dropped <- t.dropped + 1
+  else begin
+    let delay = t.latency t.lat_rng in
+    if delay < 0.0 then invalid_arg "Net: negative latency drawn";
+    Sim.at t.sim
+      (Sim.now t.sim +. delay)
+      (fun () ->
+        if t.up.(dst) then Sim.spawn t.sim handler else t.dropped <- t.dropped + 1)
+  end
+
+let messages_sent t = t.sent
+let messages_dropped t = t.dropped

@@ -1,0 +1,43 @@
+(** Simulated message network: named nodes, per-message latency, node
+    crashes, and link-level partitions.
+
+    Delivery rules: a message is dropped if the source is down or the link
+    is cut when it is sent, or if the destination is down when it would be
+    delivered. Delivered messages run as fresh simulator processes at the
+    destination, so handlers may block (e.g. on representative locks). *)
+
+open Repdir_util
+
+type node_id = int
+
+type t
+
+val create : Sim.t -> n_nodes:int -> ?latency:(Rng.t -> float) -> unit -> t
+(** [latency] draws each message's transit time; the default is exponential
+    with mean 1.0 time units. *)
+
+val sim : t -> Sim.t
+val n_nodes : t -> int
+
+val up : t -> node_id -> bool
+val crash : t -> node_id -> unit
+val recover : t -> node_id -> unit
+
+val set_link : t -> node_id -> node_id -> bool -> unit
+(** Cut or restore the (symmetric) link between two nodes. *)
+
+val linked : t -> node_id -> node_id -> bool
+
+val partition : t -> node_id list -> node_id list -> unit
+(** Cut every link between the two groups. *)
+
+val heal_partition : t -> unit
+(** Restore all links. *)
+
+val send : t -> src:node_id -> dst:node_id -> (unit -> unit) -> unit
+(** Fire-and-forget message carrying a handler to run at the destination. *)
+
+(* --- counters ----------------------------------------------------------------- *)
+
+val messages_sent : t -> int
+val messages_dropped : t -> int

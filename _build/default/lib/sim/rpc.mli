@@ -1,0 +1,21 @@
+(** Remote procedure calls over the simulated network.
+
+    The paper writes representative operations as
+    ["Send(<invocation>) to(<instance>)"] with ARGUS-like semantics; this is
+    that primitive with explicit failure handling: the caller blocks until a
+    reply arrives or the timeout expires. Server-side exceptions (transaction
+    deadlock aborts, representative errors) travel back in the reply and are
+    re-raised at the caller, matching local-call semantics. *)
+
+type error = Timeout
+
+val call :
+  Net.t ->
+  src:Net.node_id ->
+  dst:Net.node_id ->
+  timeout:float ->
+  (unit -> 'r) ->
+  ('r, error) result
+(** Must be invoked from inside a simulator process. The handler runs as a
+    process at [dst] (and may itself block, e.g. on locks); its result or
+    exception is shipped back. Late replies after a timeout are dropped. *)

@@ -1,0 +1,1 @@
+lib/txn/commit_registry.ml: Format Hashtbl Txn

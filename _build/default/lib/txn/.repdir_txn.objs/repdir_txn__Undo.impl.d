@@ -1,0 +1,1 @@
+lib/txn/undo.ml: Bound Format Hashtbl Key List Repdir_gapmap Repdir_key Txn Version

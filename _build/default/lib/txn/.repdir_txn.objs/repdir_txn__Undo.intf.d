@@ -1,0 +1,1 @@
+lib/txn/undo.mli: Bound Format Key Repdir_gapmap Repdir_key Txn Version

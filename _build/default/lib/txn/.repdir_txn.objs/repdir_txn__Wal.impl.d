@@ -1,0 +1,1 @@
+lib/txn/wal.ml: Bound Format Hashtbl Key List Repdir_gapmap Repdir_key Txn Version

@@ -1,0 +1,1 @@
+lib/txn/wal.mli: Bound Format Key Repdir_gapmap Repdir_key Txn Version

@@ -1,0 +1,19 @@
+type decision = Committed | Aborted
+
+let pp_decision ppf = function
+  | Committed -> Format.pp_print_string ppf "committed"
+  | Aborted -> Format.pp_print_string ppf "aborted"
+
+type t = { decisions : (Txn.id, decision) Hashtbl.t }
+
+let create () = { decisions = Hashtbl.create 32 }
+
+let try_decide t txn d =
+  match Hashtbl.find_opt t.decisions txn with
+  | Some existing -> existing
+  | None ->
+      Hashtbl.replace t.decisions txn d;
+      d
+
+let decision t txn = Hashtbl.find_opt t.decisions txn
+let decided_commit t txn = decision t txn = Some Committed

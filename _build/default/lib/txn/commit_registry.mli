@@ -1,0 +1,27 @@
+(** Atomic commit decisions for two-phase commit.
+
+    Models the durable decision record a 2PC coordinator writes. The
+    registry is the single serialization point for a transaction's outcome:
+    {!try_decide} is first-writer-wins, so the coordinator's commit decision
+    and a recovering in-doubt participant's abort resolution cannot both
+    win — whichever reaches the registry first becomes *the* outcome, and
+    the loser learns it and conforms. (Classical presumed-abort 2PC instead
+    blocks an in-doubt participant until the coordinator answers; funnelling
+    both through an atomic cell gives the same all-or-nothing guarantee
+    without blocking, at the cost of letting a recovery veto a still-undecided
+    commit.) *)
+
+type decision = Committed | Aborted
+
+val pp_decision : Format.formatter -> decision -> unit
+
+type t
+
+val create : unit -> t
+
+val try_decide : t -> Txn.id -> decision -> decision
+(** Record the decision unless one exists; returns the winning decision. *)
+
+val decision : t -> Txn.id -> decision option
+
+val decided_commit : t -> Txn.id -> bool

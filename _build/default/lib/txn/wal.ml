@@ -1,0 +1,128 @@
+open Repdir_key
+
+type record =
+  | Begin of Txn.id
+  | Insert of Txn.id * Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value
+  | Coalesce of Txn.id * Bound.t * Bound.t * Version.t
+  | Prepare of Txn.id
+  | Commit of Txn.id
+  | Abort of Txn.id
+  | Recovery_marker
+  | Checkpoint of checkpoint
+
+and checkpoint = {
+  entries : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value * Version.t) list;
+  low_gap : Version.t;
+}
+
+let pp_record ppf = function
+  | Begin id -> Format.fprintf ppf "begin %d" id
+  | Insert (id, k, v, _) -> Format.fprintf ppf "insert[%d] %a:%a" id Key.pp k Version.pp v
+  | Coalesce (id, lo, hi, v) ->
+      Format.fprintf ppf "coalesce[%d] (%a,%a)->%a" id Bound.pp lo Bound.pp hi Version.pp v
+  | Prepare id -> Format.fprintf ppf "prepare %d" id
+  | Recovery_marker -> Format.pp_print_string ppf "recovery-marker"
+  | Commit id -> Format.fprintf ppf "commit %d" id
+  | Abort id -> Format.fprintf ppf "abort %d" id
+  | Checkpoint c -> Format.fprintf ppf "checkpoint (%d entries)" (List.length c.entries)
+
+type t = { mutable recs : record list (* newest first *); mutable len : int }
+
+let create () = { recs = []; len = 0 }
+
+let append t r =
+  t.recs <- r :: t.recs;
+  t.len <- t.len + 1
+
+let length t = t.len
+let records t = List.rev t.recs
+
+let committed t id =
+  List.exists (function Commit id' -> id' = id | _ -> false) t.recs
+
+let ops_before_last_recovery t id =
+  (* recs is newest-first: scan for the latest marker; anything beyond it is
+     a pre-crash record. *)
+  let rec scan seen_marker = function
+    | [] -> false
+    | Recovery_marker :: rest -> scan true rest
+    | (Insert (id', _, _, _) | Coalesce (id', _, _, _)) :: rest ->
+        if seen_marker && id' = id then
+          not (committed t id)
+        else scan seen_marker rest
+    | (Begin _ | Prepare _ | Commit _ | Abort _ | Checkpoint _) :: rest ->
+        scan seen_marker rest
+  in
+  scan false t.recs
+
+let in_doubt t =
+  let prepared = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Prepare id -> if not (Hashtbl.mem prepared id) then Hashtbl.replace prepared id true
+      | Commit id | Abort id -> Hashtbl.replace prepared id false
+      | Begin _ | Insert _ | Coalesce _ | Recovery_marker | Checkpoint _ -> ())
+    t.recs;
+  Hashtbl.fold (fun id pending acc -> if pending then id :: acc else acc) prepared []
+  |> List.sort compare
+
+let checkpoint_of_map entries ~gaps =
+  let low_gap =
+    match gaps with
+    | (Bound.Low, _, v) :: _ -> v
+    | _ -> invalid_arg "Wal.checkpoint_of_map: gaps must start at LOW"
+  in
+  (* Pair each entry with the version of the gap that follows it. *)
+  let gap_after k =
+    match
+      List.find_opt (fun (l, _, _) -> Bound.equal l (Bound.Key k)) gaps
+    with
+    | Some (_, _, v) -> v
+    | None -> invalid_arg "Wal.checkpoint_of_map: entry without following gap"
+  in
+  {
+    entries = List.map (fun (k, v, value) -> (k, v, value, gap_after k)) entries;
+    low_gap;
+  }
+
+let truncate_to_checkpoint t =
+  (* recs is newest-first: keep up to and including the first Checkpoint. *)
+  let rec take acc = function
+    | [] -> None
+    | (Checkpoint _ as c) :: _ -> Some (List.rev (c :: acc))
+    | r :: rest -> take (r :: acc) rest
+  in
+  match take [] t.recs with
+  | None -> ()
+  | Some kept ->
+      (* [take] returns the kept records newest-first, matching [recs]. *)
+      t.recs <- kept;
+      t.len <- List.length kept
+
+module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
+  let replay ?(decided = fun _ -> false) t =
+    let map = M.create () in
+    let recs = records t in
+    let prepared id =
+      List.exists (function Prepare id' -> id' = id | _ -> false) t.recs
+    in
+    let is_committed id = committed t id || (prepared id && decided id) in
+    let restore_checkpoint (c : checkpoint) =
+      (* Checkpoints replace all prior state. *)
+      ignore (M.coalesce map ~lo:Bound.Low ~hi:Bound.High Version.lowest);
+      List.iter (fun (k, v, value, _) -> M.insert map k v value) c.entries;
+      M.set_gap_after map Bound.Low c.low_gap;
+      List.iter (fun (k, _, _, gap_after) -> M.set_gap_after map (Bound.Key k) gap_after) c.entries
+    in
+    List.iter
+      (fun r ->
+        match r with
+        | Checkpoint c -> restore_checkpoint c
+        | Insert (id, k, v, value) when is_committed id -> M.insert map k v value
+        | Coalesce (id, lo, hi, v) when is_committed id ->
+            ignore (M.coalesce map ~lo ~hi v)
+        | Begin _ | Prepare _ | Commit _ | Abort _ | Insert _ | Coalesce _
+        | Recovery_marker -> ())
+      recs;
+    map
+end

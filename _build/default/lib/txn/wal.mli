@@ -1,0 +1,77 @@
+(** Write-ahead log for one directory representative.
+
+    Simulates the stable storage the paper assumes each representative's
+    transactional storage system provides. Mutating operations append redo
+    records before being applied; commit and abort append outcome records.
+    After a crash (volatile state lost) the representative's gap map is
+    rebuilt by {!replay}: starting from the most recent checkpoint, the redo
+    records of committed transactions are re-applied in log order. Strict
+    two-phase locking guarantees that records of different transactions that
+    touch intersecting ranges appear in serialization order, so redo-only
+    replay of committed transactions reconstructs exactly the committed
+    state. *)
+
+open Repdir_key
+
+type record =
+  | Begin of Txn.id
+  | Insert of Txn.id * Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value
+  | Coalesce of Txn.id * Bound.t * Bound.t * Version.t
+  | Prepare of Txn.id
+      (** Two-phase commit vote: the transaction's effects are durable and
+          its outcome is delegated to the coordinator's decision record. *)
+  | Commit of Txn.id
+  | Abort of Txn.id
+  | Recovery_marker
+      (** Appended when the representative finishes crash recovery: records
+          written before the marker belong to a previous incarnation whose
+          volatile state (locks, undo logs, in-memory effects of active
+          transactions) was lost. *)
+  | Checkpoint of checkpoint
+
+and checkpoint = {
+  entries : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value * Version.t) list;
+      (** key, entry version, value, gap-after version — ascending keys *)
+  low_gap : Version.t;
+}
+
+val pp_record : Format.formatter -> record -> unit
+
+type t
+
+val create : unit -> t
+
+val append : t -> record -> unit
+val length : t -> int
+val records : t -> record list
+(** Oldest first. *)
+
+val committed : t -> Txn.id -> bool
+(** Whether a [Commit] record exists for the transaction. *)
+
+val ops_before_last_recovery : t -> Txn.id -> bool
+(** True if the transaction has operation records older than the most recent
+    {!Recovery_marker} and no outcome yet: the representative lost that
+    transaction's volatile effects in a crash, so it must refuse to prepare
+    or commit it. *)
+
+val in_doubt : t -> Txn.id list
+(** Transactions with a [Prepare] record but no [Commit]/[Abort] record:
+    their outcome must be resolved against the coordinator's decisions. *)
+
+val checkpoint_of_map : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value) list
+                        -> gaps:(Bound.t * Bound.t * Version.t) list
+                        -> checkpoint
+(** Package a gap map's [entries]/[gaps] views into a checkpoint record. *)
+
+val truncate_to_checkpoint : t -> unit
+(** Discard everything before the most recent [Checkpoint]; no-op if none. *)
+
+(** Rebuild a concrete gap map from the log. *)
+module Replay (M : Repdir_gapmap.Gapmap_intf.S) : sig
+  val replay : ?decided:(Txn.id -> bool) -> t -> M.t
+  (** Fresh map holding exactly the committed state: a transaction's records
+      apply when the log holds its [Commit], or when it is prepared and
+      [decided] (the coordinator's verdict; default: nobody) says
+      committed. *)
+end

@@ -1,0 +1,29 @@
+(** Plain-text table rendering for experiment reports.
+
+    Used by the harness and benchmarks to print the paper's Figure 14 and
+    Figure 15 tables (and our ablations) in aligned columns. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?align:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table. [align] gives per-column alignment
+    (default: first column left, the rest right), padded/truncated to the
+    header width. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows are
+    an error. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] then output on stdout followed by a newline flush. *)
+
+val cell_float : float -> string
+(** Two-decimal rendering used for the paper's statistics columns. *)
+
+val cell_int : int -> string

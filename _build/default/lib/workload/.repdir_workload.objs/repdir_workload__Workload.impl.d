@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Format Hashtbl Key List Printf Repdir_key Repdir_util Rng

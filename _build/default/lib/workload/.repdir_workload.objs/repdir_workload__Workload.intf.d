@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Format Key Repdir_key Repdir_util Rng

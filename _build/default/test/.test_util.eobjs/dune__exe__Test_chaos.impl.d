@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Array Config Hashtbl Int64 List Printf Repdir_core Repdir_harness Repdir_quorum Repdir_rep Repdir_sim Repdir_txn Repdir_util Sim Sim_world String Suite Txn

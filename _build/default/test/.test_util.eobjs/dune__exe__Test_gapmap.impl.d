@@ -1,0 +1,1 @@
+test/test_gapmap.ml: Alcotest Array Bound Format Gapmap Gapmap_intf Int64 Key List Printf QCheck QCheck_alcotest Repdir_gapmap Repdir_key Repdir_util Version

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Concurrency Config Experiment Faults List Locality Net Picker Repdir_core Repdir_harness Repdir_quorum Repdir_sim Repdir_util Sim Sim_world Stats

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Bound Format List Lock_manager Mode Repdir_key Repdir_lock

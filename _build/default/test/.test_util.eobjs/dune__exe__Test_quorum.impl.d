@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Array Availability Config Int64 List Picker QCheck QCheck_alcotest Repdir_quorum Repdir_util Rng

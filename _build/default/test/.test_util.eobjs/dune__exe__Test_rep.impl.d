@@ -1,0 +1,1 @@
+test/test_rep.ml: Alcotest Array Bound Int64 Key List QCheck QCheck_alcotest Rep Repdir_gapmap Repdir_key Repdir_lock Repdir_rep Repdir_txn Repdir_util Txn

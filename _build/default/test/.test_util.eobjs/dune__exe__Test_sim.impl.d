@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Heap List Net Printf Repdir_sim Repdir_util Rpc Sim

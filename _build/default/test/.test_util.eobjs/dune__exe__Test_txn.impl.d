@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Bound Int64 Key List QCheck QCheck_alcotest Repdir_gapmap Repdir_key Repdir_txn Repdir_util Txn Undo Wal

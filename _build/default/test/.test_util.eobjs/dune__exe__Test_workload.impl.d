@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Format Hashtbl List Repdir_util Repdir_workload Rng Workload

@@ -1,0 +1,254 @@
+(* Tests for the experiment harness: the §4 statistics land in the paper's
+   reported windows, the quorum-stability and concurrency claims hold with
+   the expected direction and rough magnitude, locality is exact, the fault
+   timeline is consistent, and the simulated world's transport behaves. *)
+
+open Repdir_util
+open Repdir_quorum
+open Repdir_harness
+
+let cfg_322 = Config.simple ~n:3 ~r:2 ~w:2
+
+(* --- Experiment: Figure 15's quantitative targets ------------------------------------ *)
+
+let run_322 ?(seed = 2024L) ~entries ~ops () =
+  Experiment.run ~seed ~config:cfg_322 ~n_entries:entries ~ops ()
+
+let within name lo hi x =
+  if x < lo || x > hi then Alcotest.failf "%s = %.3f outside [%g, %g]" name x lo hi
+
+let test_figure15_100_entries () =
+  (* Paper (Figure 15, 100 entries): 1.33 / 0.88 / 0.44. Allow generous
+     windows for seed variation at 20k ops. *)
+  let o = run_322 ~entries:100 ~ops:20_000 () in
+  within "entries in ranges coalesced" 1.25 1.45 (Stats.mean o.stats.entries_coalesced);
+  within "deletions while coalescing" 0.75 1.00 (Stats.mean o.stats.deletions_while_coalescing);
+  within "insertions while coalescing" 0.38 0.52
+    (Stats.mean o.stats.insertions_while_coalescing);
+  (* Insertions per delete can never exceed 2 (one predecessor, one
+     successor, each into at most... W-1 members lack them — but the paper
+     observed max exactly 2 for 3-2-2, where at most one member can lack
+     each). *)
+  Alcotest.(check bool) "max insertions bounded" true
+    (Stats.max o.stats.insertions_while_coalescing <= 2.0)
+
+let test_figure15_deterministic_given_seed () =
+  let a = run_322 ~seed:7L ~entries:100 ~ops:2_000 () in
+  let b = run_322 ~seed:7L ~entries:100 ~ops:2_000 () in
+  Alcotest.(check (float 0.0)) "same seed same stats"
+    (Stats.mean a.stats.entries_coalesced)
+    (Stats.mean b.stats.entries_coalesced);
+  let c = run_322 ~seed:8L ~entries:100 ~ops:2_000 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Stats.mean a.stats.entries_coalesced <> Stats.mean c.stats.entries_coalesced)
+
+let test_single_rep_has_no_overhead () =
+  (* 1-1-1: every entry lives everywhere; no ghosts, no repairs; every
+     coalesce removes exactly the deleted entry. *)
+  let o = Experiment.run ~config:(Config.simple ~n:1 ~r:1 ~w:1) ~n_entries:100 ~ops:5_000 () in
+  Alcotest.(check (float 1e-9)) "entries = 1 exactly" 1.0
+    (Stats.mean o.stats.entries_coalesced);
+  Alcotest.(check (float 1e-9)) "no ghosts" 0.0
+    (Stats.mean o.stats.deletions_while_coalescing);
+  Alcotest.(check (float 1e-9)) "no repairs" 0.0
+    (Stats.mean o.stats.insertions_while_coalescing)
+
+let test_write_all_has_no_overhead () =
+  (* Read-one/write-all (3-1-3): entries exist on every representative, so
+     deletes never find ghosts nor need repairs — the unanimous-update
+     comparison §4 makes. *)
+  let o = Experiment.run ~config:(Config.simple ~n:3 ~r:1 ~w:3) ~n_entries:100 ~ops:5_000 () in
+  Alcotest.(check (float 1e-9)) "no ghosts" 0.0
+    (Stats.mean o.stats.deletions_while_coalescing);
+  Alcotest.(check (float 1e-9)) "no repairs" 0.0
+    (Stats.mean o.stats.insertions_while_coalescing)
+
+let test_experiment_counts () =
+  let o = run_322 ~entries:50 ~ops:3_000 () in
+  Alcotest.(check int) "ops recorded" 3_000 o.ops;
+  Alcotest.(check bool) "deletes counted" true (o.deletes > 0);
+  Alcotest.(check int) "one sample per delete"
+    o.deletes
+    (Stats.count o.stats.deletions_while_coalescing);
+  Alcotest.(check int) "W samples per delete"
+    (2 * o.deletes)
+    (Stats.count o.stats.entries_coalesced);
+  Alcotest.(check bool) "size stays near target" true (abs (o.final_size - 50) <= 1)
+
+(* --- quorum stability (§5) -------------------------------------------------------------- *)
+
+let test_stable_quorums_make_coalescing_free () =
+  let random = Experiment.run ~config:cfg_322 ~n_entries:100 ~ops:5_000 () in
+  let stable =
+    Experiment.run ~picker:(Picker.Fixed [| 0; 1; 2 |]) ~config:cfg_322 ~n_entries:100
+      ~ops:5_000 ()
+  in
+  Alcotest.(check (float 1e-9)) "stable: no ghosts" 0.0
+    (Stats.mean stable.stats.deletions_while_coalescing);
+  Alcotest.(check (float 1e-9)) "stable: no repairs" 0.0
+    (Stats.mean stable.stats.insertions_while_coalescing);
+  Alcotest.(check bool) "random pays ghosts" true
+    (Stats.mean random.stats.deletions_while_coalescing > 0.5)
+
+(* --- concurrency (§2) ---------------------------------------------------------------------- *)
+
+let test_concurrency_gap_beats_single_version () =
+  let gap =
+    Concurrency.run ~duration:400.0 ~scheme:Concurrency.Gap ~clients:4 ~config:cfg_322 ()
+  in
+  let single =
+    Concurrency.run ~duration:400.0 ~scheme:Concurrency.Single_version ~clients:4
+      ~config:cfg_322 ()
+  in
+  Alcotest.(check bool) "gap commits at least 3x more" true
+    (gap.Concurrency.committed >= 3 * max 1 single.Concurrency.committed);
+  Alcotest.(check bool) "single version thrashes on conflicts" true
+    (single.Concurrency.deadlock_aborts + single.Concurrency.lock_waits
+    > gap.Concurrency.deadlock_aborts + gap.Concurrency.lock_waits)
+
+let test_concurrency_skew_hurts () =
+  (* §2: uneven access distributions limit concurrency even with fine-
+     grained ranges — hot keys conflict. *)
+  let uniform =
+    Concurrency.run ~duration:400.0 ~scheme:Concurrency.Gap ~clients:8 ~config:cfg_322 ()
+  in
+  let skewed =
+    Concurrency.run ~duration:400.0 ~zipf_s:1.5 ~scheme:Concurrency.Gap ~clients:8
+      ~config:cfg_322 ()
+  in
+  Alcotest.(check bool) "skew lowers throughput" true
+    (skewed.Concurrency.committed < uniform.Concurrency.committed);
+  Alcotest.(check bool) "skew raises conflicts" true
+    (skewed.Concurrency.deadlock_aborts + skewed.Concurrency.lock_waits
+    > uniform.Concurrency.deadlock_aborts + uniform.Concurrency.lock_waits)
+
+let test_concurrency_gap_scales () =
+  let one = Concurrency.run ~duration:400.0 ~scheme:Concurrency.Gap ~clients:1 ~config:cfg_322 () in
+  let four =
+    Concurrency.run ~duration:400.0 ~scheme:Concurrency.Gap ~clients:4 ~config:cfg_322 ()
+  in
+  Alcotest.(check bool) "4 clients commit >2x of 1 client" true
+    (four.Concurrency.committed > 2 * one.Concurrency.committed)
+
+(* --- locality (Figure 16) --------------------------------------------------------------------- *)
+
+let test_locality_inquiries_fully_local () =
+  let o = Locality.run ~ops:2_000 () in
+  Alcotest.(check (float 1e-9)) "A local" 1.0 o.Locality.a_reads_local_fraction;
+  Alcotest.(check (float 1e-9)) "B local" 1.0 o.Locality.b_reads_local_fraction
+
+let test_locality_remote_writes_balanced () =
+  let o = Locality.run ~ops:4_000 () in
+  let row i = List.nth o.Locality.rows i in
+  (* A's writes on the remote pair (B1, B2) differ by < 25%. *)
+  let b1 = (row 2).Locality.writes_from_a and b2 = (row 3).Locality.writes_from_a in
+  Alcotest.(check bool) "balanced" true
+    (abs (b1 - b2) * 4 < max 1 (b1 + b2));
+  Alcotest.(check bool) "remote writes happen" true (b1 + b2 > 0)
+
+(* --- faults -------------------------------------------------------------------------------------- *)
+
+let test_fault_timeline () =
+  let o = Faults.run ~ops_per_phase:80 () in
+  Alcotest.(check int) "no consistency violations" 0 o.Faults.consistency_violations;
+  let phase label = List.find (fun p -> p.Faults.label = label) o.Faults.phases in
+  Alcotest.(check int) "all up: everything succeeds" 80 (phase "all representatives up").Faults.succeeded;
+  Alcotest.(check int) "one down: everything succeeds" 80 (phase "rep0 crashed").Faults.succeeded;
+  Alcotest.(check int) "two down: nothing succeeds" 0
+    (phase "rep0 and rep1 crashed").Faults.succeeded;
+  Alcotest.(check int) "stale recovery: everything succeeds" 80
+    (phase "rep1 recovered (stale)").Faults.succeeded;
+  Alcotest.(check int) "full recovery: everything succeeds" 80
+    (phase "all recovered").Faults.succeeded
+
+(* --- sim world transport ---------------------------------------------------------------------------- *)
+
+let test_sim_world_lookup_roundtrip () =
+  let open Repdir_sim in
+  let world = Sim_world.create ~config:cfg_322 () in
+  let sim = Sim_world.sim world in
+  let suite = Sim_world.suite_for_client world 0 in
+  let got = ref None in
+  Sim.spawn sim (fun () ->
+      ignore (Repdir_core.Suite.insert suite "k" "v");
+      got := Repdir_core.Suite.lookup suite "k");
+  Sim.run sim;
+  match !got with
+  | Some (_, v) -> Alcotest.(check string) "value over RPC" "v" v
+  | None -> Alcotest.fail "lookup lost"
+
+let test_sim_world_crash_mid_run_recovers () =
+  let open Repdir_sim in
+  let world = Sim_world.create ~rpc_timeout:25.0 ~config:cfg_322 () in
+  let sim = Sim_world.sim world in
+  let suite = Sim_world.suite_for_client world 0 in
+  let ok = ref true in
+  Sim.spawn sim (fun () ->
+      ignore (Repdir_core.Suite.insert suite "k" "v1");
+      Sim_world.crash_rep world 0;
+      (match Repdir_core.Suite.update suite "k" "v2" with
+      | Ok () -> ()
+      | Error `Not_present -> ok := false);
+      Sim_world.recover_rep world 0;
+      match Repdir_core.Suite.lookup suite "k" with
+      | Some (_, "v2") -> ()
+      | _ -> ok := false);
+  Sim.run sim;
+  Alcotest.(check bool) "consistent across crash/recovery" true !ok
+
+let test_sim_world_partition_blocks_then_heals () =
+  let open Repdir_sim in
+  let world = Sim_world.create ~rpc_timeout:10.0 ~config:cfg_322 () in
+  let sim = Sim_world.sim world in
+  let net = Sim_world.net world in
+  let suite = Sim_world.suite_for_client world 0 in
+  let phases = ref [] in
+  Sim.spawn sim (fun () ->
+      ignore (Repdir_core.Suite.insert suite "k" "v");
+      (* Cut the client (node 3) off from reps 1 and 2: only rep0 reachable,
+         no quorum. The picker still believes they are up (they are), so
+         calls time out and the operation ends Unavailable. *)
+      Net.partition net [ 3 ] [ 1; 2 ];
+      (match Repdir_core.Suite.lookup suite "k" with
+      | exception Repdir_core.Suite.Unavailable _ -> phases := "blocked" :: !phases
+      | _ -> phases := "wrong" :: !phases);
+      Net.heal_partition net;
+      match Repdir_core.Suite.lookup suite "k" with
+      | Some _ -> phases := "healed" :: !phases
+      | None -> phases := "wrong" :: !phases);
+  Sim.run sim;
+  Alcotest.(check (list string)) "partition then heal" [ "healed"; "blocked" ] !phases
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "figure15",
+        [
+          Alcotest.test_case "paper windows at 100 entries" `Slow test_figure15_100_entries;
+          Alcotest.test_case "deterministic" `Quick test_figure15_deterministic_given_seed;
+          Alcotest.test_case "1-1-1 zero overhead" `Quick test_single_rep_has_no_overhead;
+          Alcotest.test_case "write-all zero overhead" `Quick test_write_all_has_no_overhead;
+          Alcotest.test_case "sample counts" `Quick test_experiment_counts;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "stable quorums free coalescing (§5)" `Quick
+            test_stable_quorums_make_coalescing_free;
+          Alcotest.test_case "gap beats single version (§2)" `Slow
+            test_concurrency_gap_beats_single_version;
+          Alcotest.test_case "gap scheme scales (§2)" `Slow test_concurrency_gap_scales;
+          Alcotest.test_case "skew limits concurrency (§2)" `Slow test_concurrency_skew_hurts;
+          Alcotest.test_case "locality inquiries local (Fig 16)" `Quick
+            test_locality_inquiries_fully_local;
+          Alcotest.test_case "locality remote writes balanced" `Quick
+            test_locality_remote_writes_balanced;
+          Alcotest.test_case "fault timeline" `Quick test_fault_timeline;
+        ] );
+      ( "sim-world",
+        [
+          Alcotest.test_case "rpc roundtrip" `Quick test_sim_world_lookup_roundtrip;
+          Alcotest.test_case "crash mid-run" `Quick test_sim_world_crash_mid_run_recovers;
+          Alcotest.test_case "partition blocks then heals" `Quick
+            test_sim_world_partition_blocks_then_heals;
+        ] );
+    ]

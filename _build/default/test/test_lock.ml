@@ -1,0 +1,227 @@
+(* Tests for the range lock manager: the Figure 7 compatibility matrix,
+   FIFO fairness, grant-on-release, and waits-for deadlock detection. *)
+
+open Repdir_key
+open Repdir_lock
+
+let iv a b = Bound.Interval.make (Bound.Key a) (Bound.Key b)
+let full = Bound.Interval.full
+
+let outcome_testable =
+  let pp ppf = function
+    | Lock_manager.Granted -> Format.pp_print_string ppf "Granted"
+    | Lock_manager.Waiting -> Format.pp_print_string ppf "Waiting"
+    | Lock_manager.Deadlock cycle ->
+        Format.fprintf ppf "Deadlock[%a]"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+             Format.pp_print_int)
+          cycle
+  in
+  Alcotest.testable pp (fun a b ->
+      match (a, b) with
+      | Lock_manager.Granted, Lock_manager.Granted | Waiting, Waiting -> true
+      | Deadlock _, Deadlock _ -> true
+      | _ -> false)
+
+let nop () = ()
+
+let acquire ?(on_grant = nop) mgr txn mode range =
+  Lock_manager.acquire mgr ~txn mode range ~on_grant
+
+(* --- Figure 7 compatibility matrix ----------------------------------------- *)
+
+let test_mode_matrix () =
+  Alcotest.(check bool) "lookup/lookup" true (Mode.compatible Rep_lookup Rep_lookup);
+  Alcotest.(check bool) "lookup/modify" false (Mode.compatible Rep_lookup Rep_modify);
+  Alcotest.(check bool) "modify/lookup" false (Mode.compatible Rep_modify Rep_lookup);
+  Alcotest.(check bool) "modify/modify" false (Mode.compatible Rep_modify Rep_modify)
+
+let test_intersecting_lookups_compatible () =
+  let m = Lock_manager.create () in
+  Alcotest.check outcome_testable "t1 lookup" Granted (acquire m 1 Rep_lookup (iv "a" "m"));
+  Alcotest.check outcome_testable "t2 lookup intersecting" Granted
+    (acquire m 2 Rep_lookup (iv "g" "z"))
+
+let test_intersecting_modify_conflicts () =
+  let m = Lock_manager.create () in
+  Alcotest.check outcome_testable "t1 modify" Granted (acquire m 1 Rep_modify (iv "a" "m"));
+  Alcotest.check outcome_testable "t2 modify intersecting waits" Waiting
+    (acquire m 2 Rep_modify (iv "g" "z"));
+  Alcotest.check outcome_testable "t3 lookup intersecting waits" Waiting
+    (acquire m 3 Rep_lookup (iv "a" "b"))
+
+let test_disjoint_modify_compatible () =
+  (* The heart of the paper's concurrency claim: modifications of disjoint
+     ranges proceed in parallel. *)
+  let m = Lock_manager.create () in
+  Alcotest.check outcome_testable "t1" Granted (acquire m 1 Rep_modify (iv "a" "c"));
+  Alcotest.check outcome_testable "t2 disjoint" Granted (acquire m 2 Rep_modify (iv "x" "z"));
+  Alcotest.(check int) "both granted" 2 (Lock_manager.granted_count m)
+
+let test_lookup_blocks_modify () =
+  let m = Lock_manager.create () in
+  Alcotest.check outcome_testable "t1 lookup" Granted (acquire m 1 Rep_lookup (iv "a" "m"));
+  Alcotest.check outcome_testable "t2 modify waits" Waiting (acquire m 2 Rep_modify (iv "b" "c"))
+
+let test_same_txn_reentrant () =
+  let m = Lock_manager.create () in
+  Alcotest.check outcome_testable "modify" Granted (acquire m 1 Rep_modify (iv "a" "m"));
+  Alcotest.check outcome_testable "own lookup over same range" Granted
+    (acquire m 1 Rep_lookup (iv "a" "m"));
+  Alcotest.check outcome_testable "own second modify" Granted
+    (acquire m 1 Rep_modify (iv "b" "c"))
+
+let test_point_ranges () =
+  let m = Lock_manager.create () in
+  Alcotest.check outcome_testable "t1 point" Granted
+    (acquire m 1 Rep_modify (Bound.Interval.point (Bound.Key "k")));
+  Alcotest.check outcome_testable "t2 same point waits" Waiting
+    (acquire m 2 Rep_modify (Bound.Interval.point (Bound.Key "k")));
+  Alcotest.check outcome_testable "t3 adjacent point ok" Granted
+    (acquire m 3 Rep_modify (Bound.Interval.point (Bound.Key "l")))
+
+(* --- release and FIFO ------------------------------------------------------- *)
+
+let test_release_grants_waiter () =
+  let m = Lock_manager.create () in
+  let granted2 = ref false in
+  ignore (acquire m 1 Rep_modify (iv "a" "m"));
+  let o = Lock_manager.acquire m ~txn:2 Rep_modify (iv "b" "c") ~on_grant:(fun () -> granted2 := true) in
+  Alcotest.check outcome_testable "waits" Waiting o;
+  Lock_manager.release_all m ~txn:1;
+  Alcotest.(check bool) "granted after release" true !granted2;
+  Alcotest.(check int) "queue drained" 0 (Lock_manager.waiting_count m);
+  Alcotest.(check (list (pair int int)))
+    "t2 now holds one lock" [ (2, 1) ]
+    (List.map (fun (_, _) -> (2, 1)) (Lock_manager.holds m ~txn:2))
+
+let test_fifo_no_starvation () =
+  (* A modify waiter must not be starved by later compatible lookups. *)
+  let m = Lock_manager.create () in
+  ignore (acquire m 1 Rep_lookup (iv "a" "m"));
+  let o2 = acquire m 2 Rep_modify (iv "a" "m") in
+  Alcotest.check outcome_testable "modify waits" Waiting o2;
+  let o3 = acquire m 3 Rep_lookup (iv "a" "m") in
+  Alcotest.check outcome_testable "later lookup queues behind waiting modify" Waiting o3
+
+let test_fifo_grant_order () =
+  let m = Lock_manager.create () in
+  let order = ref [] in
+  ignore (acquire m 1 Rep_modify full);
+  ignore (Lock_manager.acquire m ~txn:2 Rep_modify full ~on_grant:(fun () -> order := 2 :: !order));
+  ignore (Lock_manager.acquire m ~txn:3 Rep_modify full ~on_grant:(fun () -> order := 3 :: !order));
+  Lock_manager.release_all m ~txn:1;
+  Alcotest.(check (list int)) "only first waiter granted" [ 2 ] !order;
+  Lock_manager.release_all m ~txn:2;
+  Alcotest.(check (list int)) "then second" [ 3; 2 ] !order
+
+let test_release_drops_own_waiters () =
+  let m = Lock_manager.create () in
+  ignore (acquire m 1 Rep_modify full);
+  ignore (acquire m 2 Rep_modify full);
+  Alcotest.(check int) "one waiter" 1 (Lock_manager.waiting_count m);
+  (* t2 aborts while waiting. *)
+  Lock_manager.release_all m ~txn:2;
+  Alcotest.(check int) "queue empty" 0 (Lock_manager.waiting_count m);
+  Lock_manager.release_all m ~txn:1;
+  Alcotest.(check int) "nothing granted" 0 (Lock_manager.granted_count m)
+
+let test_disjoint_waiters_both_granted_on_release () =
+  let m = Lock_manager.create () in
+  let got = ref [] in
+  ignore (acquire m 1 Rep_modify full);
+  ignore (Lock_manager.acquire m ~txn:2 Rep_modify (iv "a" "c") ~on_grant:(fun () -> got := 2 :: !got));
+  ignore (Lock_manager.acquire m ~txn:3 Rep_modify (iv "x" "z") ~on_grant:(fun () -> got := 3 :: !got));
+  Lock_manager.release_all m ~txn:1;
+  Alcotest.(check (list int)) "both disjoint waiters granted" [ 3; 2 ] !got
+
+let test_would_block () =
+  let m = Lock_manager.create () in
+  ignore (acquire m 1 Rep_modify (iv "a" "m"));
+  Alcotest.(check bool) "conflicting would block" true
+    (Lock_manager.would_block m ~txn:2 Rep_lookup (iv "b" "c"));
+  Alcotest.(check bool) "disjoint would not" false
+    (Lock_manager.would_block m ~txn:2 Rep_modify (iv "x" "z"));
+  Alcotest.(check bool) "own would not" false
+    (Lock_manager.would_block m ~txn:1 Rep_modify (iv "b" "c"));
+  Alcotest.(check int) "would_block does not enqueue" 0 (Lock_manager.waiting_count m)
+
+(* --- deadlock detection ------------------------------------------------------ *)
+
+let test_two_txn_deadlock () =
+  let m = Lock_manager.create () in
+  ignore (acquire m 1 Rep_modify (iv "a" "c"));
+  ignore (acquire m 2 Rep_modify (iv "x" "z"));
+  (* 1 waits for 2 ... *)
+  Alcotest.check outcome_testable "t1 waits" Waiting (acquire m 1 Rep_modify (iv "x" "y"));
+  (* ... and 2 -> 1 closes the cycle. *)
+  (match acquire m 2 Rep_modify (iv "b" "c") with
+  | Deadlock cycle ->
+      Alcotest.(check bool) "cycle mentions both" true
+        (List.mem 1 cycle && List.mem 2 cycle)
+  | Granted | Waiting -> Alcotest.fail "expected deadlock");
+  (* The request was not queued; aborting t2 unblocks t1. *)
+  Lock_manager.release_all m ~txn:2;
+  Alcotest.(check int) "t1 unblocked" 0 (Lock_manager.waiting_count m)
+
+let test_three_txn_deadlock () =
+  let m = Lock_manager.create () in
+  ignore (acquire m 1 Rep_modify (iv "a" "b"));
+  ignore (acquire m 2 Rep_modify (iv "m" "n"));
+  ignore (acquire m 3 Rep_modify (iv "x" "y"));
+  Alcotest.check outcome_testable "1 waits for 2" Waiting (acquire m 1 Rep_modify (iv "m" "n"));
+  Alcotest.check outcome_testable "2 waits for 3" Waiting (acquire m 2 Rep_modify (iv "x" "y"));
+  match acquire m 3 Rep_modify (iv "a" "b") with
+  | Deadlock cycle -> Alcotest.(check int) "cycle length 4 (back to requester)" 4 (List.length cycle)
+  | Granted | Waiting -> Alcotest.fail "expected deadlock"
+
+let test_upgrade_deadlock () =
+  (* Two transactions both hold RepLookup on a range and both try to upgrade
+     to RepModify: the classic conversion deadlock. *)
+  let m = Lock_manager.create () in
+  ignore (acquire m 1 Rep_lookup (iv "a" "m"));
+  ignore (acquire m 2 Rep_lookup (iv "a" "m"));
+  Alcotest.check outcome_testable "t1 upgrade waits" Waiting (acquire m 1 Rep_modify (iv "a" "m"));
+  match acquire m 2 Rep_modify (iv "a" "m") with
+  | Deadlock _ -> ()
+  | Granted | Waiting -> Alcotest.fail "expected upgrade deadlock"
+
+let test_no_false_deadlock () =
+  let m = Lock_manager.create () in
+  ignore (acquire m 1 Rep_modify (iv "a" "c"));
+  ignore (acquire m 2 Rep_modify (iv "x" "z"));
+  Alcotest.check outcome_testable "waiting, not deadlock" Waiting
+    (acquire m 3 Rep_modify (iv "b" "y"))
+
+let () =
+  Alcotest.run "lock"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "mode matrix" `Quick test_mode_matrix;
+          Alcotest.test_case "intersecting lookups" `Quick test_intersecting_lookups_compatible;
+          Alcotest.test_case "intersecting modify" `Quick test_intersecting_modify_conflicts;
+          Alcotest.test_case "disjoint modify" `Quick test_disjoint_modify_compatible;
+          Alcotest.test_case "lookup blocks modify" `Quick test_lookup_blocks_modify;
+          Alcotest.test_case "same txn reentrant" `Quick test_same_txn_reentrant;
+          Alcotest.test_case "point ranges" `Quick test_point_ranges;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "release grants waiter" `Quick test_release_grants_waiter;
+          Alcotest.test_case "no starvation" `Quick test_fifo_no_starvation;
+          Alcotest.test_case "FIFO grant order" `Quick test_fifo_grant_order;
+          Alcotest.test_case "abort drops waiters" `Quick test_release_drops_own_waiters;
+          Alcotest.test_case "disjoint waiters granted together" `Quick
+            test_disjoint_waiters_both_granted_on_release;
+          Alcotest.test_case "would_block" `Quick test_would_block;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "two txn cycle" `Quick test_two_txn_deadlock;
+          Alcotest.test_case "three txn cycle" `Quick test_three_txn_deadlock;
+          Alcotest.test_case "upgrade deadlock" `Quick test_upgrade_deadlock;
+          Alcotest.test_case "no false positive" `Quick test_no_false_deadlock;
+        ] );
+    ]

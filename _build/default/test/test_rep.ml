@@ -1,0 +1,344 @@
+(* Tests for the directory representative: Figure 6 operation semantics with
+   locking, rollback on abort, crash recovery from the write-ahead log
+   (including a randomized equivalence property), checkpointing, and the
+   waiter/deadlock integration used by the simulator. *)
+
+open Repdir_key
+open Repdir_txn
+open Repdir_rep
+open Repdir_gapmap.Gapmap_intf
+
+let new_rep ?waiter ?lock_group () = Rep.create ?waiter ?lock_group ~name:"r" ()
+
+let seeded () =
+  let r = new_rep () in
+  Rep.insert r ~txn:1 "b" 1 "vb";
+  Rep.insert r ~txn:1 "d" 1 "vd";
+  Rep.insert r ~txn:1 "f" 1 "vf";
+  Rep.commit r ~txn:1;
+  r
+
+let keys r = List.map (fun (k, _, _) -> k) (Rep.entries r)
+
+(* --- operation semantics ----------------------------------------------------------- *)
+
+let test_lookup_present_and_absent () =
+  let r = seeded () in
+  (match Rep.lookup r ~txn:2 (Bound.Key "d") with
+  | Present { version; value } ->
+      Alcotest.(check int) "version" 1 version;
+      Alcotest.(check string) "value" "vd" value
+  | Absent _ -> Alcotest.fail "d must be present");
+  (match Rep.lookup r ~txn:2 (Bound.Key "c") with
+  | Absent { gap_version } -> Alcotest.(check int) "gap version" 0 gap_version
+  | Present _ -> Alcotest.fail "c must be absent");
+  Rep.commit r ~txn:2
+
+let test_predecessor_successor () =
+  let r = seeded () in
+  let p = Rep.predecessor r ~txn:2 (Bound.Key "d") in
+  Alcotest.(check string) "pred of d" "b" (Bound.to_string p.key);
+  let s = Rep.successor r ~txn:2 (Bound.Key "d") in
+  Alcotest.(check string) "succ of d" "f" (Bound.to_string s.key);
+  let s2 = Rep.successor r ~txn:2 (Bound.Key "f") in
+  Alcotest.(check string) "succ of last" "HIGH" (Bound.to_string s2.key);
+  Rep.commit r ~txn:2
+
+let test_coalesce_returns_count () =
+  let r = seeded () in
+  let removed = Rep.coalesce r ~txn:2 ~lo:(Bound.Key "b") ~hi:(Bound.Key "f") 2 in
+  Alcotest.(check int) "one entry between" 1 removed;
+  Rep.commit r ~txn:2;
+  Alcotest.(check (list string)) "d gone" [ "b"; "f" ] (keys r)
+
+let test_coalesce_missing_endpoint_error () =
+  let r = seeded () in
+  (try
+     ignore (Rep.coalesce r ~txn:2 ~lo:(Bound.Key "a") ~hi:(Bound.Key "f") 2);
+     Alcotest.fail "missing endpoint accepted"
+   with Missing_endpoint _ -> ());
+  Rep.abort r ~txn:2
+
+let test_predecessor_chain () =
+  let r = seeded () in
+  let chain = Rep.predecessor_chain r ~txn:2 (Bound.Key "f") ~depth:3 in
+  Alcotest.(check (list string)) "three predecessors, descending"
+    [ "d"; "b"; "LOW" ]
+    (List.map (fun (n : Repdir_gapmap.Gapmap_intf.neighbor) -> Bound.to_string n.key) chain);
+  (* Chain stops at LOW even if depth allows more. *)
+  let short = Rep.predecessor_chain r ~txn:2 (Bound.Key "d") ~depth:5 in
+  Alcotest.(check (list string)) "stops at LOW" [ "b"; "LOW" ]
+    (List.map (fun (n : Repdir_gapmap.Gapmap_intf.neighbor) -> Bound.to_string n.key) short);
+  Rep.commit r ~txn:2
+
+let test_successor_chain () =
+  let r = seeded () in
+  let chain = Rep.successor_chain r ~txn:2 (Bound.Key "b") ~depth:3 in
+  Alcotest.(check (list string)) "successors ascending" [ "d"; "f"; "HIGH" ]
+    (List.map (fun (n : Repdir_gapmap.Gapmap_intf.neighbor) -> Bound.to_string n.key) chain);
+  Rep.commit r ~txn:2
+
+let test_chain_gap_versions () =
+  (* Each chain element carries the version of the gap on its walk side. *)
+  let r = seeded () in
+  ignore (Rep.coalesce r ~txn:2 ~lo:(Bound.Key "b") ~hi:(Bound.Key "d") 7);
+  Rep.commit r ~txn:2;
+  let chain = Rep.predecessor_chain r ~txn:3 (Bound.Key "f") ~depth:2 in
+  (match chain with
+  | [ d; b ] ->
+      Alcotest.(check int) "gap after d" 0 d.Repdir_gapmap.Gapmap_intf.gap_version;
+      Alcotest.(check int) "gap after b (coalesced)" 7 b.Repdir_gapmap.Gapmap_intf.gap_version
+  | _ -> Alcotest.fail "expected two elements");
+  Rep.commit r ~txn:3
+
+(* --- rollback ------------------------------------------------------------------------ *)
+
+let test_abort_rolls_back_insert () =
+  let r = seeded () in
+  Rep.insert r ~txn:2 "c" 2 "vc";
+  Alcotest.(check (list string)) "visible before abort" [ "b"; "c"; "d"; "f" ] (keys r);
+  Rep.abort r ~txn:2;
+  Alcotest.(check (list string)) "gone after abort" [ "b"; "d"; "f" ] (keys r)
+
+let test_abort_rolls_back_update () =
+  let r = seeded () in
+  Rep.insert r ~txn:2 "d" 5 "changed";
+  Rep.abort r ~txn:2;
+  match Rep.lookup r ~txn:3 (Bound.Key "d") with
+  | Present { version; value } ->
+      Alcotest.(check int) "old version" 1 version;
+      Alcotest.(check string) "old value" "vd" value
+  | Absent _ -> Alcotest.fail "d lost"
+
+let test_abort_rolls_back_coalesce () =
+  let r = seeded () in
+  let before_gaps = Rep.gaps r in
+  ignore (Rep.coalesce r ~txn:2 ~lo:Bound.Low ~hi:Bound.High 7);
+  Alcotest.(check int) "all removed" 0 (List.length (Rep.entries r));
+  Rep.abort r ~txn:2;
+  Alcotest.(check (list string)) "entries restored" [ "b"; "d"; "f" ] (keys r);
+  Alcotest.(check bool) "gap versions restored" true (Rep.gaps r = before_gaps)
+
+let test_abort_mixed_operations () =
+  let r = seeded () in
+  let before_entries = Rep.entries r and before_gaps = Rep.gaps r in
+  Rep.insert r ~txn:2 "c" 2 "vc";
+  ignore (Rep.coalesce r ~txn:2 ~lo:(Bound.Key "c") ~hi:(Bound.Key "f") 3);
+  Rep.insert r ~txn:2 "e" 4 "ve";
+  Rep.insert r ~txn:2 "b" 5 "vb'";
+  Rep.abort r ~txn:2;
+  Alcotest.(check bool) "entries restored exactly" true (Rep.entries r = before_entries);
+  Alcotest.(check bool) "gaps restored exactly" true (Rep.gaps r = before_gaps)
+
+(* --- locking --------------------------------------------------------------------------- *)
+
+let test_strict_2pl_blocks_conflicting_txn () =
+  (* With the default no-waiter, a conflicting acquisition fails loudly —
+     proving the lock is actually held to commit. *)
+  let r = seeded () in
+  Rep.insert r ~txn:2 "c" 2 "vc";
+  (try
+     ignore (Rep.lookup r ~txn:3 (Bound.Key "c"));
+     Alcotest.fail "conflicting lookup proceeded without waiting"
+   with Failure _ -> ());
+  Rep.commit r ~txn:2;
+  (* After commit the lock is free. *)
+  (match Rep.lookup r ~txn:3 (Bound.Key "c") with
+  | Present _ -> ()
+  | Absent _ -> Alcotest.fail "c must be present");
+  Rep.commit r ~txn:3
+
+let test_waiter_is_used_for_blocking () =
+  let pending = ref None in
+  let waiter register =
+    (* Record the wake-up and pretend to block; the test fires it later. *)
+    register (fun () -> ());
+    pending := Some ()
+  in
+  let r = new_rep ~waiter () in
+  Rep.insert r ~txn:1 "k" 1 "v";
+  ignore (Rep.lookup r ~txn:2 (Bound.Key "k"));
+  Alcotest.(check bool) "waiter invoked" true (!pending <> None);
+  Alcotest.(check int) "lock wait counted" 1 (Rep.counters r).Rep.lock_waits
+
+let test_deadlock_raises_txn_abort () =
+  let group = Repdir_lock.Lock_manager.new_group () in
+  let waiter register = register (fun () -> ()) in
+  let a = new_rep ~waiter ~lock_group:group () in
+  let b = new_rep ~waiter ~lock_group:group () in
+  (* txn 1 writes at a, txn 2 writes at b; then each requests the other's
+     key — the second request must abort with a deadlock. *)
+  Rep.insert a ~txn:1 "k" 1 "v";
+  Rep.insert b ~txn:2 "k" 1 "v";
+  ignore (Rep.insert b ~txn:1 "k" 2 "v") (* txn1 now waits at b *);
+  try
+    Rep.insert a ~txn:2 "k" 2 "v";
+    Alcotest.fail "expected deadlock abort"
+  with Txn.Abort (Txn.Deadlock cycle) ->
+    Alcotest.(check bool) "cycle has both txns" true (List.mem 1 cycle && List.mem 2 cycle)
+
+(* --- crash and recovery ------------------------------------------------------------------ *)
+
+let test_crash_blocks_operations () =
+  let r = seeded () in
+  Rep.crash r;
+  Alcotest.(check bool) "crashed" true (Rep.is_crashed r);
+  (try
+     ignore (Rep.lookup r ~txn:2 (Bound.Key "b"));
+     Alcotest.fail "operation on crashed rep"
+   with Rep.Crashed _ -> ());
+  Rep.recover r;
+  match Rep.lookup r ~txn:3 (Bound.Key "b") with
+  | Present _ -> ()
+  | Absent _ -> Alcotest.fail "state lost after recovery"
+
+let test_recovery_replays_committed_only () =
+  let r = seeded () in
+  Rep.insert r ~txn:2 "x" 9 "uncommitted";
+  Rep.crash r;
+  Rep.recover r;
+  Alcotest.(check (list string)) "uncommitted insert discarded" [ "b"; "d"; "f" ] (keys r)
+
+let test_recovery_preserves_gap_versions () =
+  let r = seeded () in
+  ignore (Rep.coalesce r ~txn:2 ~lo:(Bound.Key "b") ~hi:(Bound.Key "f") 6);
+  Rep.commit r ~txn:2;
+  let gaps_before = Rep.gaps r in
+  Rep.crash r;
+  Rep.recover r;
+  Alcotest.(check bool) "gaps identical" true (Rep.gaps r = gaps_before)
+
+let test_checkpoint_truncates_and_preserves () =
+  let r = seeded () in
+  let wal_before = Rep.wal_length r in
+  Rep.checkpoint r;
+  Alcotest.(check bool) "wal truncated" true (Rep.wal_length r <= wal_before);
+  let entries_before = Rep.entries r and gaps_before = Rep.gaps r in
+  Rep.crash r;
+  Rep.recover r;
+  Alcotest.(check bool) "entries preserved" true (Rep.entries r = entries_before);
+  Alcotest.(check bool) "gaps preserved" true (Rep.gaps r = gaps_before)
+
+let test_checkpoint_rejected_with_active_txn () =
+  let r = seeded () in
+  Rep.insert r ~txn:2 "x" 2 "v";
+  try
+    Rep.checkpoint r;
+    Alcotest.fail "checkpoint with active txn accepted"
+  with Invalid_argument _ -> Rep.abort r ~txn:2
+
+(* Property: random committed history interleaved with crashes, recoveries
+   and checkpoints always recovers to exactly the committed state. *)
+let recovery_equivalence =
+  QCheck.Test.make ~name:"crash recovery preserves committed state" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Repdir_util.Rng.create (Int64.of_int seed) in
+      let r = new_rep () in
+      let next_txn = ref 0 and next_version = ref 1 in
+      let committed_entries = ref [] and committed_gaps = ref (Rep.gaps r) in
+      for _step = 1 to 40 do
+        match Repdir_util.Rng.int rng 10 with
+        | 0 ->
+            Rep.crash r;
+            Rep.recover r;
+            if Rep.entries r <> !committed_entries || Rep.gaps r <> !committed_gaps then
+              failwith "recovery diverged"
+        | 1 ->
+            Rep.checkpoint r;
+            Rep.crash r;
+            Rep.recover r;
+            if Rep.entries r <> !committed_entries then failwith "checkpoint diverged"
+        | n ->
+            incr next_txn;
+            let txn = !next_txn in
+            let commit = n < 8 in
+            let ops = 1 + Repdir_util.Rng.int rng 3 in
+            for _ = 1 to ops do
+              let v = !next_version in
+              incr next_version;
+              if Repdir_util.Rng.bool rng then
+                Rep.insert r ~txn (Key.of_int (Repdir_util.Rng.int rng 15)) v "x"
+              else begin
+                let bounds =
+                  Array.of_list
+                    (Bound.Low :: Bound.High
+                    :: List.map (fun (k, _, _) -> Bound.Key k) (Rep.entries r))
+                in
+                let a = Repdir_util.Rng.pick rng bounds
+                and b = Repdir_util.Rng.pick rng bounds in
+                let lo, hi = if Bound.compare a b <= 0 then (a, b) else (b, a) in
+                if Bound.compare lo hi < 0 then ignore (Rep.coalesce r ~txn ~lo ~hi v)
+              end
+            done;
+            if commit then begin
+              Rep.commit r ~txn;
+              committed_entries := Rep.entries r;
+              committed_gaps := Rep.gaps r
+            end
+            else begin
+              Rep.abort r ~txn;
+              if Rep.entries r <> !committed_entries || Rep.gaps r <> !committed_gaps then
+                failwith "abort did not restore committed state"
+            end
+      done;
+      true)
+
+(* --- counters ------------------------------------------------------------------------------ *)
+
+let test_counters () =
+  let r = seeded () in
+  let c = Rep.counters r in
+  let inserts0 = c.Rep.inserts in
+  ignore (Rep.lookup r ~txn:2 (Bound.Key "b"));
+  ignore (Rep.predecessor r ~txn:2 (Bound.Key "d"));
+  ignore (Rep.successor r ~txn:2 (Bound.Key "d"));
+  Rep.insert r ~txn:2 "z" 2 "v";
+  ignore (Rep.coalesce r ~txn:2 ~lo:(Bound.Key "f") ~hi:Bound.High 3);
+  Rep.commit r ~txn:2;
+  Alcotest.(check int) "lookups" 1 c.Rep.lookups;
+  Alcotest.(check int) "predecessors" 1 c.Rep.predecessors;
+  Alcotest.(check int) "successors" 1 c.Rep.successors;
+  Alcotest.(check int) "inserts" (inserts0 + 1) c.Rep.inserts;
+  Alcotest.(check int) "coalesces" 1 c.Rep.coalesces
+
+let () =
+  Alcotest.run "rep"
+    [
+      ( "operations",
+        [
+          Alcotest.test_case "lookup present/absent" `Quick test_lookup_present_and_absent;
+          Alcotest.test_case "predecessor/successor" `Quick test_predecessor_successor;
+          Alcotest.test_case "coalesce count" `Quick test_coalesce_returns_count;
+          Alcotest.test_case "coalesce missing endpoint" `Quick
+            test_coalesce_missing_endpoint_error;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "predecessor chain" `Quick test_predecessor_chain;
+          Alcotest.test_case "successor chain" `Quick test_successor_chain;
+          Alcotest.test_case "chain gap versions" `Quick test_chain_gap_versions;
+        ] );
+      ( "rollback",
+        [
+          Alcotest.test_case "abort insert" `Quick test_abort_rolls_back_insert;
+          Alcotest.test_case "abort update" `Quick test_abort_rolls_back_update;
+          Alcotest.test_case "abort coalesce" `Quick test_abort_rolls_back_coalesce;
+          Alcotest.test_case "abort mixed ops" `Quick test_abort_mixed_operations;
+        ] );
+      ( "locking",
+        [
+          Alcotest.test_case "strict 2PL to commit" `Quick test_strict_2pl_blocks_conflicting_txn;
+          Alcotest.test_case "waiter used for blocking" `Quick test_waiter_is_used_for_blocking;
+          Alcotest.test_case "cross-rep deadlock aborts" `Quick test_deadlock_raises_txn_abort;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "crash blocks operations" `Quick test_crash_blocks_operations;
+          Alcotest.test_case "replays committed only" `Quick test_recovery_replays_committed_only;
+          Alcotest.test_case "preserves gap versions" `Quick test_recovery_preserves_gap_versions;
+          Alcotest.test_case "checkpoint truncates + preserves" `Quick
+            test_checkpoint_truncates_and_preserves;
+          Alcotest.test_case "checkpoint needs quiescence" `Quick
+            test_checkpoint_rejected_with_active_txn;
+          QCheck_alcotest.to_alcotest recovery_equivalence;
+        ] );
+    ]

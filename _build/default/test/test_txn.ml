@@ -1,0 +1,318 @@
+(* Tests for the transaction facility: manager lifecycle, undo-log ordering,
+   write-ahead-log replay (commit/abort filtering, checkpoints, truncation),
+   and a property test that recovery rebuilds exactly the committed state. *)
+
+open Repdir_key
+open Repdir_txn
+open Repdir_gapmap.Gapmap_intf
+module G = Repdir_gapmap.Reference
+module Apply = Undo.Apply (Repdir_gapmap.Reference)
+module Replay = Wal.Replay (Repdir_gapmap.Reference)
+
+(* --- manager -------------------------------------------------------------------- *)
+
+let test_manager_ids_increase () =
+  let m = Txn.Manager.create () in
+  let a = Txn.Manager.begin_txn m in
+  let b = Txn.Manager.begin_txn m in
+  Alcotest.(check bool) "strictly increasing" true (b > a)
+
+let test_manager_lifecycle () =
+  let m = Txn.Manager.create () in
+  let a = Txn.Manager.begin_txn m in
+  Alcotest.(check bool) "active" true (Txn.Manager.status m a = Txn.Active);
+  Txn.Manager.commit m a;
+  Alcotest.(check bool) "committed" true (Txn.Manager.status m a = Txn.Committed);
+  let b = Txn.Manager.begin_txn m in
+  Txn.Manager.abort m b;
+  Alcotest.(check bool) "aborted" true (Txn.Manager.status m b = Txn.Aborted)
+
+let test_manager_double_commit_rejected () =
+  let m = Txn.Manager.create () in
+  let a = Txn.Manager.begin_txn m in
+  Txn.Manager.commit m a;
+  (try
+     Txn.Manager.commit m a;
+     Alcotest.fail "double commit accepted"
+   with Invalid_argument _ -> ());
+  try
+    Txn.Manager.abort m a;
+    Alcotest.fail "abort after commit accepted"
+  with Invalid_argument _ -> ()
+
+let test_manager_unknown_txn () =
+  let m = Txn.Manager.create () in
+  try
+    ignore (Txn.Manager.status m 999);
+    Alcotest.fail "unknown txn accepted"
+  with Invalid_argument _ -> ()
+
+let test_manager_active_list () =
+  let m = Txn.Manager.create () in
+  let a = Txn.Manager.begin_txn m in
+  let b = Txn.Manager.begin_txn m in
+  let c = Txn.Manager.begin_txn m in
+  Txn.Manager.commit m b;
+  Alcotest.(check (list int)) "active set" [ a; c ] (Txn.Manager.active m)
+
+(* --- undo ----------------------------------------------------------------------- *)
+
+let test_undo_rollback_insert () =
+  let g = G.create () in
+  let undo = Undo.create () in
+  G.insert g "k" 1 "v";
+  Undo.record undo ~txn:1 (Undo.Remove_entry "k");
+  Apply.rollback undo ~txn:1 g;
+  Alcotest.(check int) "entry removed" 0 (G.size g);
+  Alcotest.(check (list int)) "log forgotten" [] (Undo.active_txns undo)
+
+let test_undo_rollback_update () =
+  let g = G.create () in
+  let undo = Undo.create () in
+  G.insert g "k" 1 "old";
+  Undo.record undo ~txn:1 (Undo.Restore_entry ("k", 1, "old"));
+  G.insert g "k" 2 "new";
+  Apply.rollback undo ~txn:1 g;
+  match G.lookup g (Bound.Key "k") with
+  | Present { version; value } ->
+      Alcotest.(check int) "old version" 1 version;
+      Alcotest.(check string) "old value" "old" value
+  | Absent _ -> Alcotest.fail "entry lost"
+
+let test_undo_rollback_coalesce () =
+  (* Forward: coalesce (a, d) at version 9, destroying entries b, c and the
+     gap structure. The inverse must restore entries *and* per-gap
+     versions exactly. *)
+  let g = G.create () in
+  let undo = Undo.create () in
+  List.iter (fun (k, v) -> G.insert g k v k) [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ];
+  ignore (G.coalesce g ~lo:(Bound.Key "b") ~hi:(Bound.Key "c") 5);
+  (* state: a -0- b -5- c -0- d, entries b@2 c@3 *)
+  let before_entries = G.entries g and before_gaps = G.gaps g in
+  (* Record inverse of coalesce (a, d) -> v9 in application order:
+     re-insert b and c, then restore gaps after a, b, c. *)
+  let doomed = G.entries_between g ~lo:(Bound.Key "a") ~hi:(Bound.Key "d") in
+  let gap_after_a = 0 in
+  Undo.record undo ~txn:7 (Undo.Restore_gap (Bound.Key "a", gap_after_a));
+  List.iter
+    (fun (k, _, _, gap) -> Undo.record undo ~txn:7 (Undo.Restore_gap (Bound.Key k, gap)))
+    doomed;
+  List.iter
+    (fun (k, v, value, _) -> Undo.record undo ~txn:7 (Undo.Restore_entry (k, v, value)))
+    doomed;
+  ignore (G.coalesce g ~lo:(Bound.Key "a") ~hi:(Bound.Key "d") 9);
+  Alcotest.(check int) "coalesce removed" 2 (G.size g);
+  Apply.rollback undo ~txn:7 g;
+  Alcotest.(check bool) "entries restored" true (G.entries g = before_entries);
+  Alcotest.(check bool) "gaps restored" true (G.gaps g = before_gaps)
+
+let test_undo_reverse_order () =
+  (* Two updates of the same key in one transaction: rollback must end at
+     the original value, not the intermediate one. *)
+  let g = G.create () in
+  let undo = Undo.create () in
+  G.insert g "k" 1 "v1";
+  Undo.record undo ~txn:1 (Undo.Restore_entry ("k", 1, "v1"));
+  G.insert g "k" 2 "v2";
+  Undo.record undo ~txn:1 (Undo.Restore_entry ("k", 2, "v2"));
+  G.insert g "k" 3 "v3";
+  Apply.rollback undo ~txn:1 g;
+  match G.lookup g (Bound.Key "k") with
+  | Present { version; value } ->
+      Alcotest.(check int) "original version" 1 version;
+      Alcotest.(check string) "original value" "v1" value
+  | Absent _ -> Alcotest.fail "entry lost"
+
+let test_undo_txn_isolation () =
+  let undo = Undo.create () in
+  Undo.record undo ~txn:1 (Undo.Remove_entry "a");
+  Undo.record undo ~txn:2 (Undo.Remove_entry "b");
+  Alcotest.(check int) "txn1 has one action" 1 (List.length (Undo.actions undo ~txn:1));
+  Undo.forget undo ~txn:1;
+  Alcotest.(check int) "txn1 cleared" 0 (List.length (Undo.actions undo ~txn:1));
+  Alcotest.(check int) "txn2 untouched" 1 (List.length (Undo.actions undo ~txn:2))
+
+(* --- wal ------------------------------------------------------------------------- *)
+
+let test_wal_replay_commits_only () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Insert (1, "a", 1, "va"));
+  Wal.append w (Wal.Commit 1);
+  Wal.append w (Wal.Begin 2);
+  Wal.append w (Wal.Insert (2, "b", 1, "vb"));
+  Wal.append w (Wal.Abort 2);
+  Wal.append w (Wal.Begin 3);
+  Wal.append w (Wal.Insert (3, "c", 1, "vc"));
+  (* txn 3: crashed before commit — no outcome record *)
+  let g = Replay.replay w in
+  Alcotest.(check (list string)) "only committed entries" [ "a" ]
+    (List.map (fun (k, _, _) -> k) (G.entries g))
+
+let test_wal_replay_coalesce () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Insert (1, "a", 1, "va"));
+  Wal.append w (Wal.Insert (1, "b", 1, "vb"));
+  Wal.append w (Wal.Insert (1, "c", 1, "vc"));
+  Wal.append w (Wal.Commit 1);
+  Wal.append w (Wal.Coalesce (2, Bound.Key "a", Bound.Key "c", 2));
+  Wal.append w (Wal.Commit 2);
+  let g = Replay.replay w in
+  Alcotest.(check (list string)) "b coalesced away" [ "a"; "c" ]
+    (List.map (fun (k, _, _) -> k) (G.entries g));
+  match G.lookup g (Bound.Key "b") with
+  | Absent { gap_version } -> Alcotest.(check int) "gap version" 2 gap_version
+  | Present _ -> Alcotest.fail "b should be gone"
+
+let test_wal_committed_flag () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Insert (1, "a", 1, "v"));
+  Alcotest.(check bool) "not committed yet" false (Wal.committed w 1);
+  Wal.append w (Wal.Commit 1);
+  Alcotest.(check bool) "committed" true (Wal.committed w 1)
+
+let test_wal_checkpoint_roundtrip () =
+  let g = G.create () in
+  G.insert g "a" 3 "va";
+  G.insert g "m" 7 "vm";
+  ignore (G.coalesce g ~lo:(Bound.Key "a") ~hi:(Bound.Key "m") 5);
+  let cp = Wal.checkpoint_of_map (G.entries g) ~gaps:(G.gaps g) in
+  let w = Wal.create () in
+  Wal.append w (Wal.Checkpoint cp);
+  let g' = Replay.replay w in
+  Alcotest.(check bool) "entries equal" true (G.entries g = G.entries g');
+  Alcotest.(check bool) "gaps equal" true (G.gaps g = G.gaps g')
+
+let test_wal_truncate () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Insert (1, "a", 1, "v"));
+  Wal.append w (Wal.Commit 1);
+  let cp = { Wal.entries = [ ("a", 1, "v", 0) ]; low_gap = 0 } in
+  Wal.append w (Wal.Checkpoint cp);
+  Wal.append w (Wal.Insert (2, "b", 1, "v"));
+  Wal.append w (Wal.Commit 2);
+  Alcotest.(check int) "before truncate" 5 (Wal.length w);
+  Wal.truncate_to_checkpoint w;
+  Alcotest.(check int) "after truncate" 3 (Wal.length w);
+  let g = Replay.replay w in
+  Alcotest.(check (list string)) "state preserved" [ "a"; "b" ]
+    (List.map (fun (k, _, _) -> k) (G.entries g))
+
+let test_wal_truncate_without_checkpoint () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Insert (1, "a", 1, "v"));
+  Wal.truncate_to_checkpoint w;
+  Alcotest.(check int) "no-op" 1 (Wal.length w)
+
+let test_wal_checkpoint_then_more_commits () =
+  (* Records after the checkpoint apply on top of it; records before are
+     superseded by it. *)
+  let w = Wal.create () in
+  Wal.append w (Wal.Insert (1, "before", 1, "v"));
+  Wal.append w (Wal.Commit 1);
+  let cp = { Wal.entries = [ ("cp", 5, "v", 2) ]; low_gap = 1 } in
+  Wal.append w (Wal.Checkpoint cp);
+  Wal.append w (Wal.Insert (2, "after", 3, "v"));
+  Wal.append w (Wal.Commit 2);
+  let g = Replay.replay w in
+  Alcotest.(check (list string)) "checkpoint replaces prior state" [ "after"; "cp" ]
+    (List.map (fun (k, _, _) -> k) (G.entries g))
+
+(* Property: interleave random committed/aborted transactions; replay equals
+   the live map with aborted transactions rolled back. *)
+let wal_replay_matches_live =
+  QCheck.Test.make ~name:"wal replay equals committed live state" ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Repdir_util.Rng.create (Int64.of_int seed) in
+      let live = G.create () in
+      let undo = Undo.create () in
+      let w = Wal.create () in
+      let next_version = ref 1 in
+      let keys = Array.init 12 (fun i -> Key.of_int i) in
+      for txn = 1 to 20 do
+        Wal.append w (Wal.Begin txn);
+        let n_ops = 1 + Repdir_util.Rng.int rng 3 in
+        for _ = 1 to n_ops do
+          let v = !next_version in
+          incr next_version;
+          if Repdir_util.Rng.int rng 3 < 2 then begin
+            let k = Repdir_util.Rng.pick rng keys in
+            (match G.lookup live (Bound.Key k) with
+            | Present { version; value } ->
+                Undo.record undo ~txn (Undo.Restore_entry (k, version, value))
+            | Absent _ -> Undo.record undo ~txn (Undo.Remove_entry k));
+            Wal.append w (Wal.Insert (txn, k, v, "x"));
+            G.insert live k v "x"
+          end
+          else begin
+            (* coalesce between two random existing bounds *)
+            let bounds =
+              Bound.Low :: Bound.High
+              :: List.map (fun (k, _, _) -> Bound.Key k) (G.entries live)
+            in
+            let arr = Array.of_list bounds in
+            let a = Repdir_util.Rng.pick rng arr and b = Repdir_util.Rng.pick rng arr in
+            let lo, hi = if Bound.compare a b <= 0 then (a, b) else (b, a) in
+            if Bound.compare lo hi < 0 then begin
+              let doomed = G.entries_between live ~lo ~hi in
+              let gap_lo = (G.successor live lo).gap_version in
+              Undo.record undo ~txn (Undo.Restore_gap (lo, gap_lo));
+              List.iter
+                (fun (k, _, _, gap) ->
+                  Undo.record undo ~txn (Undo.Restore_gap (Bound.Key k, gap)))
+                doomed;
+              List.iter
+                (fun (k, ver, value, _) ->
+                  Undo.record undo ~txn (Undo.Restore_entry (k, ver, value)))
+                doomed;
+              Wal.append w (Wal.Coalesce (txn, lo, hi, v));
+              ignore (G.coalesce live ~lo ~hi v)
+            end
+          end
+        done;
+        if Repdir_util.Rng.bool rng then begin
+          Wal.append w (Wal.Commit txn);
+          Undo.forget undo ~txn
+        end
+        else begin
+          Wal.append w (Wal.Abort txn);
+          Apply.rollback undo ~txn live
+        end
+      done;
+      let replayed = Replay.replay w in
+      G.entries replayed = G.entries live && G.gaps replayed = G.gaps live)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "manager",
+        [
+          Alcotest.test_case "ids increase" `Quick test_manager_ids_increase;
+          Alcotest.test_case "lifecycle" `Quick test_manager_lifecycle;
+          Alcotest.test_case "double commit rejected" `Quick test_manager_double_commit_rejected;
+          Alcotest.test_case "unknown txn" `Quick test_manager_unknown_txn;
+          Alcotest.test_case "active list" `Quick test_manager_active_list;
+        ] );
+      ( "undo",
+        [
+          Alcotest.test_case "rollback insert" `Quick test_undo_rollback_insert;
+          Alcotest.test_case "rollback update" `Quick test_undo_rollback_update;
+          Alcotest.test_case "rollback coalesce" `Quick test_undo_rollback_coalesce;
+          Alcotest.test_case "reverse order" `Quick test_undo_reverse_order;
+          Alcotest.test_case "txn isolation" `Quick test_undo_txn_isolation;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "replay commits only" `Quick test_wal_replay_commits_only;
+          Alcotest.test_case "replay coalesce" `Quick test_wal_replay_coalesce;
+          Alcotest.test_case "committed flag" `Quick test_wal_committed_flag;
+          Alcotest.test_case "checkpoint roundtrip" `Quick test_wal_checkpoint_roundtrip;
+          Alcotest.test_case "truncate" `Quick test_wal_truncate;
+          Alcotest.test_case "truncate without checkpoint" `Quick
+            test_wal_truncate_without_checkpoint;
+          Alcotest.test_case "checkpoint then more commits" `Quick
+            test_wal_checkpoint_then_more_commits;
+          QCheck_alcotest.to_alcotest wal_replay_matches_live;
+        ] );
+    ]

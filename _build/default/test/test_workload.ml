@@ -1,0 +1,121 @@
+(* Tests for the §4 workload generator: op mix, size stationarity, mirror
+   consistency, key freshness, and determinism. *)
+
+open Repdir_util
+open Repdir_workload
+
+let make ?(seed = 1L) ?update_fraction ?lookup_fraction ~target () =
+  Workload.create ?update_fraction ?lookup_fraction ~rng:(Rng.create seed)
+    ~target_size:target ()
+
+let test_initial_fill_reaches_target () =
+  let w = make ~target:100 () in
+  let fill = Workload.initial_fill w in
+  Alcotest.(check int) "exactly target inserts" 100 (List.length fill);
+  Alcotest.(check int) "mirror size" 100 (Workload.size w);
+  List.iter
+    (function Workload.Insert _ -> () | _ -> Alcotest.fail "fill must be inserts")
+    fill
+
+let test_size_stays_near_target () =
+  let w = make ~target:100 () in
+  ignore (Workload.initial_fill w);
+  for _ = 1 to 10_000 do
+    ignore (Workload.next w);
+    let s = Workload.size w in
+    Alcotest.(check bool) "within one of target" true (s >= 99 && s <= 100)
+  done
+
+let test_op_mix () =
+  let w = make ~update_fraction:0.4 ~target:50 () in
+  ignore (Workload.initial_fill w);
+  let updates = ref 0 and inserts = ref 0 and deletes = ref 0 and lookups = ref 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    match Workload.next w with
+    | Workload.Update _ -> incr updates
+    | Workload.Insert _ -> incr inserts
+    | Workload.Delete _ -> incr deletes
+    | Workload.Lookup _ -> incr lookups
+  done;
+  Alcotest.(check int) "no lookups by default" 0 !lookups;
+  let frac_updates = float_of_int !updates /. float_of_int n in
+  Alcotest.(check bool) "update fraction honoured" true (abs_float (frac_updates -. 0.4) < 0.03);
+  (* Inserts and deletes alternate around the target. *)
+  Alcotest.(check bool) "insert/delete balance" true (abs (!inserts - !deletes) <= 1)
+
+let test_lookup_fraction () =
+  let w = make ~lookup_fraction:0.5 ~update_fraction:0.25 ~target:50 () in
+  ignore (Workload.initial_fill w);
+  let lookups = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match Workload.next w with Workload.Lookup _ -> incr lookups | _ -> ()
+  done;
+  let frac = float_of_int !lookups /. float_of_int n in
+  Alcotest.(check bool) "lookup fraction honoured" true (abs_float (frac -. 0.5) < 0.03)
+
+let test_mirror_matches_application () =
+  (* Applying the generated stream to a real map yields exactly the mirror. *)
+  let w = make ~target:60 () in
+  let model = Hashtbl.create 64 in
+  let apply = function
+    | Workload.Insert (k, v) ->
+        Alcotest.(check bool) "insert key fresh" false (Hashtbl.mem model k);
+        Hashtbl.replace model k v
+    | Workload.Update (k, v) ->
+        Alcotest.(check bool) "update key exists" true (Hashtbl.mem model k);
+        Hashtbl.replace model k v
+    | Workload.Delete k ->
+        Alcotest.(check bool) "delete key exists" true (Hashtbl.mem model k);
+        Hashtbl.remove model k
+    | Workload.Lookup _ -> ()
+  in
+  List.iter apply (Workload.initial_fill w);
+  for _ = 1 to 5_000 do
+    apply (Workload.next w)
+  done;
+  Alcotest.(check int) "mirror size equals model" (Hashtbl.length model) (Workload.size w)
+
+let test_deterministic () =
+  let trace seed =
+    let w = make ~seed ~target:30 () in
+    ignore (Workload.initial_fill w);
+    List.init 200 (fun _ -> Format.asprintf "%a" Workload.pp_op (Workload.next w))
+  in
+  Alcotest.(check bool) "same seed same stream" true (trace 9L = trace 9L);
+  Alcotest.(check bool) "different seed differs" true (trace 9L <> trace 10L)
+
+let test_random_existing_key () =
+  let w = make ~target:10 () in
+  Alcotest.(check bool) "empty -> none" true (Workload.random_existing_key w = None);
+  ignore (Workload.initial_fill w);
+  match Workload.random_existing_key w with
+  | Some _ -> ()
+  | None -> Alcotest.fail "non-empty -> some"
+
+let test_bad_parameters_rejected () =
+  (try
+     ignore (make ~target:0 ());
+     Alcotest.fail "zero target accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (make ~update_fraction:0.8 ~lookup_fraction:0.5 ~target:10 ());
+    Alcotest.fail "fractions above 1 accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "initial fill" `Quick test_initial_fill_reaches_target;
+          Alcotest.test_case "size stationary" `Quick test_size_stays_near_target;
+          Alcotest.test_case "op mix" `Slow test_op_mix;
+          Alcotest.test_case "lookup fraction" `Slow test_lookup_fraction;
+          Alcotest.test_case "mirror matches application" `Quick test_mirror_matches_application;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "random existing key" `Quick test_random_existing_key;
+          Alcotest.test_case "bad parameters" `Quick test_bad_parameters_rejected;
+        ] );
+    ]
