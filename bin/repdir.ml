@@ -139,13 +139,54 @@ let faults_cmd =
   let ops_per_phase_t =
     Arg.(value & opt int 150 & info [ "ops-per-phase" ] ~docv:"N" ~doc:"Operations per phase.")
   in
-  let run seed ops_per_phase =
-    print_endline "Crash/recovery timeline on the discrete-event simulator (3-2-2 suite)";
-    print_table (Faults.table ~seed ~ops_per_phase ())
+  let retries_t =
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"K"
+           ~doc:"Client-level attempts per operation (1 = no retries).")
+  in
+  let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
+  let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
+  let w_t = Arg.(value & opt int 2 & info [ "w" ] ~docv:"W" ~doc:"Write quorum.") in
+  let run seed ops_per_phase retries n r w =
+    let config = Repdir_quorum.Config.simple ~n ~r ~w in
+    Printf.printf "Crash/recovery timeline on the discrete-event simulator (%s suite)\n"
+      (Repdir_quorum.Config.to_string config);
+    print_table (Faults.table ~seed ~ops_per_phase ~retries ~config ())
   in
   Cmd.v
     (Cmd.info "faults" ~doc:"Availability and consistency under crash/recovery")
-    Term.(const run $ seed_t $ ops_per_phase_t)
+    Term.(const run $ seed_t $ ops_per_phase_t $ retries_t $ n_t $ r_t $ w_t)
+
+let nemesis_cmd =
+  let duration_t =
+    Arg.(value & opt float 1000.0 & info [ "duration" ] ~docv:"T"
+           ~doc:"Virtual time each fault plan runs for.")
+  in
+  let keys_t =
+    Arg.(value & opt int 30 & info [ "keys" ] ~docv:"N" ~doc:"Size of the key space.")
+  in
+  let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
+  let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
+  let w_t = Arg.(value & opt int 2 & info [ "w" ] ~docv:"W" ~doc:"Write quorum.") in
+  let run seed duration keys n r w =
+    let config = Repdir_quorum.Config.simple ~n ~r ~w in
+    Printf.printf
+      "Nemesis campaign (%s suite): crash storm, rolling partition, flaky links, torn-WAL \
+       crashes\n\
+       Hardened transport: at-most-once RPC (request-id dedup), bounded retries with \
+       backoff+jitter, 2PC; every response checked against a sequential model.\n"
+      (Repdir_quorum.Config.to_string config);
+    let outcomes = Nemesis.run_all ~seed ~config ~duration ~key_space:keys () in
+    print_table (Nemesis.table_of_outcomes outcomes);
+    let total = List.fold_left (fun a o -> a + o.Nemesis.violations) 0 outcomes in
+    if total > 0 then begin
+      Printf.printf "FAILED: %d sequential-model violations\n" total;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:"Adversarial fault campaign: the suite must stay consistent through all of it")
+    Term.(const run $ seed_t $ duration_t $ keys_t $ n_t $ r_t $ w_t)
 
 let latency_cmd =
   let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
@@ -222,6 +263,7 @@ let () =
             skew_cmd;
             locality_cmd;
             faults_cmd;
+            nemesis_cmd;
             latency_cmd;
             space_cmd;
             batching_cmd;

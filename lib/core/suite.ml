@@ -11,14 +11,21 @@ exception Unavailable of string
 
 module Int_set = Set.Make (Int)
 
+(* Per-transaction session: which representatives the transaction has
+   operated on, and each one's incarnation number at first contact. A
+   participant that restarts mid-transaction has lost the transaction's
+   volatile state — locks, undo records, possibly unforced log records — so
+   any evidence of a restart (a changed incarnation) must fail the
+   transaction rather than let a half-remembered participant vote. *)
+type session = { mutable reps : Int_set.t; incarnations : (int, int) Hashtbl.t }
+
 type t = {
   config : Config.t;
   picker : Picker.strategy;
   transport : Transport.t;
   txns : Txn.Manager.t;
   rng : Rng.t;
-  touched : (Txn.id, Int_set.t ref) Hashtbl.t;
-      (* representatives each open transaction has operated on *)
+  touched : (Txn.id, session) Hashtbl.t;
   two_phase : bool;
   registry : Commit_registry.t;
   batch_depth : int;
@@ -62,11 +69,43 @@ type ctx = { txn : Txn.id; mutable excluded : Int_set.t; suite : t }
 
 let fanout ctx f arr = ctx.suite.transport.Transport.fanout.Transport.map f arr
 
+let restarted i =
+  Unavailable (Printf.sprintf "representative %d restarted mid-transaction" i)
+
 let call ctx i f =
-  (match Hashtbl.find_opt ctx.suite.touched ctx.txn with
-  | Some set -> set := Int_set.add i !set
-  | None -> Hashtbl.replace ctx.suite.touched ctx.txn (ref (Int_set.singleton i)));
-  Transport.call_exn ctx.suite.transport i f
+  let t = ctx.suite in
+  let s =
+    match Hashtbl.find_opt t.touched ctx.txn with
+    | Some s -> s
+    | None ->
+        let s = { reps = Int_set.empty; incarnations = Hashtbl.create 8 } in
+        Hashtbl.replace t.touched ctx.txn s;
+        s
+  in
+  s.reps <- Int_set.add i s.reps;
+  let seen = t.transport.Transport.incarnation i in
+  (match Hashtbl.find_opt s.incarnations i with
+  | None -> Hashtbl.replace s.incarnations i seen
+  | Some first when first <> seen -> raise (restarted i)
+  | Some _ -> ());
+  let check_same_incarnation () =
+    match Hashtbl.find_opt s.incarnations i with
+    | Some first when t.transport.Transport.incarnation i <> first -> raise (restarted i)
+    | _ -> ()
+  in
+  match Transport.call_exn t.transport i f with
+  | r ->
+      (* The participant may have restarted while the call was in flight: an
+         at-most-once retransmission then re-executed against an amnesiac
+         incarnation that knows nothing of the transaction's earlier ops. *)
+      check_same_incarnation ();
+      r
+  | exception e ->
+      (* Same window: a re-execution against post-recovery state can fail in
+         arbitrary ways (missing endpoints, spurious lock conflicts). The
+         restart, not the symptom, is the real error. *)
+      check_same_incarnation ();
+      raise e
 
 let available ctx i =
   ctx.suite.transport.Transport.is_up i && not (Int_set.mem i ctx.excluded)
@@ -344,12 +383,12 @@ let do_delete ctx key =
 let abort_touched t txn =
   match Hashtbl.find_opt t.touched txn with
   | None -> ()
-  | Some set ->
+  | Some s ->
       Int_set.iter
         (fun i ->
           match t.transport.Transport.call i (fun rep -> Rep.abort rep ~txn) with
           | Ok () | Error _ -> ())
-        !set;
+        s.reps;
       Hashtbl.remove t.touched txn
 
 (* Single-phase commit: best effort. A representative that crashed after
@@ -369,18 +408,31 @@ let commit_one_phase t txn set =
    coordinator registry, then commit. Any prepare failure — or losing the
    decision race to a recovering in-doubt participant — aborts the whole
    transaction atomically. *)
-let commit_two_phase t txn set =
+let commit_two_phase t txn s =
+  (* A yes-vote is only valid from the incarnation that executed the
+     transaction's operations: a participant that restarted since first
+     contact has lost volatile state (and a crash may have destroyed its
+     unforced log records), so whatever it would vote is worthless — checked
+     both before preparing and after the vote lands, in case the restart
+     happens while the prepare call itself is in flight. *)
+  let same_incarnation i =
+    match Hashtbl.find_opt s.incarnations i with
+    | Some first -> t.transport.Transport.incarnation i = first
+    | None -> true
+  in
   let all_prepared =
     Int_set.for_all
       (fun i ->
+        same_incarnation i
+        &&
         match t.transport.Transport.call i (fun rep -> Rep.prepare rep ~txn) with
-        | Ok () -> true
+        | Ok () -> same_incarnation i
         | Error _ -> false
         | exception Txn.Abort _ ->
             (* The representative refused the vote (e.g. it lost this
                transaction's effects in a crash). *)
             false)
-      set
+      s.reps
   in
   let decision =
     if all_prepared then Commit_registry.try_decide t.registry txn Commit_registry.Committed
@@ -395,7 +447,7 @@ let commit_two_phase t txn set =
               (* A participant that crashed here is in doubt; its recovery
                  reads the registry and replays our effects. *)
               ())
-        set;
+        s.reps;
       Hashtbl.remove t.touched txn
   | Commit_registry.Aborted ->
       abort_touched t txn;
@@ -404,8 +456,8 @@ let commit_two_phase t txn set =
 let commit_touched t txn =
   match Hashtbl.find_opt t.touched txn with
   | None -> ()
-  | Some set ->
-      if t.two_phase then commit_two_phase t txn !set else commit_one_phase t txn !set
+  | Some s ->
+      if t.two_phase then commit_two_phase t txn s else commit_one_phase t txn s.reps
 
 let with_txn t f =
   let txn = Txn.Manager.begin_txn t.txns in
@@ -423,6 +475,26 @@ let with_txn t f =
       abort_touched t txn;
       Txn.Manager.abort t.txns txn;
       raise e
+
+(* Bounded client-level retry: transient failures (no quorum right now, a
+   deadlock abort) heal with time, so re-running the whole operation — a
+   fresh transaction with fresh quorums — after an exponentially backed-off
+   pause is the standard recovery. Aborted attempts rolled everything back,
+   so a re-run never double-applies. *)
+let with_retries ?(attempts = 5) ?(backoff = 1.0) ?(sleep = fun _ -> ()) ?rng f =
+  if attempts < 1 then invalid_arg "Suite.with_retries: need at least one attempt";
+  let rec go k =
+    try f ()
+    with
+    | (Unavailable _ | Txn.Abort (Txn.Deadlock _) | Txn.Abort (Txn.Unavailable _)) as e ->
+      if k + 1 >= attempts then raise e
+      else begin
+        let jitter = match rng with Some r -> 0.5 +. Rng.float r 1.0 | None -> 1.0 in
+        sleep (backoff *. (2.0 ** float_of_int k) *. jitter);
+        go (k + 1)
+      end
+  in
+  go 0
 
 (* Run an operation body, re-running with the failed representative excluded
    when the transport fails mid-flight. Representative operations are

@@ -123,3 +123,22 @@ val with_txn : t -> (Txn.id -> 'a) -> 'a
 (** Run several suite operations as one atomic transaction: 2PL locks are
     held across the whole body and released at the commit (or rollback on
     exception, which is then re-raised). *)
+
+(* --- client-level retry ----------------------------------------------------- *)
+
+val with_retries :
+  ?attempts:int ->
+  ?backoff:float ->
+  ?sleep:(float -> unit) ->
+  ?rng:Repdir_util.Rng.t ->
+  (unit -> 'a) ->
+  'a
+(** [with_retries f] runs [f], re-running it when it fails transiently —
+    {!Unavailable} (no quorum) or a transaction abort for deadlock or
+    unavailability — up to [attempts] times total (default 5). Failed
+    attempts were rolled back by the transaction machinery, so re-running is
+    safe. Between attempts it calls [sleep] (default: none — e.g.
+    [Sim.sleep sim] on the simulator) with an exponential backoff starting
+    at [backoff] (default 1.0), jittered uniformly in [0.5, 1.5) when [rng]
+    is supplied. The final failure is re-raised; non-transient exceptions
+    propagate immediately. *)

@@ -15,20 +15,24 @@ let sequential_fanout = { map = (fun f arr -> Array.map f arr) }
 type t = {
   n_reps : int;
   is_up : int -> bool;
+  incarnation : int -> int;
   call : 'r. int -> (Rep.t -> 'r) -> ('r, error) result;
   fanout : fanout;
   mutable rpc_count : int;
+  mutable retry_count : int;
 }
 
 let local reps =
   {
     n_reps = Array.length reps;
     is_up = (fun i -> not (Rep.is_crashed reps.(i)));
+    incarnation = (fun i -> Rep.incarnation reps.(i));
     call =
       (fun i f ->
         try Ok (f reps.(i)) with Rep.Crashed name -> Error (Down name));
     fanout = sequential_fanout;
     rpc_count = 0;
+    retry_count = 0;
   }
 
 let call_exn t i f =

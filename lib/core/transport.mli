@@ -33,12 +33,20 @@ type t = {
   is_up : int -> bool;
       (** Availability hint used for quorum selection; a representative that
           looks up may still fail mid-call. *)
+  incarnation : int -> int;
+      (** The representative's current incarnation number (recovery count),
+          as a session layer would learn it from reply metadata. A change
+          between two reads brackets a restart: the representative has lost
+          all volatile state it held for the caller. *)
   call : 'r. int -> (Rep.t -> 'r) -> ('r, error) result;
       (** Run one representative operation. Exceptions raised by the
           operation itself (deadlock aborts, missing endpoints) propagate;
           [Error] is reserved for transport-level failures. *)
   fanout : fanout;
   mutable rpc_count : int;  (** total calls issued, for the statistics *)
+  mutable retry_count : int;
+      (** transport-level retransmissions performed under the calls (0 for
+          transports without a retry layer) *)
 }
 
 val local : Rep.t array -> t

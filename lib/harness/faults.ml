@@ -13,12 +13,15 @@ type phase = {
 
 type outcome = { phases : phase list; consistency_violations : int }
 
-let run ?(seed = 33L) ?(ops_per_phase = 150) () =
-  let config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2 in
+let run ?(seed = 33L) ?(ops_per_phase = 150) ?(retries = 1)
+    ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2) () =
+  let n = Repdir_quorum.Config.n_reps config in
+  if n < 2 then invalid_arg "Faults.run: need at least two representatives";
   let world = Sim_world.create ~seed ~rpc_timeout:30.0 ~n_clients:1 ~config () in
   let sim = Sim_world.sim world in
   let suite = Sim_world.suite_for_client world 0 in
   let rng = Rng.create (Int64.add seed 1L) in
+  let retry_rng = Rng.create (Int64.add seed 2L) in
   let model : (string, string) Hashtbl.t = Hashtbl.create 64 in
   let violations = ref 0 in
   let phases = ref [] in
@@ -27,30 +30,35 @@ let run ?(seed = 33L) ?(ops_per_phase = 150) () =
       (fun acc r -> if Repdir_rep.Rep.is_crashed r then acc else acc + 1)
       0 (Sim_world.reps world)
   in
-  (* One operation against suite and model; true if it completed. *)
+  (* One operation against suite and model; true if it completed. Transient
+     failures are retried with backoff before the attempt is written off. *)
   let one_op () =
     let key = Key.of_int (Rng.int rng 30) in
     let value = Printf.sprintf "v%f" (Sim.now sim) in
+    (* Drawn outside the retried closure so a retry repeats the same op. *)
+    let kind = Rng.int rng 4 in
     try
-      (match Rng.int rng 4 with
-      | 0 -> (
-          match (Suite.lookup suite key, Hashtbl.find_opt model key) with
-          | Some (_, v), Some v' when String.equal v v' -> ()
-          | None, None -> ()
-          | _ -> incr violations)
-      | 1 -> (
-          match Suite.insert suite key value with
-          | Ok () -> Hashtbl.replace model key value
-          | Error `Already_present ->
-              if not (Hashtbl.mem model key) then incr violations)
-      | 2 -> (
-          match Suite.update suite key value with
-          | Ok () -> Hashtbl.replace model key value
-          | Error `Not_present -> if Hashtbl.mem model key then incr violations)
-      | _ ->
-          let report = Suite.delete suite key in
-          if report.Suite.was_present <> Hashtbl.mem model key then incr violations;
-          Hashtbl.remove model key);
+      Suite.with_retries ~attempts:retries ~backoff:2.0 ~sleep:(Sim.sleep sim)
+        ~rng:retry_rng (fun () ->
+          match kind with
+          | 0 -> (
+              match (Suite.lookup suite key, Hashtbl.find_opt model key) with
+              | Some (_, v), Some v' when String.equal v v' -> ()
+              | None, None -> ()
+              | _ -> incr violations)
+          | 1 -> (
+              match Suite.insert suite key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Already_present ->
+                  if not (Hashtbl.mem model key) then incr violations)
+          | 2 -> (
+              match Suite.update suite key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Not_present -> if Hashtbl.mem model key then incr violations)
+          | _ ->
+              let report = Suite.delete suite key in
+              if report.Suite.was_present <> Hashtbl.mem model key then incr violations;
+              Hashtbl.remove model key);
       true
     with Suite.Unavailable _ -> false
   in
@@ -82,8 +90,8 @@ let run ?(seed = 33L) ?(ops_per_phase = 150) () =
   Sim.run sim;
   { phases = List.rev !phases; consistency_violations = !violations }
 
-let table ?seed ?ops_per_phase () =
-  let o = run ?seed ?ops_per_phase () in
+let table ?seed ?ops_per_phase ?retries ?config () =
+  let o = run ?seed ?ops_per_phase ?retries ?config () in
   let t =
     Table.create
       ~header:[ "Phase"; "Up reps"; "Attempted"; "Succeeded"; "Unavailable" ]

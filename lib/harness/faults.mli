@@ -23,6 +23,23 @@ type outcome = {
       (** lookups disagreeing with the sequential model; must be 0 *)
 }
 
-val run : ?seed:int64 -> ?ops_per_phase:int -> unit -> outcome
+val run :
+  ?seed:int64 ->
+  ?ops_per_phase:int ->
+  ?retries:int ->
+  ?config:Repdir_quorum.Config.t ->
+  unit ->
+  outcome
+(** [retries] (default 1, i.e. none) bounds client-level attempts per
+    operation via {!Repdir_core.Suite.with_retries}; [config] (default the
+    paper's 3-2-2 suite) picks the vote assignment — the crash schedule
+    always downs representatives 0 and then 1, so e.g. a 5-3-3 suite keeps
+    succeeding where 3-2-2 refuses service. *)
 
-val table : ?seed:int64 -> ?ops_per_phase:int -> unit -> Repdir_util.Table.t
+val table :
+  ?seed:int64 ->
+  ?ops_per_phase:int ->
+  ?retries:int ->
+  ?config:Repdir_quorum.Config.t ->
+  unit ->
+  Repdir_util.Table.t

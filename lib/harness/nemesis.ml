@@ -1,0 +1,365 @@
+open Repdir_util
+open Repdir_key
+open Repdir_sim
+open Repdir_core
+module Wal = Repdir_txn.Wal
+
+(* --- fault-plan DSL ---------------------------------------------------------------- *)
+
+type action =
+  | Crash of int
+  | Recover of int
+  | Torn_crash of int * Wal.storage_fault
+  | Partition of int list * int list
+  | Heal
+  | Flaky of Net.faults
+  | Flaky_link of int * int * Net.faults
+  | Steady
+
+type step = { at : float; action : action }
+
+type plan = { plan_name : string; duration : float; steps : step list }
+
+let pp_action ppf = function
+  | Crash i -> Format.fprintf ppf "crash rep%d" i
+  | Recover i -> Format.fprintf ppf "recover rep%d" i
+  | Torn_crash (i, f) ->
+      Format.fprintf ppf "crash rep%d with %a" i Wal.pp_storage_fault f
+  | Partition (a, b) ->
+      let side ppf g =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+          Format.pp_print_int ppf g
+      in
+      Format.fprintf ppf "partition {%a} | {%a}" side a side b
+  | Heal -> Format.pp_print_string ppf "heal partitions"
+  | Flaky _ -> Format.pp_print_string ppf "flaky links (all)"
+  | Flaky_link (a, b, _) -> Format.fprintf ppf "flaky link %d-%d" a b
+  | Steady -> Format.pp_print_string ppf "steady network"
+
+(* --- standard plans ----------------------------------------------------------------- *)
+
+(* Builders draw every choice from a generator seeded by the caller, so a
+   plan is a pure function of (seed, n, duration) and runs replay exactly. *)
+
+let crash_storm ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let steps = ref [] in
+  let t = ref 30.0 in
+  while !t < duration -. 60.0 do
+    (* A wave: each representative independently crashes with probability
+       0.45, staggered a little; everyone recovers before the next wave. *)
+    let hold = 20.0 +. Rng.float rng 20.0 in
+    for i = 0 to n - 1 do
+      if Rng.float rng 1.0 < 0.45 then begin
+        let jitter = Rng.float rng 4.0 in
+        steps := { at = !t +. jitter; action = Crash i } :: !steps;
+        steps := { at = !t +. hold +. Rng.float rng 6.0; action = Recover i } :: !steps
+      end
+    done;
+    t := !t +. hold +. 25.0 +. Rng.float rng 20.0
+  done;
+  { plan_name = "crash storm"; duration; steps = List.rev !steps }
+
+let rolling_partition ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let client = n (* the single client sits on the node after the reps *) in
+  let steps = ref [] in
+  let t = ref 25.0 in
+  let cycle = ref 0 in
+  while !t < duration -. 50.0 do
+    let window = 25.0 +. Rng.float rng 20.0 in
+    let i = !cycle mod n in
+    let rest = List.filter (fun j -> j <> i) (List.init n Fun.id) in
+    (* Usually isolate one representative from everyone (client included) —
+       the suite must keep going on the remaining quorum. Every third cycle,
+       trap the client alone with that representative instead: no quorum is
+       reachable, every operation must fail cleanly, and healing must leave
+       no split-brain. *)
+    let groups =
+      if !cycle mod 3 = 2 then ([ client; i ], rest) else ([ i ], client :: rest)
+    in
+    steps := { at = !t; action = Partition (fst groups, snd groups) } :: !steps;
+    steps := { at = !t +. window; action = Heal } :: !steps;
+    incr cycle;
+    t := !t +. window +. 10.0 +. Rng.float rng 10.0
+  done;
+  { plan_name = "rolling partition"; duration; steps = List.rev !steps }
+
+let flaky_links ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let gremlin =
+    {
+      Net.drop = 0.05;
+      duplicate = 0.12;
+      reorder = 0.25;
+      reorder_delay = 10.0;
+      spike = 0.05;
+      spike_factor = 4.0;
+    }
+  in
+  let client = n (* the single client sits on the node after the reps *) in
+  let steps = ref [] in
+  let t = ref 20.0 in
+  let phase = ref 0 in
+  while !t < duration -. 40.0 do
+    let window = 40.0 +. Rng.float rng 20.0 in
+    (* Alternate network-wide gremlins with a single very lossy client
+       link — the per-link override path. *)
+    (if !phase mod 2 = 0 then steps := { at = !t; action = Flaky gremlin } :: !steps
+     else
+       let victim = Rng.int rng n in
+       steps :=
+         {
+           at = !t;
+           action =
+             Flaky_link
+               (client, victim, { gremlin with drop = 0.35; duplicate = 0.25 });
+         }
+         :: !steps);
+    steps := { at = !t +. window; action = Steady } :: !steps;
+    incr phase;
+    t := !t +. window +. 10.0 +. Rng.float rng 10.0
+  done;
+  { plan_name = "flaky links"; duration; steps = List.rev !steps }
+
+let torn_wal_crashes ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let faults = [| Wal.Tear_tail; Wal.Corrupt_tail; Wal.Truncate_tail 1; Wal.Truncate_tail 2 |] in
+  let steps = ref [] in
+  let t = ref 30.0 in
+  let k = ref 0 in
+  while !t < duration -. 60.0 do
+    let victim = Rng.int rng n in
+    let fault = faults.(!k mod Array.length faults) in
+    let hold = 15.0 +. Rng.float rng 15.0 in
+    steps := { at = !t; action = Torn_crash (victim, fault) } :: !steps;
+    steps := { at = !t +. hold; action = Recover victim } :: !steps;
+    incr k;
+    t := !t +. hold +. 20.0 +. Rng.float rng 15.0
+  done;
+  { plan_name = "torn-WAL crashes"; duration; steps = List.rev !steps }
+
+let standard_plans ?(duration = 1000.0) ~n ~seed () =
+  let mix k = Int64.add seed (Int64.mul 7919L (Int64.of_int k)) in
+  [
+    crash_storm ~n ~duration ~seed:(mix 1);
+    rolling_partition ~n ~duration ~seed:(mix 2);
+    flaky_links ~n ~duration ~seed:(mix 3);
+    torn_wal_crashes ~n ~duration ~seed:(mix 4);
+  ]
+
+(* --- running a plan ------------------------------------------------------------------- *)
+
+type outcome = {
+  plan : string;
+  attempted : int;
+  succeeded : int;
+  unavailable : int;
+  violations : int;
+  final_keys_checked : int;
+  rpc_retries : int;
+  msgs_dropped : int;
+  msgs_duplicated : int;
+  msgs_reordered : int;
+  wal_records_repaired : int;
+  sim_events : int;
+}
+
+let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
+    ?(key_space = 30) ?(op_gap = 2.0) plan =
+  let n = Repdir_quorum.Config.n_reps config in
+  let world =
+    Sim_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:4 ~rpc_backoff:2.0
+      ~two_phase:true ~n_clients:1 ~config ()
+  in
+  let sim = Sim_world.sim world in
+  let net = Sim_world.net world in
+  Net.seed_faults net (Int64.add seed 77L);
+  let suite = Sim_world.suite_for_client world 0 in
+  let rng = Rng.create (Int64.add seed 1L) in
+  let retry_rng = Rng.create (Int64.add seed 2L) in
+  let model : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let attempted = ref 0 and succeeded = ref 0 and unavailable = ref 0 in
+  let violations = ref 0 in
+  let final_keys_checked = ref 0 in
+  let crashed i = Repdir_rep.Rep.is_crashed (Sim_world.reps world).(i) in
+  let apply = function
+    | Crash i -> if not (crashed i) then Sim_world.crash_rep world i
+    | Torn_crash (i, f) ->
+        (* A torn write needs unforced log bytes to tear, and those exist
+           only while a transaction is running at the victim (its redo
+           records are forced at prepare/commit). Stalk the victim until it
+           holds unsynced records — the worst possible instant — then pull
+           the plug; give up and crash anyway after a bounded wait. *)
+        if not (crashed i) then
+          let rep = (Sim_world.reps world).(i) in
+          (* Strictly shorter than the plan's crash→recover hold, so the
+             victim is down before its scheduled recovery fires. *)
+          let deadline = Sim.now sim +. 10.0 in
+          Sim.spawn sim (fun () ->
+              let rec stalk () =
+                if crashed i || Sim.now sim >= plan.duration then ()
+                else if Repdir_rep.Rep.wal_unsynced rep > 0 || Sim.now sim >= deadline
+                then Sim_world.crash_rep ~wal_fault:f world i
+                else begin
+                  Sim.sleep sim 0.5;
+                  stalk ()
+                end
+              in
+              stalk ())
+    | Recover i -> if crashed i then Sim_world.recover_rep world i
+    | Partition (a, b) -> Net.partition net a b
+    | Heal -> Net.heal_partition net
+    | Flaky f -> Net.set_default_faults net f
+    | Flaky_link (a, b, f) -> Net.set_link_faults net a b f
+    | Steady -> Net.clear_faults net
+  in
+  List.iter
+    (fun s -> if s.at < plan.duration then Sim.at sim s.at (fun () -> apply s.action))
+    plan.steps;
+  (* One random operation checked against the sequential model; transient
+     failures retried with backoff, then written off as unavailable. *)
+  let one_op () =
+    incr attempted;
+    let key = Key.of_int (Rng.int rng key_space) in
+    let value = Printf.sprintf "v%d-%f" !attempted (Sim.now sim) in
+    let kind = Rng.int rng 4 in
+    try
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim) ~rng:retry_rng
+        (fun () ->
+          match kind with
+          | 0 -> (
+              match (Suite.lookup suite key, Hashtbl.find_opt model key) with
+              | Some (_, v), Some v' when String.equal v v' -> ()
+              | None, None -> ()
+              | _ -> incr violations)
+          | 1 -> (
+              match Suite.insert suite key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Already_present ->
+                  if not (Hashtbl.mem model key) then incr violations)
+          | 2 -> (
+              match Suite.update suite key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Not_present -> if Hashtbl.mem model key then incr violations)
+          | _ ->
+              let report = Suite.delete suite key in
+              if report.Suite.was_present <> Hashtbl.mem model key then incr violations;
+              Hashtbl.remove model key);
+      incr succeeded
+    with Suite.Unavailable _ -> incr unavailable
+  in
+  Sim.spawn sim (fun () ->
+      while Sim.now sim < plan.duration do
+        one_op ();
+        Sim.sleep sim (Rng.exponential rng ~mean:op_gap)
+      done;
+      (* The dust settles: faults off, everyone up, stragglers delivered. *)
+      Net.clear_faults net;
+      Net.heal_partition net;
+      for i = 0 to n - 1 do
+        if crashed i then Sim_world.recover_rep world i
+      done;
+      Sim.sleep sim 200.0;
+      (* Power-cycle every representative (one at a time, so quorums stay
+         collectible): orphaned locks die with the volatile state, and the
+         final answers must survive a full restart from the WAL. *)
+      for i = 0 to n - 1 do
+        Sim_world.crash_rep world i;
+        Sim_world.recover_rep world i
+      done;
+      (* Every key the workload could have touched must now agree with the
+         sequential model. *)
+      for k = 0 to key_space - 1 do
+        incr final_keys_checked;
+        let key = Key.of_int k in
+        match
+          Suite.with_retries ~attempts:5 ~backoff:4.0 ~sleep:(Sim.sleep sim)
+            ~rng:retry_rng (fun () -> Suite.lookup suite key)
+        with
+        | result -> (
+            match (result, Hashtbl.find_opt model key) with
+            | Some (_, v), Some v' when String.equal v v' -> ()
+            | None, None -> ()
+            | _ -> incr violations)
+        | exception Suite.Unavailable _ ->
+            (* Everything is healed; failing to read here is itself a bug. *)
+            incr violations
+      done);
+  Sim.run sim;
+  let wal_repaired =
+    Array.fold_left
+      (fun acc r -> acc + Repdir_rep.Rep.wal_records_repaired r)
+      0 (Sim_world.reps world)
+  in
+  {
+    plan = plan.plan_name;
+    attempted = !attempted;
+    succeeded = !succeeded;
+    unavailable = !unavailable;
+    violations = !violations;
+    final_keys_checked = !final_keys_checked;
+    rpc_retries = (Suite.transport suite).Transport.retry_count;
+    msgs_dropped = Net.messages_dropped net;
+    msgs_duplicated = Net.messages_duplicated net;
+    msgs_reordered = Net.messages_reordered net;
+    wal_records_repaired = wal_repaired;
+    sim_events = Sim.events_executed sim;
+  }
+
+let run_all ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
+    ?(duration = 1000.0) ?key_space ?op_gap () =
+  let n = Repdir_quorum.Config.n_reps config in
+  List.mapi
+    (fun i plan ->
+      let world_seed = Int64.add seed (Int64.mul 1000003L (Int64.of_int i)) in
+      run_plan ~seed:world_seed ~config ?key_space ?op_gap plan)
+    (standard_plans ~duration ~n ~seed ())
+
+let table_of_outcomes outcomes =
+  let t =
+    Table.create
+      ~header:
+        [
+          "Plan";
+          "Ops";
+          "Ok";
+          "Unavail";
+          "Retries";
+          "Dropped";
+          "Dup'd";
+          "Reordered";
+          "WAL repaired";
+          "Events";
+          "Violations";
+        ]
+      ()
+  in
+  List.iter
+    (fun o ->
+      Table.add_row t
+        [
+          o.plan;
+          string_of_int o.attempted;
+          string_of_int o.succeeded;
+          string_of_int o.unavailable;
+          string_of_int o.rpc_retries;
+          string_of_int o.msgs_dropped;
+          string_of_int o.msgs_duplicated;
+          string_of_int o.msgs_reordered;
+          string_of_int o.wal_records_repaired;
+          string_of_int o.sim_events;
+          string_of_int o.violations;
+        ])
+    outcomes;
+  Table.add_separator t;
+  Table.add_row t
+    [
+      "total violations";
+      string_of_int (List.fold_left (fun a o -> a + o.violations) 0 outcomes);
+    ];
+  t
+
+let table ?seed ?config ?duration ?key_space ?op_gap () =
+  table_of_outcomes (run_all ?seed ?config ?duration ?key_space ?op_gap ())

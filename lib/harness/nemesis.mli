@@ -1,0 +1,113 @@
+(** Nemesis: deterministic fault-injection campaigns over the simulator.
+
+    A {!plan} is a declarative, timed schedule of adversarial actions —
+    crash storms, rolling partitions, probabilistic link gremlins
+    (drop/duplicate/reorder/latency spikes), and crashes that tear or
+    corrupt the write-ahead log's tail. {!run_plan} drives a live
+    random workload through the plan on a {!Sim_world}, checking every
+    response against a sequential model, then heals the world, power-cycles
+    every representative (so the answers must survive WAL recovery), and
+    verifies the whole key space again. All randomness — the plan builders,
+    the workload, the link gremlins, the retry jitter — derives from
+    explicit seeds, so a run is bit-reproducible.
+
+    The transport is the hardened one: at-most-once RPC with request-id
+    deduplication and bounded exponential-backoff retries, two-phase commit,
+    and client-level retries via {!Repdir_core.Suite.with_retries} — the
+    point of the exercise is that {i zero} sequential-model violations
+    survive all four standard plans. *)
+
+open Repdir_sim
+module Wal = Repdir_txn.Wal
+
+(* --- fault-plan DSL ------------------------------------------------------------ *)
+
+type action =
+  | Crash of int  (** representative index *)
+  | Recover of int
+  | Torn_crash of int * Wal.storage_fault
+      (** crash with tail damage hitting the victim's WAL *)
+  | Partition of int list * int list  (** cut every link between the groups *)
+  | Heal  (** restore all links *)
+  | Flaky of Net.faults  (** network-wide probabilistic gremlins *)
+  | Flaky_link of int * int * Net.faults  (** per-link override *)
+  | Steady  (** clear all link gremlins *)
+
+type step = { at : float; action : action }
+
+type plan = { plan_name : string; duration : float; steps : step list }
+(** Steps fire at their absolute virtual times; steps at or after
+    [duration] are ignored by the runner (the cleanup phase owns that
+    window). *)
+
+val pp_action : Format.formatter -> action -> unit
+
+(* --- standard plans ------------------------------------------------------------- *)
+
+val crash_storm : n:int -> duration:float -> seed:int64 -> plan
+(** Repeated waves in which each representative independently crashes (and
+    later recovers), including waves that take the whole suite down. *)
+
+val rolling_partition : n:int -> duration:float -> seed:int64 -> plan
+(** Isolates each representative in turn from all the others. *)
+
+val flaky_links : n:int -> duration:float -> seed:int64 -> plan
+(** Windows of network-wide drop/duplication/reordering/latency spikes
+    alternating with a very lossy single client link. *)
+
+val torn_wal_crashes : n:int -> duration:float -> seed:int64 -> plan
+(** Crashes that tear, corrupt, or truncate the victim's WAL tail; recovery
+    must come back with exactly the committed prefix. *)
+
+val standard_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
+(** The four plans above, with seeds derived from [seed]. *)
+
+(* --- running -------------------------------------------------------------------- *)
+
+type outcome = {
+  plan : string;
+  attempted : int;
+  succeeded : int;
+  unavailable : int;  (** ops that failed even after client-level retries *)
+  violations : int;  (** responses disagreeing with the sequential model *)
+  final_keys_checked : int;
+  rpc_retries : int;  (** transport retransmissions *)
+  msgs_dropped : int;
+  msgs_duplicated : int;
+  msgs_reordered : int;
+  wal_records_repaired : int;  (** log records scrubbed by recoveries *)
+  sim_events : int;  (** total simulator events — a reproducibility fingerprint *)
+}
+
+val run_plan :
+  ?seed:int64 ->
+  ?config:Repdir_quorum.Config.t ->
+  ?key_space:int ->
+  ?op_gap:float ->
+  plan ->
+  outcome
+(** Defaults: the paper's 3-2-2 suite, 30 keys, exponential think time with
+    mean 2.0 between operations. *)
+
+val run_all :
+  ?seed:int64 ->
+  ?config:Repdir_quorum.Config.t ->
+  ?duration:float ->
+  ?key_space:int ->
+  ?op_gap:float ->
+  unit ->
+  outcome list
+(** Run the four standard plans, each in a fresh world with a seed derived
+    from [seed]. *)
+
+val table_of_outcomes : outcome list -> Repdir_util.Table.t
+
+val table :
+  ?seed:int64 ->
+  ?config:Repdir_quorum.Config.t ->
+  ?duration:float ->
+  ?key_space:int ->
+  ?op_gap:float ->
+  unit ->
+  Repdir_util.Table.t
+(** {!run_all} rendered as one row per plan plus a violation total. *)

@@ -8,9 +8,13 @@ type t = {
   sim : Sim.t;
   net : Net.t;
   reps : Rep.t array;
+  servers : Rpc.server array;
   txns : Txn.Manager.t;
   config : Config.t;
   rpc_timeout : float;
+  rpc_attempts : int;
+  rpc_backoff : float;
+  seed : int64;
   n_clients : int;
   parallel_rpc : bool;
   registry : Repdir_txn.Commit_registry.t;
@@ -45,8 +49,10 @@ let parallel_fanout sim =
   in
   { Transport.map }
 
-let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(n_clients = 1)
-    ?(parallel_rpc = true) ?(two_phase = false) ~config () =
+let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
+    ?(rpc_backoff = 5.0) ?(n_clients = 1) ?(parallel_rpc = true) ?(two_phase = false)
+    ~config () =
+  if rpc_attempts < 1 then invalid_arg "Sim_world: need at least one RPC attempt";
   let sim = Sim.create ~seed () in
   let n = Config.n_reps config in
   let net = Net.create sim ~n_nodes:(n + n_clients) ?latency () in
@@ -61,9 +67,13 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(n_clients = 1)
     sim;
     net;
     reps;
+    servers = Array.init n (fun _ -> Rpc.server ());
     txns = Txn.Manager.create ();
     config;
     rpc_timeout;
+    rpc_attempts;
+    rpc_backoff;
+    seed;
     n_clients;
     parallel_rpc;
     registry;
@@ -82,20 +92,37 @@ let client_node t i =
 
 let client_transport t i =
   let src = client_node t i in
-  {
-    Transport.n_reps = Config.n_reps t.config;
-    is_up = (fun r -> Net.up t.net r);
-    call =
-      (fun r f ->
-        match
-          Rpc.call t.net ~src ~dst:r ~timeout:t.rpc_timeout (fun () -> f t.reps.(r))
-        with
-        | Ok v -> Ok v
-        | Error Rpc.Timeout -> Error Transport.Timeout
-        | exception Rep.Crashed name -> Error (Transport.Down name));
-    fanout = (if t.parallel_rpc then parallel_fanout t.sim else Transport.sequential_fanout);
-    rpc_count = 0;
-  }
+  (* Backoff jitter draws only happen on retries, so the stream (and with it
+     every pre-existing single-attempt experiment) is untouched unless
+     messages are actually lost. *)
+  let jitter_rng = Repdir_util.Rng.create (Int64.add t.seed (Int64.of_int (0x5e7 + src))) in
+  let rec transport =
+    lazy
+      {
+        Transport.n_reps = Config.n_reps t.config;
+        is_up = (fun r -> Net.up t.net r);
+        incarnation = (fun r -> Rep.incarnation t.reps.(r));
+        call =
+          (fun r f ->
+            match
+              Rpc.call_at_most_once t.net ~src ~dst:r ~server:t.servers.(r)
+                ~timeout:t.rpc_timeout ~attempts:t.rpc_attempts ~backoff:t.rpc_backoff
+                ~rng:jitter_rng
+                ~on_retry:(fun () ->
+                  let tr = Lazy.force transport in
+                  tr.Transport.retry_count <- tr.Transport.retry_count + 1)
+                (fun () -> f t.reps.(r))
+            with
+            | Ok v -> Ok v
+            | Error Rpc.Timeout -> Error Transport.Timeout
+            | exception Rep.Crashed name -> Error (Transport.Down name));
+        fanout =
+          (if t.parallel_rpc then parallel_fanout t.sim else Transport.sequential_fanout);
+        rpc_count = 0;
+        retry_count = 0;
+      }
+  in
+  Lazy.force transport
 
 let registry t = t.registry
 
@@ -103,9 +130,12 @@ let suite_for_client ?picker ?seed t i =
   Suite.create ?picker ?seed ~two_phase:t.two_phase ~registry:t.registry ~config:t.config
     ~transport:(client_transport t i) ~txns:t.txns ()
 
-let crash_rep t i =
+let crash_rep ?wal_fault t i =
+  Option.iter (Rep.inject_storage_fault t.reps.(i)) wal_fault;
   Net.crash t.net i;
-  Rep.crash t.reps.(i)
+  Rep.crash t.reps.(i);
+  (* The dedup cache is volatile server memory: it dies with the node. *)
+  Rpc.reset_server t.servers.(i)
 
 let recover_rep t i =
   Rep.recover t.reps.(i);

@@ -18,6 +18,8 @@ val create :
   ?seed:int64 ->
   ?latency:(Repdir_util.Rng.t -> float) ->
   ?rpc_timeout:float ->
+  ?rpc_attempts:int ->
+  ?rpc_backoff:float ->
   ?n_clients:int ->
   ?parallel_rpc:bool ->
   ?two_phase:bool ->
@@ -29,7 +31,14 @@ val create :
     requests out concurrently (the §5 latency optimization); when false,
     quorum members are contacted one at a time as in the paper's
     pseudo-code. [two_phase] (default false) commits suite transactions with
-    two-phase commit against a shared coordinator decision registry. *)
+    two-phase commit against a shared coordinator decision registry.
+
+    All client RPCs go through {!Repdir_sim.Rpc.call_at_most_once}: each
+    representative node keeps a request-id dedup cache (reset when it
+    crashes), and a call timing out is retransmitted up to [rpc_attempts]
+    times total (default 1 — no retries, the paper's behaviour) with
+    exponential backoff starting at [rpc_backoff] (default 5.0) and
+    deterministic jitter. *)
 
 val sim : t -> Sim.t
 val net : t -> Net.t
@@ -44,9 +53,10 @@ val client_transport : t -> int -> Transport.t
 
 val suite_for_client : ?picker:Picker.strategy -> ?seed:int64 -> t -> int -> Suite.t
 
-val crash_rep : t -> int -> unit
+val crash_rep : ?wal_fault:Repdir_txn.Wal.storage_fault -> t -> int -> unit
 (** Crash both the node (messages drop) and the representative (volatile
-    state lost). *)
+    state lost, RPC dedup cache reset). [wal_fault] additionally damages the
+    write-ahead log's tail at the moment of the crash (torn write). *)
 
 val recover_rep : t -> int -> unit
 (** Bring the node back and replay the representative's write-ahead log. *)

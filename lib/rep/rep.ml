@@ -29,6 +29,8 @@ type t = {
   mutable undo : Undo.t;
   wal : Wal.t;
   mutable crashed : bool;
+  mutable incarnation : int;
+  mutable wal_records_repaired : int;
   counters : counters;
 }
 
@@ -48,6 +50,8 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
     undo = Undo.create ();
     wal = Wal.create ();
     crashed = false;
+    incarnation = 0;
+    wal_records_repaired = 0;
     counters =
       { lookups = 0; predecessors = 0; successors = 0; inserts = 0; coalesces = 0; lock_waits = 0 };
   }
@@ -215,11 +219,17 @@ let prepare t ~txn =
      operations) is gone, so committing would half-apply the transaction. *)
   if Wal.ops_before_last_recovery t.wal txn then
     raise (Txn.Abort (Txn.Unavailable (t.name ^ " lost the transaction's effects in a crash")));
-  Wal.append t.wal (Wal.Prepare txn)
+  Wal.append t.wal (Wal.Prepare txn);
+  (* Force the log before voting yes: a prepared transaction's effects must
+     survive any crash, since the coordinator may decide to commit. *)
+  Wal.sync t.wal
 
 let commit t ~txn =
   check_alive t;
   Wal.append t.wal (Wal.Commit txn);
+  (* Force the commit record before acknowledging — an acknowledged commit
+     can never be lost to a torn tail. *)
+  Wal.sync t.wal;
   Undo.forget t.undo ~txn;
   Lock_manager.release_all t.locks ~txn
 
@@ -239,8 +249,18 @@ let crash t =
   t.undo <- Undo.create ()
 
 let is_crashed t = t.crashed
+let incarnation t = t.incarnation
+
+let inject_storage_fault t fault = Wal.inject t.wal fault
+
+let wal_records_repaired t = t.wal_records_repaired
 
 let recover t =
+  (* First scrub stable storage: a crash may have torn or corrupted the log
+     tail, and everything from the first bad frame on is unreadable. What
+     survives is a prefix of history; committed-only replay below then
+     reconstructs exactly the committed prefix. *)
+  t.wal_records_repaired <- t.wal_records_repaired + Wal.repair t.wal;
   (* Resolve in-doubt (prepared, undecided) transactions against the
      coordinator decision registry; racing resolutions are serialized by the
      registry's first-writer-wins rule. *)
@@ -252,7 +272,9 @@ let recover t =
   t.locks <- Lock_manager.create ~group:t.lock_group ();
   t.undo <- Undo.create ();
   t.crashed <- false;
-  Wal.append t.wal Wal.Recovery_marker
+  t.incarnation <- t.incarnation + 1;
+  Wal.append t.wal Wal.Recovery_marker;
+  Wal.sync t.wal
 
 let checkpoint t =
   check_alive t;
@@ -263,6 +285,7 @@ let checkpoint t =
   Wal.truncate_to_checkpoint t.wal
 
 let wal_length t = Wal.length t.wal
+let wal_unsynced t = Wal.length t.wal - Wal.synced_length t.wal
 
 (* --- inspection --------------------------------------------------------------- *)
 

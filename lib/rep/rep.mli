@@ -108,18 +108,40 @@ val crash : t -> unit
 
 val is_crashed : t -> bool
 
+val incarnation : t -> int
+(** Number of completed recoveries. Bumped by {!recover}, so two reads that
+    disagree bracket a crash: any volatile state (locks, undo logs, RPC dedup
+    entries, unforced log records) from the earlier incarnation is gone. The
+    suite uses this to fail transactions that span a participant restart. *)
+
+val inject_storage_fault : t -> Repdir_txn.Wal.storage_fault -> unit
+(** Damage the write-ahead log's persistent frames (torn/corrupted/lost
+    tail), as a crash can; meaningful when followed by {!crash} and
+    {!recover}, which scrubs the damage back to the committed prefix. *)
+
+val wal_records_repaired : t -> int
+(** Total log records discarded by recovery-time scrubbing across all
+    recoveries (0 when no storage fault was ever injected). *)
+
 val recover : t -> unit
-(** Rebuild the gap map from the write-ahead log. Transactions prepared but
-    undecided at the crash are resolved against the registry: if the
-    coordinator had decided commit, their effects are replayed; otherwise the
-    representative registers an abort resolution (first-writer-wins with the
-    coordinator) and discards them. *)
+(** Scrub the write-ahead log back to its longest checksum-valid prefix
+    (discarding any torn or corrupted tail), then rebuild the gap map from
+    it. Transactions prepared but undecided at the crash are resolved
+    against the registry: if the coordinator had decided commit, their
+    effects are replayed; otherwise the representative registers an abort
+    resolution (first-writer-wins with the coordinator) and discards
+    them. *)
 
 val checkpoint : t -> unit
 (** Write a checkpoint record and truncate the log. Raises [Invalid_argument]
     if any transaction is active on this representative. *)
 
 val wal_length : t -> int
+
+val wal_unsynced : t -> int
+(** Log records appended since the last forced write (prepare, commit,
+    checkpoint or recovery). Only these can be damaged by a crash-time
+    storage fault — a torn write needs unforced bytes to tear. *)
 
 (* --- inspection ------------------------------------------------------------ *)
 

@@ -1,3 +1,5 @@
+open Repdir_util
+
 type error = Timeout
 
 exception Timed_out_marker
@@ -31,3 +33,74 @@ let call net ~src ~dst ~timeout f =
   | Some (Error Timed_out_marker) -> Error Timeout
   | Some (Error e) -> raise e
   | None -> assert false
+
+(* --- at-most-once calls -------------------------------------------------------- *)
+
+(* The server-side dedup cache maps request ids to either a marker that the
+   request is currently executing (a duplicate arriving meanwhile is simply
+   discarded: the execution in flight will answer) or a closure that resends
+   the finished reply. The cache is volatile: it must be reset when the node
+   crashes, which re-opens the (harmless, because representative operations
+   are idempotent) re-execution window — exactly the at-most-once story real
+   RPC systems tell. *)
+
+type server_entry = In_flight | Done of (unit -> unit)
+
+type server = (int, server_entry) Hashtbl.t
+
+let server () : server = Hashtbl.create 64
+
+let reset_server (s : server) = Hashtbl.reset s
+
+let server_entries (s : server) = Hashtbl.length s
+
+let call_at_most_once net ~src ~dst ~server ~timeout ?(attempts = 1) ?(backoff = 1.0) ?rng
+    ?(on_retry = fun () -> ()) f =
+  if timeout <= 0.0 then invalid_arg "Rpc.call_at_most_once: timeout must be positive";
+  if attempts < 1 then invalid_arg "Rpc.call_at_most_once: need at least one attempt";
+  if backoff <= 0.0 then invalid_arg "Rpc.call_at_most_once: backoff must be positive";
+  let sim = Net.sim net in
+  let id = Net.fresh_rpc_id net in
+  (* One outcome cell shared by every attempt: whichever request or reply
+     copy survives the network first fills it; later copies are ignored. *)
+  let outcome = ref None in
+  let wake = ref (fun () -> ()) in
+  let handler () =
+    match Hashtbl.find_opt server id with
+    | Some In_flight -> ()
+    | Some (Done resend) -> resend ()
+    | None ->
+        Hashtbl.replace server id In_flight;
+        let result = try Ok (f ()) with e -> Error e in
+        let resend () =
+          Net.send net ~src:dst ~dst:src (fun () ->
+              if !outcome = None then begin
+                outcome := Some result;
+                !wake ()
+              end)
+        in
+        Hashtbl.replace server id (Done resend);
+        resend ()
+  in
+  let rec attempt k =
+    Net.send net ~src ~dst handler;
+    Sim.suspend sim (fun resume ->
+        wake := resume;
+        Sim.at sim
+          (Sim.now sim +. timeout)
+          (fun () -> if !outcome = None then resume ()));
+    if !outcome = None && k + 1 < attempts then begin
+      on_retry ();
+      (* Exponential backoff with jitter in [0.5, 1.5) of the nominal pause;
+         no [rng] means no jitter (and no generator perturbation). *)
+      let jitter = match rng with Some r -> 0.5 +. Rng.float r 1.0 | None -> 1.0 in
+      Sim.sleep sim (backoff *. (2.0 ** float_of_int k) *. jitter);
+      (* A straggler reply may have landed during the pause. *)
+      if !outcome = None then attempt (k + 1)
+    end
+  in
+  attempt 0;
+  match !outcome with
+  | Some (Ok r) -> Ok r
+  | Some (Error e) -> raise e
+  | None -> Error Timeout

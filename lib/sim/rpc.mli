@@ -5,7 +5,16 @@
     that primitive with explicit failure handling: the caller blocks until a
     reply arrives or the timeout expires. Server-side exceptions (transaction
     deadlock aborts, representative errors) travel back in the reply and are
-    re-raised at the caller, matching local-call semantics. *)
+    re-raised at the caller, matching local-call semantics.
+
+    Two flavours: {!call} is the bare single-shot primitive; {!call_at_most_once}
+    adds bounded retransmission with exponential backoff and jitter on the
+    client and request-id deduplication on the server, so a request executes
+    at most once per server incarnation no matter how often the network
+    duplicates it or the client retries — lost replies are answered from the
+    dedup cache instead of re-running the operation. *)
+
+open Repdir_util
 
 type error = Timeout
 
@@ -19,3 +28,41 @@ val call :
 (** Must be invoked from inside a simulator process. The handler runs as a
     process at [dst] (and may itself block, e.g. on locks); its result or
     exception is shipped back. Late replies after a timeout are dropped. *)
+
+(* --- at-most-once calls -------------------------------------------------------- *)
+
+type server
+(** Per-destination dedup state: request id -> in-flight marker or cached
+    reply. Volatile — reset it when the node crashes. *)
+
+val server : unit -> server
+
+val reset_server : server -> unit
+(** Forget all cached replies (the node's volatile memory was lost). A
+    retried request whose execution predates the reset re-executes; callers
+    rely on representative operations being idempotent. *)
+
+val server_entries : server -> int
+
+val call_at_most_once :
+  Net.t ->
+  src:Net.node_id ->
+  dst:Net.node_id ->
+  server:server ->
+  timeout:float ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?rng:Rng.t ->
+  ?on_retry:(unit -> unit) ->
+  (unit -> 'r) ->
+  ('r, error) result
+(** Like {!call}, but the request carries a fresh id from
+    {!Net.fresh_rpc_id} and is retransmitted up to [attempts] times total
+    (default 1, i.e. no retries — in which case the event trace is identical
+    to {!call}). Between attempts the caller sleeps
+    [backoff * 2^k * jitter] virtual time, jitter uniform in [0.5, 1.5) when
+    [rng] is supplied and 1 otherwise. [on_retry] runs before each
+    retransmission (for statistics). Every attempt shares one reply slot, so
+    a straggler reply to an earlier attempt completes the call; duplicate
+    requests hit the server's dedup cache and are answered without
+    re-executing the operation. *)

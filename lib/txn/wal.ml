@@ -26,43 +26,76 @@ let pp_record ppf = function
   | Abort id -> Format.fprintf ppf "abort %d" id
   | Checkpoint c -> Format.fprintf ppf "checkpoint (%d entries)" (List.length c.entries)
 
-type t = { mutable recs : record list (* newest first *); mutable len : int }
+(* --- stable-storage framing ------------------------------------------------------ *)
 
-let create () = { recs = []; len = 0 }
+(* Each record is persisted as a frame: the marshalled record plus an FNV-1a
+   checksum of those bytes. The frame bytes — not the in-memory record — are
+   what survives a crash, so storage faults injected into a frame genuinely
+   corrupt what recovery sees. *)
+
+type frame = { payload : string; crc : int64 }
+
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let frame_of_record (r : record) =
+  let payload = Marshal.to_string r [] in
+  { payload; crc = fnv1a payload }
+
+let frame_valid f = Int64.equal (fnv1a f.payload) f.crc
+
+let record_of_frame f : record = Marshal.from_string f.payload 0
+
+type entry = { rec_ : record; frame : frame }
+
+type t = {
+  mutable log : entry list; (* newest first *)
+  mutable len : int;
+  mutable synced : int; (* oldest [synced] entries are forced to disk *)
+}
+
+let create () = { log = []; len = 0; synced = 0 }
 
 let append t r =
-  t.recs <- r :: t.recs;
+  t.log <- { rec_ = r; frame = frame_of_record r } :: t.log;
   t.len <- t.len + 1
 
+let sync t = t.synced <- t.len
+let synced_length t = t.synced
+
 let length t = t.len
-let records t = List.rev t.recs
+let records t = List.rev_map (fun e -> e.rec_) t.log
 
 let committed t id =
-  List.exists (function Commit id' -> id' = id | _ -> false) t.recs
+  List.exists (fun e -> match e.rec_ with Commit id' -> id' = id | _ -> false) t.log
 
 let ops_before_last_recovery t id =
-  (* recs is newest-first: scan for the latest marker; anything beyond it is
+  (* log is newest-first: scan for the latest marker; anything beyond it is
      a pre-crash record. *)
   let rec scan seen_marker = function
     | [] -> false
-    | Recovery_marker :: rest -> scan true rest
-    | (Insert (id', _, _, _) | Coalesce (id', _, _, _)) :: rest ->
-        if seen_marker && id' = id then
-          not (committed t id)
-        else scan seen_marker rest
-    | (Begin _ | Prepare _ | Commit _ | Abort _ | Checkpoint _) :: rest ->
-        scan seen_marker rest
+    | e :: rest -> (
+        match e.rec_ with
+        | Recovery_marker -> scan true rest
+        | Insert (id', _, _, _) | Coalesce (id', _, _, _) ->
+            if seen_marker && id' = id then not (committed t id) else scan seen_marker rest
+        | Begin _ | Prepare _ | Commit _ | Abort _ | Checkpoint _ -> scan seen_marker rest)
   in
-  scan false t.recs
+  scan false t.log
 
 let in_doubt t =
   let prepared = Hashtbl.create 8 in
   List.iter
-    (function
+    (fun e ->
+      match e.rec_ with
       | Prepare id -> if not (Hashtbl.mem prepared id) then Hashtbl.replace prepared id true
       | Commit id | Abort id -> Hashtbl.replace prepared id false
       | Begin _ | Insert _ | Coalesce _ | Recovery_marker | Checkpoint _ -> ())
-    t.recs;
+    t.log;
   Hashtbl.fold (fun id pending acc -> if pending then id :: acc else acc) prepared []
   |> List.sort compare
 
@@ -86,25 +119,96 @@ let checkpoint_of_map entries ~gaps =
   }
 
 let truncate_to_checkpoint t =
-  (* recs is newest-first: keep up to and including the first Checkpoint. *)
+  (* log is newest-first: keep up to and including the first Checkpoint. *)
   let rec take acc = function
     | [] -> None
-    | (Checkpoint _ as c) :: _ -> Some (List.rev (c :: acc))
-    | r :: rest -> take (r :: acc) rest
+    | e :: rest -> (
+        match e.rec_ with
+        | Checkpoint _ -> Some (List.rev (e :: acc))
+        | _ -> take (e :: acc) rest)
   in
-  match take [] t.recs with
+  match take [] t.log with
   | None -> ()
   | Some kept ->
-      (* [take] returns the kept records newest-first, matching [recs]. *)
-      t.recs <- kept;
-      t.len <- List.length kept
+      (* [take] returns the kept entries newest-first, matching [log]. *)
+      t.log <- kept;
+      t.len <- List.length kept;
+      (* Taking a checkpoint forces the log. *)
+      t.synced <- t.len
+
+(* --- storage fault injection ------------------------------------------------------ *)
+
+type storage_fault =
+  | Truncate_tail of int
+  | Tear_tail
+  | Corrupt_tail
+
+let pp_storage_fault ppf = function
+  | Truncate_tail k -> Format.fprintf ppf "truncate-tail(%d)" k
+  | Tear_tail -> Format.pp_print_string ppf "torn-tail"
+  | Corrupt_tail -> Format.pp_print_string ppf "corrupt-tail"
+
+let rec drop_newest k log = if k <= 0 then log else match log with [] -> [] | _ :: r -> drop_newest (k - 1) r
+
+let damage_tail t mutate =
+  match t.log with
+  | [] -> ()
+  | e :: rest -> t.log <- { e with frame = mutate e.frame } :: rest
+
+(* A crash can only hurt frames that were never forced to disk: anything at
+   or below the [synced] watermark survived the last forced write, so every
+   fault clamps to the unsynced suffix. This is the torn-write model of a
+   real fsynced log — acknowledged commits are durable by construction. *)
+let inject t fault =
+  let unsynced = t.len - t.synced in
+  match fault with
+  | Truncate_tail k ->
+      if k < 0 then invalid_arg "Wal.inject: negative truncation";
+      let k = min k unsynced in
+      t.log <- drop_newest k t.log;
+      t.len <- t.len - k
+  | Tear_tail when unsynced > 0 ->
+      (* A torn write: only a prefix of the frame's bytes reached the disk;
+         the checksum (written last) covers the full payload and no longer
+         matches. *)
+      damage_tail t (fun f ->
+          { f with payload = String.sub f.payload 0 (String.length f.payload / 2) })
+  | Corrupt_tail when unsynced > 0 ->
+      damage_tail t (fun f ->
+          let b = Bytes.of_string f.payload in
+          let i = Bytes.length b / 2 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+          { f with payload = Bytes.to_string b })
+  | Tear_tail | Corrupt_tail -> ()
+
+let repair t =
+  (* Scan frames oldest-first; the first bad checksum ends the readable
+     prefix (everything after a torn write is unrecoverable in a real
+     sequential log). Records are re-decoded from the frame bytes, so the
+     surviving view is exactly what stable storage holds. *)
+  let rec keep acc n = function
+    | [] -> (acc, n, 0)
+    | e :: rest ->
+        if frame_valid e.frame then
+          keep ({ rec_ = record_of_frame e.frame; frame = e.frame } :: acc) (n + 1) rest
+        else (acc, n, 1 + List.length rest)
+  in
+  let kept_newest_first, len, dropped = keep [] 0 (List.rev t.log) in
+  if dropped > 0 then begin
+    t.log <- kept_newest_first;
+    t.len <- len;
+    t.synced <- min t.synced len
+  end;
+  dropped
+
+let tail_valid t = match t.log with [] -> true | e :: _ -> frame_valid e.frame
 
 module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
   let replay ?(decided = fun _ -> false) t =
     let map = M.create () in
     let recs = records t in
     let prepared id =
-      List.exists (function Prepare id' -> id' = id | _ -> false) t.recs
+      List.exists (fun e -> match e.rec_ with Prepare id' -> id' = id | _ -> false) t.log
     in
     let is_committed id = committed t id || (prepared id && decided id) in
     let restore_checkpoint (c : checkpoint) =

@@ -9,7 +9,15 @@
     two-phase locking guarantees that records of different transactions that
     touch intersecting ranges appear in serialization order, so redo-only
     replay of committed transactions reconstructs exactly the committed
-    state. *)
+    state.
+
+    Each record is persisted as a checksummed frame (marshalled bytes +
+    FNV-1a checksum), and storage faults can be injected at the tail with
+    {!inject} — a torn final write, a corrupted byte, frames that never
+    reached the disk. {!repair} models what recovery reads back: the longest
+    checksum-valid prefix, re-decoded from the frame bytes. Because a
+    transaction's effects replay only when its [Commit] frame survives,
+    repair always recovers exactly a committed prefix of history. *)
 
 open Repdir_key
 
@@ -42,6 +50,17 @@ type t
 val create : unit -> t
 
 val append : t -> record -> unit
+
+val sync : t -> unit
+(** Force every appended frame to disk. Records below this watermark are
+    durable: crash-time {!inject} faults can only damage the unsynced
+    suffix, exactly as torn writes on a real fsynced log only hurt bytes
+    written since the last forced write. Representatives force the log
+    before acknowledging a prepare or commit. *)
+
+val synced_length : t -> int
+(** Number of records known durable (≤ {!length}). *)
+
 val length : t -> int
 val records : t -> record list
 (** Oldest first. *)
@@ -66,6 +85,30 @@ val checkpoint_of_map : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value) li
 
 val truncate_to_checkpoint : t -> unit
 (** Discard everything before the most recent [Checkpoint]; no-op if none. *)
+
+(* --- storage fault injection ---------------------------------------------------- *)
+
+(** Damage applied to the persistent image of the log at crash time. *)
+type storage_fault =
+  | Truncate_tail of int
+      (** The last [k] frames never reached the disk (lost buffered writes). *)
+  | Tear_tail
+      (** The final frame was only partially written; its checksum fails. *)
+  | Corrupt_tail  (** A byte of the final frame flipped; its checksum fails. *)
+
+val pp_storage_fault : Format.formatter -> storage_fault -> unit
+
+val inject : t -> storage_fault -> unit
+(** Mutate the persistent frames. The in-memory decoded view is refreshed
+    only by {!repair} (which crash recovery must run first). *)
+
+val repair : t -> int
+(** Validate every frame oldest-first and truncate the log at the first
+    invalid one; returns the number of records dropped (0 for a healthy
+    log). Surviving records are re-decoded from their frame bytes. *)
+
+val tail_valid : t -> bool
+(** Whether the final frame's checksum verifies (true for an empty log). *)
 
 (** Rebuild a concrete gap map from the log. *)
 module Replay (M : Repdir_gapmap.Gapmap_intf.S) : sig

@@ -4,7 +4,9 @@
    collectible). With two-phase commit, every transaction must be
    all-or-nothing despite crashes landing between the phases: after the dust
    settles, each pair of keys is either fully present with matching tags or
-   fully absent. Clients retry on deadlock aborts and unavailability. *)
+   fully absent. Clients retry on deadlock aborts and unavailability through
+   [Suite.with_retries] — re-running the same pair after an aborted attempt
+   is safe precisely because aborts roll everything back. *)
 
 open Repdir_txn
 open Repdir_sim
@@ -33,18 +35,26 @@ let run_chaos ~seed ~duration ~clients =
           let tag = Printf.sprintf "c%d-%d" c !counter in
           let ka = "a-" ^ tag and kb = "b-" ^ tag in
           match
-            Suite.with_txn suite (fun txn ->
-                (match Suite.insert ~txn suite ka tag with
-                | Ok () -> ()
-                | Error `Already_present -> failwith "duplicate pair key");
-                match Suite.insert ~txn suite kb tag with
-                | Ok () -> ()
-                | Error `Already_present -> failwith "duplicate pair key")
+            Suite.with_retries ~attempts:4 ~backoff:5.0
+              ~sleep:(fun d ->
+                incr retried;
+                Sim.sleep sim d)
+              ~rng
+              (fun () ->
+                Suite.with_txn suite (fun txn ->
+                    (match Suite.insert ~txn suite ka tag with
+                    | Ok () -> ()
+                    | Error `Already_present -> failwith "duplicate pair key");
+                    match Suite.insert ~txn suite kb tag with
+                    | Ok () -> ()
+                    | Error `Already_present -> failwith "duplicate pair key"))
           with
           | () ->
               incr committed;
               Hashtbl.replace committed_pairs tag tag
           | exception (Txn.Abort _ | Suite.Unavailable _) ->
+              (* Even the last attempt failed: abandon this pair and move on
+                 after a breather. *)
               incr retried;
               Sim.sleep sim (Repdir_util.Rng.exponential rng ~mean:5.0)
         done)

@@ -8,6 +8,7 @@ open Repdir_gapmap.Gapmap_intf
 module G = Repdir_gapmap.Reference
 module Apply = Undo.Apply (Repdir_gapmap.Reference)
 module Replay = Wal.Replay (Repdir_gapmap.Reference)
+module Rep = Repdir_rep.Rep
 
 (* --- manager -------------------------------------------------------------------- *)
 
@@ -218,6 +219,90 @@ let test_wal_checkpoint_then_more_commits () =
   Alcotest.(check (list string)) "checkpoint replaces prior state" [ "after"; "cp" ]
     (List.map (fun (k, _, _) -> k) (G.entries g))
 
+(* --- storage faults --------------------------------------------------------------- *)
+
+(* A committed-and-forced prefix, then the unforced records of an in-flight
+   transaction — the shape of a representative's log at crash time. *)
+let log_with_unforced_tail () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Insert (1, "a", 1, "va"));
+  Wal.append w (Wal.Commit 1);
+  Wal.sync w;
+  Wal.append w (Wal.Insert (2, "b", 2, "vb"));
+  Wal.append w (Wal.Insert (2, "c", 3, "vc"));
+  w
+
+let replayed_keys w = List.map (fun (k, _, _) -> k) (G.entries (Replay.replay w))
+
+let test_wal_torn_tail_recovers_committed_prefix () =
+  let w = log_with_unforced_tail () in
+  Wal.inject w Wal.Tear_tail;
+  Alcotest.(check bool) "tail checksum fails" false (Wal.tail_valid w);
+  let dropped = Wal.repair w in
+  Alcotest.(check int) "torn record dropped" 1 dropped;
+  Alcotest.(check bool) "tail valid after repair" true (Wal.tail_valid w);
+  Alcotest.(check (list string)) "exactly the committed prefix" [ "a" ] (replayed_keys w)
+
+let test_wal_corrupt_tail_recovers_committed_prefix () =
+  let w = log_with_unforced_tail () in
+  Wal.inject w Wal.Corrupt_tail;
+  Alcotest.(check int) "corrupt record dropped" 1 (Wal.repair w);
+  Alcotest.(check (list string)) "exactly the committed prefix" [ "a" ] (replayed_keys w)
+
+let test_wal_torn_commit_record_means_uncommitted () =
+  (* If the crash tears the (unforced) commit record itself, the transaction
+     simply never committed: repair drops the frame and replay skips its
+     operations. *)
+  let w = log_with_unforced_tail () in
+  Wal.append w (Wal.Commit 2);
+  Wal.inject w Wal.Tear_tail;
+  ignore (Wal.repair w);
+  Alcotest.(check (list string)) "txn 2 not committed" [ "a" ] (replayed_keys w)
+
+let test_wal_repair_drops_everything_after_first_bad_frame () =
+  (* A sequential log is unreadable past a bad frame even if later bytes
+     happen to checksum: repair keeps only the longest valid prefix. *)
+  let w = log_with_unforced_tail () in
+  Wal.inject w Wal.Corrupt_tail;
+  Wal.append w (Wal.Insert (2, "d", 4, "vd"));
+  Wal.append w (Wal.Commit 2);
+  Alcotest.(check int) "corrupt frame and successors dropped" 3 (Wal.repair w);
+  Alcotest.(check (list string)) "committed prefix only" [ "a" ] (replayed_keys w)
+
+let test_wal_faults_clamp_to_unforced_suffix () =
+  (* Forced frames are durable: a crash fault cannot reach below the sync
+     watermark, so acknowledged commits survive any injection. *)
+  let w = log_with_unforced_tail () in
+  Wal.append w (Wal.Commit 2);
+  Wal.sync w;
+  Wal.inject w Wal.Tear_tail;
+  Wal.inject w Wal.Corrupt_tail;
+  Wal.inject w (Wal.Truncate_tail 100);
+  Alcotest.(check bool) "nothing to repair" true (Wal.tail_valid w);
+  Alcotest.(check int) "no records lost" 0 (Wal.repair w);
+  Alcotest.(check (list string)) "both txns survive" [ "a"; "b"; "c" ] (replayed_keys w)
+
+let test_wal_truncate_tail_drops_only_unforced () =
+  let w = log_with_unforced_tail () in
+  Wal.inject w (Wal.Truncate_tail 100);
+  Alcotest.(check int) "unforced suffix gone" 2 (Wal.length w);
+  Alcotest.(check (list string)) "committed prefix intact" [ "a" ] (replayed_keys w)
+
+let test_rep_recovers_from_torn_tail () =
+  (* End to end at the representative: commit one transaction, crash with a
+     torn tail mid-way through the next, and recovery must land on exactly
+     the committed state (and count the scrubbed record). *)
+  let r = Rep.create ~name:"r" () in
+  Rep.insert r ~txn:1 "a" 1 "va";
+  Rep.commit r ~txn:1;
+  Rep.insert r ~txn:2 "b" 2 "vb";
+  Rep.inject_storage_fault r Wal.Tear_tail;
+  Rep.crash r;
+  Rep.recover r;
+  Alcotest.(check int) "one record scrubbed" 1 (Rep.wal_records_repaired r);
+  Alcotest.(check (list string)) "committed state only" [ "a" ]
+    (List.map (fun (k, _, _) -> k) (Rep.entries r))
+
 (* Property: interleave random committed/aborted transactions; replay equals
    the live map with aborted transactions rolled back. *)
 let wal_replay_matches_live =
@@ -314,5 +399,22 @@ let () =
           Alcotest.test_case "checkpoint then more commits" `Quick
             test_wal_checkpoint_then_more_commits;
           QCheck_alcotest.to_alcotest wal_replay_matches_live;
+        ] );
+      ( "storage faults",
+        [
+          Alcotest.test_case "torn tail -> committed prefix" `Quick
+            test_wal_torn_tail_recovers_committed_prefix;
+          Alcotest.test_case "corrupt tail -> committed prefix" `Quick
+            test_wal_corrupt_tail_recovers_committed_prefix;
+          Alcotest.test_case "torn commit record means uncommitted" `Quick
+            test_wal_torn_commit_record_means_uncommitted;
+          Alcotest.test_case "repair stops at first bad frame" `Quick
+            test_wal_repair_drops_everything_after_first_bad_frame;
+          Alcotest.test_case "faults clamp to unforced suffix" `Quick
+            test_wal_faults_clamp_to_unforced_suffix;
+          Alcotest.test_case "truncation drops only unforced" `Quick
+            test_wal_truncate_tail_drops_only_unforced;
+          Alcotest.test_case "rep recovers from torn tail" `Quick
+            test_rep_recovers_from_torn_tail;
         ] );
     ]
