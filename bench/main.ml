@@ -77,6 +77,13 @@ let bench_btree_insert_coalesce ~branching n =
               ~hi:(Repdir_key.Bound.Key (Key.of_int (k + 1)))
               4)))
 
+let bench_btree_digest ~branching n =
+  let g = filled_btree ~branching n in
+  Test.make
+    ~name:(Printf.sprintf "btree(b=%d)/digest-root/%d" branching n)
+    (Staged.stage (fun () ->
+         ignore (Btree.digest_range g ~lo:Repdir_key.Bound.Low ~hi:Repdir_key.Bound.High)))
+
 (* --- lock manager --------------------------------------------------------------- *)
 
 let bench_lock_acquire_release () =
@@ -213,9 +220,23 @@ let bench_tables =
     Test.make ~name:"table/space(500 ops)"
       (Staged.stage (fun () ->
            ignore (Repdir_harness.Figures.space_and_traffic ~ops:500 ~entries:50 ())));
+    Test.make ~name:"table/sync-convergence(1 seed)"
+      (Staged.stage (fun () -> ignore (Repdir_harness.Anti_entropy.convergence ())));
   ]
 
 (* --- runner ---------------------------------------------------------------------------- *)
+
+(* One result row per benchmark: the OLS time-per-run estimate plus latency
+   percentiles over bechamel's raw samples (each sample's time divided by its
+   iteration count). Rows feed both the on-screen table and BENCH_pr2.json. *)
+type bench_row = { name : string; ns : float; p50 : float; p90 : float; p99 : float }
+
+let pretty_ns ns =
+  if Float.is_nan ns then "-"
+  else if ns >= 1.0e9 then Printf.sprintf "%.2f s" (ns /. 1.0e9)
+  else if ns >= 1.0e6 then Printf.sprintf "%.2f ms" (ns /. 1.0e6)
+  else if ns >= 1.0e3 then Printf.sprintf "%.2f us" (ns /. 1.0e3)
+  else Printf.sprintf "%.0f ns" ns
 
 let run_benchmarks tests ~quota =
   let instances = Instance.[ monotonic_clock ] in
@@ -223,50 +244,112 @@ let run_benchmarks tests ~quota =
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"repdir" ~fmt:"%s %s" tests) in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let label = Measure.label Instance.monotonic_clock in
+  let percentiles name =
+    match Hashtbl.find_opt raw name with
+    | None -> (nan, nan, nan)
+    | Some (b : Benchmark.t) ->
+        let xs =
+          Array.to_list b.Benchmark.lr
+          |> List.filter_map (fun m ->
+                 let runs = Measurement_raw.run m in
+                 if runs <= 0.0 then None
+                 else Some (Measurement_raw.get ~label m /. runs))
+          |> Array.of_list
+        in
+        Array.sort compare xs;
+        let n = Array.length xs in
+        let pct p =
+          if n = 0 then nan
+          else xs.(max 0 (min (n - 1) (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1)))
+        in
+        (pct 50.0, pct 90.0, pct 99.0)
+  in
   let rows =
     Hashtbl.fold
       (fun name ols acc ->
-        match Analyze.OLS.estimates ols with
-        | Some [ ns ] -> (name, ns) :: acc
-        | Some _ | None -> (name, nan) :: acc)
+        let ns =
+          match Analyze.OLS.estimates ols with Some [ ns ] -> ns | Some _ | None -> nan
+        in
+        let p50, p90, p99 = percentiles name in
+        { name; ns; p50; p90; p99 } :: acc)
       results []
     |> List.sort compare
   in
-  let table = Repdir_util.Table.create ~header:[ "benchmark"; "time/run" ] () in
-  let pretty ns =
-    if Float.is_nan ns then "-"
-    else if ns >= 1.0e9 then Printf.sprintf "%.2f s" (ns /. 1.0e9)
-    else if ns >= 1.0e6 then Printf.sprintf "%.2f ms" (ns /. 1.0e6)
-    else if ns >= 1.0e3 then Printf.sprintf "%.2f us" (ns /. 1.0e3)
-    else Printf.sprintf "%.0f ns" ns
+  let table =
+    Repdir_util.Table.create ~header:[ "benchmark"; "time/run"; "p50"; "p99" ] ()
   in
-  List.iter (fun (name, ns) -> Repdir_util.Table.add_row table [ name; pretty ns ]) rows;
-  Repdir_util.Table.print table
+  List.iter
+    (fun r ->
+      Repdir_util.Table.add_row table [ r.name; pretty_ns r.ns; pretty_ns r.p50; pretty_ns r.p99 ])
+    rows;
+  Repdir_util.Table.print table;
+  rows
+
+(* --- machine-readable summary --------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~path rows =
+  let oc = open_out path in
+  let num ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns in
+  let ops ns =
+    if Float.is_nan ns || ns <= 0.0 then "null" else Printf.sprintf "%.1f" (1.0e9 /. ns)
+  in
+  output_string oc "{\n  \"schema\": \"repdir-bench/1\",\n  \"benchmarks\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_op\": %s, \"ops_per_sec\": %s, \"p50_ns\": %s, \
+         \"p90_ns\": %s, \"p99_ns\": %s}%s\n"
+        (json_escape r.name) (num r.ns) (ops r.ns) (num r.p50) (num r.p90) (num r.p99)
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d benchmarks)\n%!" path (List.length rows)
 
 let section title = Printf.printf "\n==== %s ====\n\n%!" title
 
 let () =
   section "Micro-benchmarks (bechamel, time per run)";
-  run_benchmarks ~quota:0.25
-    [
-      bench_reference_lookup 1_000;
-      bench_btree_lookup ~branching:8 1_000;
-      bench_btree_lookup ~branching:32 1_000;
-      bench_btree_lookup ~branching:128 1_000;
-      bench_btree_lookup ~branching:32 100_000;
-      bench_btree_insert_coalesce ~branching:32 1_000;
-      bench_lock_acquire_release ();
-      bench_rep_insert_coalesce ();
-      bench_suite_lookup ~config:cfg_322;
-      bench_suite_insert_delete ~config:cfg_322;
-      bench_suite_lookup ~config:(Config.simple ~n:5 ~r:3 ~w:3);
-      bench_suite_insert_delete ~config:(Config.simple ~n:5 ~r:3 ~w:3);
-      bench_file_voting_modify ();
-      bench_availability ();
-    ];
+  let micro_rows =
+    run_benchmarks ~quota:0.25
+      [
+        bench_reference_lookup 1_000;
+        bench_btree_lookup ~branching:8 1_000;
+        bench_btree_lookup ~branching:32 1_000;
+        bench_btree_lookup ~branching:128 1_000;
+        bench_btree_lookup ~branching:32 100_000;
+        bench_btree_insert_coalesce ~branching:32 1_000;
+        bench_btree_digest ~branching:32 1_000;
+        bench_btree_digest ~branching:32 100_000;
+        bench_lock_acquire_release ();
+        bench_rep_insert_coalesce ();
+        bench_suite_lookup ~config:cfg_322;
+        bench_suite_insert_delete ~config:cfg_322;
+        bench_suite_lookup ~config:(Config.simple ~n:5 ~r:3 ~w:3);
+        bench_suite_insert_delete ~config:(Config.simple ~n:5 ~r:3 ~w:3);
+        bench_file_voting_modify ();
+        bench_availability ();
+      ]
+  in
 
   section "Per-table pipeline benchmarks (scaled-down, bechamel)";
-  run_benchmarks ~quota:0.5 bench_tables;
+  let table_rows = run_benchmarks ~quota:0.5 bench_tables in
+  write_bench_json ~path:"BENCH_pr2.json" (micro_rows @ table_rows);
 
   (* ---- full reproductions, paper parameters ---- *)
   let module F = Repdir_harness.Figures in

@@ -29,10 +29,12 @@ type t = {
   two_phase : bool;
   registry : Commit_registry.t;
   batch_depth : int;
+  sync : Repdir_sync.Sync.t option;
 }
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
-    ?(registry = Commit_registry.create ()) ?(batch_depth = 1) ~config ~transport ~txns () =
+    ?(registry = Commit_registry.create ()) ?(batch_depth = 1) ?sync ~config ~transport
+    ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
@@ -46,10 +48,18 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     two_phase;
     registry;
     batch_depth;
+    sync;
   }
 
 let config t = t.config
 let transport t = t.transport
+let sync t = t.sync
+let sync_counters t = Option.map Repdir_sync.Sync.counters t.sync
+
+let set_sync_enabled t on =
+  match t.sync with
+  | Some s -> Repdir_sync.Sync.set_enabled s on
+  | None -> invalid_arg "Suite.set_sync_enabled: suite has no sync actor attached"
 
 type delete_report = {
   was_present : bool;

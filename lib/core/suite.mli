@@ -39,6 +39,7 @@ val create :
   ?two_phase:bool ->
   ?registry:Repdir_txn.Commit_registry.t ->
   ?batch_depth:int ->
+  ?sync:Repdir_sync.Sync.t ->
   config:Config.t ->
   transport:Transport.t ->
   txns:Txn.Manager.t ->
@@ -59,10 +60,24 @@ val create :
     successor walks ask each quorum member for [batch_depth] successive
     neighbours per call, so "the real predecessor and real successor will
     often be located using one remote procedure call to each member of the
-    quorum". Depth 1 reproduces the paper's pseudo-code exactly. *)
+    quorum". Depth 1 reproduces the paper's pseudo-code exactly.
+
+    [sync] attaches the background anti-entropy actor reconciling this
+    suite's representatives (see {!Repdir_sync.Sync}); the suite exposes its
+    enable switch and traffic counters but the actor runs independently of
+    client operations. *)
 
 val config : t -> Config.t
 val transport : t -> Transport.t
+
+val sync : t -> Repdir_sync.Sync.t option
+
+val sync_counters : t -> Repdir_sync.Sync.counters option
+(** Sync-traffic counters of the attached anti-entropy actor, if any. *)
+
+val set_sync_enabled : t -> bool -> unit
+(** Toggle the attached anti-entropy actor. Raises [Invalid_argument] when no
+    actor is attached. *)
 
 (** Everything {!delete} did, for the paper's §4 statistics. *)
 type delete_report = {

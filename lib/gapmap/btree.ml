@@ -528,3 +528,24 @@ let pp ppf t =
   fold_entries t ~init:() ~f:(fun () e ->
       Format.fprintf ppf " %a:%a -%a-" Key.pp e.key Version.pp e.version Version.pp e.gap_after);
   Format.fprintf ppf " HIGH"
+
+include Gapmap_intf.Sync_ops (struct
+  type nonrec t = t
+
+  let create = create
+  let size = size
+  let mem = mem
+  let lookup = lookup
+  let predecessor = predecessor
+  let successor = successor
+  let insert = insert
+  let coalesce = coalesce
+  let remove = remove
+  let set_gap_after = set_gap_after
+  let entries = entries
+  let gaps = gaps
+  let count_strictly_between = count_strictly_between
+  let entries_between = entries_between
+  let check_invariants = check_invariants
+  let pp = pp
+end)

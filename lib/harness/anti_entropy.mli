@@ -1,0 +1,90 @@
+(** Anti-entropy experiments: partition-then-heal convergence and the
+    period-vs-staleness tradeoff.
+
+    The convergence campaign is the subsystem's acceptance test: build a
+    directory, cut one representative off, keep writing on the surviving
+    quorum, heal — then stop {i all} client traffic and let the background
+    actor reconcile. The suite must reach identical root digests at every
+    representative, and the sync counters must show the repair moved O(diff)
+    entries, not a full copy. Everything derives from the explicit seed, so
+    runs are bit-reproducible. *)
+
+open Repdir_rep
+open Repdir_sync
+
+val entry_divergence : Rep.t -> Rep.t -> int
+(** Size of the symmetric difference of the two representatives'
+    (key, version, value) entry sets. *)
+
+val stale_entries : Rep.t array -> int
+(** Entries (summed over live representatives) whose version at that
+    representative lags the suite-wide maximum for their key. *)
+
+val all_digests_equal : Rep.t array -> bool
+(** Whether every live representative has the same root digest. *)
+
+type outcome = {
+  seed : int64;
+  victim : int;  (** the representative that was partitioned away *)
+  directory_size : int;  (** entries per representative at the end *)
+  diverged_entries : int;  (** entry divergence measured at heal time *)
+  converged : bool;  (** all root digests equal before the deadline *)
+  heal_to_converged : float;  (** virtual time from heal to convergence *)
+  entries_sent : int;  (** total entries moved by range transfers *)
+  digest_rpcs : int;
+  pull_rpcs : int;
+  sessions : int;
+  sessions_failed : int;
+  ghosts_kept : int;
+  sim_events : int;  (** reproducibility fingerprint *)
+}
+
+val convergence :
+  ?seed:int64 ->
+  ?config:Repdir_quorum.Config.t ->
+  ?n_entries:int ->
+  ?partition_writes:int ->
+  ?sync_config:Sync.config ->
+  ?deadline:float ->
+  unit ->
+  outcome
+(** One partition-then-heal run. Defaults: the paper's 3-2-2 suite, 120
+    entries, 12 writes during the partition, sync period 25.0, and a
+    [deadline] of 1500.0 virtual time units measured from heal (a budget
+    for reconciliation, not an absolute clock). The run uses single-phase
+    commit — under two-phase commit every transaction that so much as
+    probes the partitioned representative aborts at prepare, so the
+    surviving quorum could not diverge. Quorum writes (w < n) scatter
+    entries even without a partition, so the harness first drives explicit
+    sync rounds until all digests agree, and the traffic counters in the
+    {!outcome} are deltas measured from heal time. *)
+
+val campaign :
+  ?seeds:int64 list ->
+  ?config:Repdir_quorum.Config.t ->
+  ?n_entries:int ->
+  ?partition_writes:int ->
+  ?sync_config:Sync.config ->
+  ?deadline:float ->
+  unit ->
+  outcome list
+(** {!convergence} over several seeds (default: five fixed ones). *)
+
+val table_of_outcomes : outcome list -> Repdir_util.Table.t
+
+val staleness_table :
+  ?seed:int64 ->
+  ?config:Repdir_quorum.Config.t ->
+  ?periods:float list ->
+  ?duration:float ->
+  unit ->
+  Repdir_util.Table.t
+(** Sweep the actor's period under steady client writes and a repeating
+    one-representative partition cycle: shorter periods keep replicas
+    fresher (lower mean staleness) at the cost of more sessions and digest
+    traffic. Each row also reports the end-of-run state after a grace
+    window with no traffic: the stale-entry count the actor must drive to
+    zero, and whether root digests equalized outright (a delete-heavy
+    workload can park mutually dominated ghosts that keep digests apart
+    without any entry being stale — see DESIGN.md, "Ghosts and the
+    representability limit"). *)

@@ -55,7 +55,10 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
   if rpc_attempts < 1 then invalid_arg "Sim_world: need at least one RPC attempt";
   let sim = Sim.create ~seed () in
   let n = Config.n_reps config in
-  let net = Net.create sim ~n_nodes:(n + n_clients) ?latency () in
+  (* One extra node for the anti-entropy actor, allocated after the clients
+     so client node ids (and with them every pre-existing experiment's event
+     stream) are unchanged; the node is silent unless [make_sync] is used. *)
+  let net = Net.create sim ~n_nodes:(n + n_clients + 1) ?latency () in
   let waiter register = Sim.suspend sim register in
   let lock_group = Repdir_lock.Lock_manager.new_group () in
   let registry = Repdir_txn.Commit_registry.create () in
@@ -126,9 +129,44 @@ let client_transport t i =
 
 let registry t = t.registry
 
-let suite_for_client ?picker ?seed t i =
-  Suite.create ?picker ?seed ~two_phase:t.two_phase ~registry:t.registry ~config:t.config
-    ~transport:(client_transport t i) ~txns:t.txns ()
+let suite_for_client ?picker ?seed ?sync t i =
+  Suite.create ?picker ?seed ?sync ~two_phase:t.two_phase ~registry:t.registry
+    ~config:t.config ~transport:(client_transport t i) ~txns:t.txns ()
+
+(* --- anti-entropy -------------------------------------------------------------- *)
+
+let syncer_node t = Config.n_reps t.config + t.n_clients
+
+let make_sync ?config ?(seed = 0xa11_075eedL) t =
+  let src = syncer_node t in
+  let jitter_rng = Repdir_util.Rng.create (Int64.add t.seed (Int64.of_int (0x5e7 + src))) in
+  let peer r =
+    {
+      Repdir_sync.Sync.p_index = r;
+      p_name = Rep.name t.reps.(r);
+      p_incarnation = (fun () -> Rep.incarnation t.reps.(r));
+      p_call =
+        (fun f ->
+          match
+            Rpc.call_at_most_once t.net ~src ~dst:r ~server:t.servers.(r)
+              ~timeout:t.rpc_timeout ~attempts:t.rpc_attempts ~backoff:t.rpc_backoff
+              ~rng:jitter_rng
+              (fun () -> f t.reps.(r))
+          with
+          | Ok v -> v
+          | Error Rpc.Timeout ->
+              raise
+                (Repdir_sync.Sync.Unreachable (Printf.sprintf "rep%d: rpc timeout" r)));
+    }
+  in
+  Repdir_sync.Sync.create ?config ~seed
+    ~peers:(Array.init (Config.n_reps t.config) peer)
+    ~txns:t.txns ()
+
+let start_sync ?config ?seed ?until t =
+  let s = make_sync ?config ?seed t in
+  Repdir_sync.Sync.run ?until s t.sim;
+  s
 
 let crash_rep ?wal_fault t i =
   Option.iter (Rep.inject_storage_fault t.reps.(i)) wal_fault;

@@ -51,7 +51,29 @@ val client_transport : t -> int -> Transport.t
 (** Transport for client [i] (0-based, [i < n_clients]). Calls must be made
     from inside a simulator process. *)
 
-val suite_for_client : ?picker:Picker.strategy -> ?seed:int64 -> t -> int -> Suite.t
+val suite_for_client :
+  ?picker:Picker.strategy -> ?seed:int64 -> ?sync:Repdir_sync.Sync.t -> t -> int -> Suite.t
+
+(* --- anti-entropy ----------------------------------------------------------- *)
+
+val syncer_node : t -> int
+(** The network node the anti-entropy actor calls from (allocated after the
+    clients, so it never perturbs client node ids). *)
+
+val make_sync :
+  ?config:Repdir_sync.Sync.config -> ?seed:int64 -> t -> Repdir_sync.Sync.t
+(** An anti-entropy actor whose peers reach every representative over the
+    at-most-once RPC layer from {!syncer_node} (same timeout/retry settings
+    as client transports; an exhausted retry budget surfaces as an
+    unreachable peer and fails the session). The actor is not scheduled:
+    drive it with {!Repdir_sync.Sync.round} from a simulator process, or use
+    {!start_sync}. *)
+
+val start_sync :
+  ?config:Repdir_sync.Sync.config -> ?seed:int64 -> ?until:float -> t ->
+  Repdir_sync.Sync.t
+(** {!make_sync} plus {!Repdir_sync.Sync.run}: the periodic background actor
+    is spawned on the simulator before [run] is next called. *)
 
 val crash_rep : ?wal_fault:Repdir_txn.Wal.storage_fault -> t -> int -> unit
 (** Crash both the node (messages drop) and the representative (volatile

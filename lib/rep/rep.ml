@@ -16,6 +16,9 @@ type counters = {
   mutable inserts : int;
   mutable coalesces : int;
   mutable lock_waits : int;
+  mutable digests : int;
+  mutable pulls : int;
+  mutable sync_applies : int;
 }
 
 type t = {
@@ -53,7 +56,17 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
     incarnation = 0;
     wal_records_repaired = 0;
     counters =
-      { lookups = 0; predecessors = 0; successors = 0; inserts = 0; coalesces = 0; lock_waits = 0 };
+      {
+        lookups = 0;
+        predecessors = 0;
+        successors = 0;
+        inserts = 0;
+        coalesces = 0;
+        lock_waits = 0;
+        digests = 0;
+        pulls = 0;
+        sync_applies = 0;
+      };
   }
 
 let name t = t.name
@@ -209,6 +222,73 @@ let coalesce t ~txn ~lo ~hi version =
     doomed;
   Wal.append t.wal (Wal.Coalesce (txn, lo, hi, version));
   Btree.coalesce t.map ~lo ~hi version
+
+(* --- anti-entropy endpoints -------------------------------------------------- *)
+
+module Gm = Repdir_gapmap.Gapmap_intf
+
+let digest_range t ~txn ~lo ~hi =
+  check_alive t;
+  t.counters.digests <- t.counters.digests + 1;
+  lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
+  Btree.digest_range t.map ~lo ~hi
+
+let split_range t ~txn ~lo ~hi ~arity =
+  check_alive t;
+  lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
+  Btree.split_range t.map ~lo ~hi ~arity
+
+let pull_range t ~txn ~lo ~hi =
+  check_alive t;
+  t.counters.pulls <- t.counters.pulls + 1;
+  lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
+  Btree.pull_range t.map ~lo ~hi
+
+let apply_range t ~txn (tr : Gm.transfer) =
+  check_alive t;
+  t.counters.sync_applies <- t.counters.sync_applies + 1;
+  lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.make tr.t_lo tr.t_hi);
+  let plan = Btree.plan_transfer t.map tr in
+  if plan.ops = [] then { Gm.empty_applied with ghosts_kept = plan.ghosts_kept }
+  else begin
+    (* One redo record for the whole plan; it replays by re-running the ops
+       in order, so it must be logged before any of them mutates the map. *)
+    Wal.append t.wal (Wal.Sync_apply (txn, plan.ops));
+    let applied = ref { Gm.empty_applied with ghosts_kept = plan.ghosts_kept } in
+    List.iter
+      (fun op ->
+        (* Record each op's inverse against the map as it stands right now;
+           rollback applies inverses most-recent-first, so each one meets
+           exactly the state its op produced. *)
+        (match op with
+        | Gm.Sync_put (k, _, _) -> (
+            match Btree.lookup t.map (Bound.Key k) with
+            | Present { version; value } ->
+                applied := { !applied with updated = !applied.updated + 1 };
+                Undo.record t.undo ~txn (Undo.Restore_entry (k, version, value))
+            | Absent _ ->
+                applied := { !applied with installed = !applied.installed + 1 };
+                Undo.record t.undo ~txn (Undo.Remove_entry k))
+        | Gm.Sync_gap (b, _) ->
+            applied := { !applied with gaps_raised = !applied.gaps_raised + 1 };
+            Undo.record t.undo ~txn (Undo.Restore_gap (b, gap_after t b))
+        | Gm.Sync_del k -> (
+            applied := { !applied with deleted = !applied.deleted + 1 };
+            match Btree.lookup t.map (Bound.Key k) with
+            | Present { version; value } ->
+                (* Rollback order (LIFO): re-insert the entry, then restore
+                   the version of the gap that followed it. *)
+                Undo.record t.undo ~txn (Undo.Restore_gap (Bound.Key k, gap_after t (Bound.Key k)));
+                Undo.record t.undo ~txn (Undo.Restore_entry (k, version, value))
+            | Absent _ -> assert false));
+        Btree.apply_sync_op t.map op)
+      plan.ops;
+    !applied
+  end
+
+let root_digest t =
+  check_alive t;
+  Btree.digest_range t.map ~lo:Bound.Low ~hi:Bound.High
 
 (* --- transaction boundary --------------------------------------------------- *)
 

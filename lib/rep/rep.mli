@@ -42,6 +42,9 @@ type counters = {
   mutable inserts : int;
   mutable coalesces : int;
   mutable lock_waits : int;  (** lock requests that could not be granted immediately *)
+  mutable digests : int;  (** anti-entropy digest requests served *)
+  mutable pulls : int;  (** anti-entropy range transfers served *)
+  mutable sync_applies : int;  (** anti-entropy merges applied here *)
 }
 
 val create :
@@ -86,6 +89,39 @@ val coalesce :
 (** Returns the number of entries deleted (the paper's "entries in ranges
     coalesced" statistic for this representative). Raises
     {!Gapmap_intf.Missing_endpoint} if an endpoint entry is absent. *)
+
+(* --- anti-entropy endpoints ------------------------------------------------- *)
+
+val digest_range :
+  t -> txn:Repdir_txn.Txn.id -> lo:Bound.t -> hi:Bound.t -> Gapmap_intf.digest
+(** Digest of this representative's state over [(lo, hi]], under a
+    RepLookup(lo, hi) lock — concurrent modifications of the range are
+    serialized against the sync transaction. *)
+
+val split_range :
+  t -> txn:Repdir_txn.Txn.id -> lo:Bound.t -> hi:Bound.t -> arity:int -> Bound.t list
+(** Interior cut keys partitioning the range into roughly entry-equal
+    sub-ranges (RepLookup lock), for recursing into a digest mismatch. *)
+
+val pull_range :
+  t -> txn:Repdir_txn.Txn.id -> lo:Bound.t -> hi:Bound.t -> Gapmap_intf.transfer
+(** Versioned transfer of the range's full state (RepLookup lock). *)
+
+val apply_range :
+  t -> txn:Repdir_txn.Txn.id -> Gapmap_intf.transfer -> Gapmap_intf.applied
+(** Merge a peer's transfer under a RepModify(t_lo, t_hi) lock: install or
+    overwrite entries the peer holds at strictly higher versions, raise
+    dominated gap versions (never beyond what the peer attests), and delete
+    entries dominated by a newer peer gap when the removal is exact. The
+    merge is a plan of primitive ops written to the write-ahead log as one
+    {!Repdir_txn.Wal.record.Sync_apply} record and undo-logged op by op, so
+    it aborts and replays like any other transaction work. Idempotent: a
+    second apply of the same transfer is a no-op (versions never lowered). *)
+
+val root_digest : t -> Gapmap_intf.digest
+(** Lock-free digest of the whole directory, for convergence checks by the
+    harness (not part of the locked protocol). Raises {!Crashed} while the
+    representative is down. *)
 
 (* --- transaction boundary -------------------------------------------------- *)
 

@@ -1,0 +1,225 @@
+open Repdir_key
+open Repdir_util
+open Repdir_txn
+open Repdir_rep
+open Repdir_sim
+module Gm = Repdir_gapmap.Gapmap_intf
+
+exception Unreachable of string
+
+exception Session_failed of string
+
+type peer = {
+  p_index : int;
+  p_name : string;
+  p_incarnation : unit -> int;
+  p_call : 'r. (Rep.t -> 'r) -> 'r;
+}
+
+type config = {
+  period : float;
+  arity : int;
+  leaf_entries : int;
+}
+
+let default_config = { period = 200.0; arity = 4; leaf_entries = 8 }
+
+type counters = {
+  mutable rounds : int;
+  mutable sessions : int;
+  mutable sessions_failed : int;
+  mutable digest_rpcs : int;
+  mutable pull_rpcs : int;
+  mutable entries_sent : int;
+  mutable entries_installed : int;
+  mutable entries_updated : int;
+  mutable entries_deleted : int;
+  mutable gaps_raised : int;
+  mutable ghosts_kept : int;
+}
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "rounds=%d sessions=%d (failed %d) digests=%d pulls=%d sent=%d installed=%d updated=%d \
+     deleted=%d gaps-raised=%d ghosts-kept=%d"
+    c.rounds c.sessions c.sessions_failed c.digest_rpcs c.pull_rpcs c.entries_sent
+    c.entries_installed c.entries_updated c.entries_deleted c.gaps_raised c.ghosts_kept
+
+type t = {
+  config : config;
+  peers : peer array;
+  txns : Txn.Manager.t;
+  rng : Rng.t;
+  mutable enabled : bool;
+  mutable stopped : bool;
+  counters : counters;
+}
+
+let create ?(config = default_config) ?(seed = 0x5a11c_aa7L) ~peers ~txns () =
+  if config.arity < 2 then invalid_arg "Sync.create: arity must be >= 2";
+  if config.leaf_entries < 1 then invalid_arg "Sync.create: leaf_entries must be >= 1";
+  if config.period <= 0.0 then invalid_arg "Sync.create: period must be positive";
+  {
+    config;
+    peers;
+    txns;
+    rng = Rng.create seed;
+    enabled = true;
+    stopped = false;
+    counters =
+      {
+        rounds = 0;
+        sessions = 0;
+        sessions_failed = 0;
+        digest_rpcs = 0;
+        pull_rpcs = 0;
+        entries_sent = 0;
+        entries_installed = 0;
+        entries_updated = 0;
+        entries_deleted = 0;
+        gaps_raised = 0;
+        ghosts_kept = 0;
+      };
+  }
+
+let counters t = t.counters
+let enabled t = t.enabled
+let set_enabled t on = t.enabled <- on
+let stop t = t.stopped <- true
+
+(* --- one directed session ----------------------------------------------------- *)
+
+(* [dst] pulls what it is missing from [src]. Both sides work inside one
+   transaction: digests and transfers are served under RepLookup locks at the
+   source, merges applied under RepModify locks at the destination, so the
+   session serializes against client transactions like any other 2PL
+   participant (the shared lock group detects cross-rep deadlocks, which
+   surface as a Txn.Abort here and simply fail the session).
+
+   Incarnation fencing: a peer that restarts mid-session has lost the
+   session's locks and undo state, so any evidence of a changed incarnation
+   fails the session before it can commit half-applied work — the same rule
+   the suite applies to client transactions. *)
+let session t ~(src : peer) ~(dst : peer) =
+  let c = t.counters in
+  c.sessions <- c.sessions + 1;
+  let txn = Txn.Manager.begin_txn t.txns in
+  let src_inc = src.p_incarnation () and dst_inc = dst.p_incarnation () in
+  let fence () =
+    if src.p_incarnation () <> src_inc || dst.p_incarnation () <> dst_inc then
+      raise (Session_failed "peer restarted mid-session")
+  in
+  let add (a : Gm.applied) =
+    c.entries_installed <- c.entries_installed + a.installed;
+    c.entries_updated <- c.entries_updated + a.updated;
+    c.entries_deleted <- c.entries_deleted + a.deleted;
+    c.gaps_raised <- c.gaps_raised + a.gaps_raised;
+    c.ghosts_kept <- c.ghosts_kept + a.ghosts_kept
+  in
+  let pull lo hi =
+    let tr = src.p_call (fun rep -> Rep.pull_range rep ~txn ~lo ~hi) in
+    fence ();
+    c.pull_rpcs <- c.pull_rpcs + 1;
+    c.entries_sent <-
+      c.entries_sent + List.length tr.Gm.t_items
+      + (match tr.Gm.t_hi_state with Gm.Hi_entry _ -> 1 | _ -> 0);
+    let applied = dst.p_call (fun rep -> Rep.apply_range rep ~txn tr) in
+    fence ();
+    add applied
+  in
+  let rec walk lo hi =
+    let d_src = src.p_call (fun rep -> Rep.digest_range rep ~txn ~lo ~hi) in
+    fence ();
+    let d_dst = dst.p_call (fun rep -> Rep.digest_range rep ~txn ~lo ~hi) in
+    fence ();
+    c.digest_rpcs <- c.digest_rpcs + 2;
+    if Int64.equal d_src.Gm.hash d_dst.Gm.hash && d_src.Gm.n_entries = d_dst.Gm.n_entries
+    then ()
+    else if max d_src.Gm.n_entries d_dst.Gm.n_entries <= t.config.leaf_entries then
+      pull lo hi
+    else begin
+      let cuts =
+        src.p_call (fun rep -> Rep.split_range rep ~txn ~lo ~hi ~arity:t.config.arity)
+      in
+      fence ();
+      match cuts with
+      | [] -> pull lo hi (* the source cannot subdivide: transfer directly *)
+      | cuts ->
+          let rec over = function
+            | a :: (b :: _ as rest) ->
+                walk a b;
+                over rest
+            | _ -> ()
+          in
+          over ((lo :: cuts) @ [ hi ])
+    end
+  in
+  match
+    walk Bound.Low Bound.High;
+    fence ();
+    (* The destination holds the writes; commit it first so a failure between
+       the two commits can only leave the read-only source to abort. *)
+    dst.p_call (fun rep -> Rep.commit rep ~txn);
+    src.p_call (fun rep -> Rep.commit rep ~txn)
+  with
+  | () ->
+      Txn.Manager.commit t.txns txn;
+      true
+  | exception e ->
+      c.sessions_failed <- c.sessions_failed + 1;
+      (* Best-effort release at both peers; a crashed peer has already lost
+         its locks with the rest of its volatile state. *)
+      (try dst.p_call (fun rep -> Rep.abort rep ~txn) with _ -> ());
+      (try src.p_call (fun rep -> Rep.abort rep ~txn) with _ -> ());
+      Txn.Manager.abort t.txns txn;
+      (match e with
+      | Unreachable _ | Session_failed _ | Rep.Crashed _ | Txn.Abort _ -> ()
+      | e -> raise e);
+      false
+
+(* --- rounds -------------------------------------------------------------------- *)
+
+let random_pair t =
+  let n = Array.length t.peers in
+  if n < 2 then None
+  else begin
+    let i = Rng.int t.rng n in
+    let j = (i + 1 + Rng.int t.rng (n - 1)) mod n in
+    Some (t.peers.(i), t.peers.(j))
+  end
+
+let round t =
+  t.counters.rounds <- t.counters.rounds + 1;
+  match random_pair t with
+  | None -> ()
+  | Some (a, b) ->
+      (* Both directions, so one round fully reconciles the chosen pair. *)
+      ignore (session t ~src:a ~dst:b);
+      ignore (session t ~src:b ~dst:a)
+
+let round_all_pairs t =
+  t.counters.rounds <- t.counters.rounds + 1;
+  let n = Array.length t.peers in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then ignore (session t ~src:t.peers.(i) ~dst:t.peers.(j))
+    done
+  done
+
+let run ?until t sim =
+  Sim.spawn sim ~name:"sync-actor" (fun () ->
+      let stop () =
+        t.stopped || match until with Some u -> Sim.now sim >= u | None -> false
+      in
+      let rec loop () =
+        if not (stop ()) then begin
+          (* Jitter the period so the actor does not phase-lock with
+             periodic client traffic. *)
+          Sim.sleep sim (t.config.period *. (0.75 +. (0.5 *. Rng.float t.rng 1.0)));
+          if not (stop ()) then begin
+            if t.enabled then round t;
+            loop ()
+          end
+        end
+      in
+      loop ())

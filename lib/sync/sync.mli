@@ -1,0 +1,115 @@
+(** Anti-entropy: background pairwise reconciliation of representatives.
+
+    The paper's weighted-voting algorithm only repairs a stale representative
+    when a read quorum happens to touch the stale range, so a representative
+    that misses writes during a partition stays out of date indefinitely.
+    This actor closes that gap: it periodically picks a pair of
+    representatives and reconciles them by comparing hierarchical range
+    digests (an FNV-1a fold of entry and gap version numbers over a key
+    range, served by {!Repdir_rep.Rep.digest_range}), recursing only into
+    mismatched sub-ranges, and transferring just the diverged ranges —
+    O(diff) entries moved in O(log n) digest rounds, not a full copy.
+
+    Merges are version-monotone (see {!Repdir_gapmap.Gapmap_intf.Sync_ops}):
+    a representative only ever learns state the peer holds at strictly higher
+    version numbers, so reconciliation commutes with client traffic and
+    repeated sessions are idempotent. All work happens inside ordinary
+    transactions under the paper's range locks, and sessions fence on peer
+    incarnation numbers, so crashes mid-session abort cleanly. *)
+
+open Repdir_txn
+open Repdir_rep
+open Repdir_sim
+
+exception Unreachable of string
+(** Raised by a peer's [p_call] when the representative cannot be reached;
+    fails the session (counted, aborted, retried on a later round). *)
+
+exception Session_failed of string
+(** Internal session abort (e.g. an incarnation fence tripped). *)
+
+(** How the actor reaches one representative. [p_call] raises {!Unreachable}
+    on transport failure and re-raises representative exceptions
+    ({!Repdir_rep.Rep.Crashed}, transaction aborts). [p_incarnation] reads
+    the current incarnation out of band, as reply metadata would carry it. *)
+type peer = {
+  p_index : int;
+  p_name : string;
+  p_incarnation : unit -> int;
+  p_call : 'r. (Rep.t -> 'r) -> 'r;
+}
+
+type config = {
+  period : float;  (** mean virtual time between rounds *)
+  arity : int;  (** fan-out when recursing into a digest mismatch *)
+  leaf_entries : int;
+      (** ranges holding at most this many entries (on either side) are
+          transferred instead of subdivided *)
+}
+
+val default_config : config
+(** period 200.0, arity 4, leaf_entries 8. *)
+
+(** Cumulative sync-traffic counters; [entries_sent] is the total entries
+    carried by range transfers — the O(diff) bound the convergence tests
+    assert against directory size. *)
+type counters = {
+  mutable rounds : int;
+  mutable sessions : int;  (** directed sessions attempted *)
+  mutable sessions_failed : int;  (** aborted: peer down, restart, deadlock *)
+  mutable digest_rpcs : int;
+  mutable pull_rpcs : int;
+  mutable entries_sent : int;
+  mutable entries_installed : int;
+  mutable entries_updated : int;
+  mutable entries_deleted : int;
+  mutable gaps_raised : int;
+  mutable ghosts_kept : int;
+}
+
+val pp_counters : Format.formatter -> counters -> unit
+
+type t
+
+val create :
+  ?config:config ->
+  ?seed:int64 ->
+  peers:peer array ->
+  txns:Txn.Manager.t ->
+  unit ->
+  t
+(** [seed] drives peer-pair selection and period jitter only; every other
+    source of nondeterminism is the simulation's own. *)
+
+val counters : t -> counters
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** A disabled actor keeps ticking but skips its rounds; re-enabling resumes
+    reconciliation on the next tick. *)
+
+val stop : t -> unit
+(** Terminate the background actor for good at its next tick (so a simulation
+    whose other processes have finished can drain its event queue and end).
+    Unlike {!set_enabled}, this is irreversible. *)
+
+val session : t -> src:peer -> dst:peer -> bool
+(** One directed session: [dst] pulls every range where its digest disagrees
+    with [src]'s, inside one transaction spanning both peers (RepLookup locks
+    at the source, RepModify at the destination, strict 2PL). Returns false
+    if the session aborted — peer unreachable or crashed, a restart tripped
+    the incarnation fence, or a deadlock victim — in which case both sides
+    were rolled back and nothing was learned. Must run inside a simulator
+    process when the peers' [p_call] goes over RPC. *)
+
+val round : t -> unit
+(** Pick a random pair and run one session in each direction. *)
+
+val round_all_pairs : t -> unit
+(** Reconcile every ordered pair once — a full mesh round, used by the
+    convergence harness. *)
+
+val run : ?until:float -> t -> Sim.t -> unit
+(** Spawn the background actor: every [config.period] (jittered ±25%) it
+    runs {!round} while enabled, stopping once virtual time reaches [until]
+    (never, if omitted). *)

@@ -4,6 +4,7 @@ type record =
   | Begin of Txn.id
   | Insert of Txn.id * Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value
   | Coalesce of Txn.id * Bound.t * Bound.t * Version.t
+  | Sync_apply of Txn.id * Repdir_gapmap.Gapmap_intf.sync_op list
   | Prepare of Txn.id
   | Commit of Txn.id
   | Abort of Txn.id
@@ -20,6 +21,7 @@ let pp_record ppf = function
   | Insert (id, k, v, _) -> Format.fprintf ppf "insert[%d] %a:%a" id Key.pp k Version.pp v
   | Coalesce (id, lo, hi, v) ->
       Format.fprintf ppf "coalesce[%d] (%a,%a)->%a" id Bound.pp lo Bound.pp hi Version.pp v
+  | Sync_apply (id, ops) -> Format.fprintf ppf "sync-apply[%d] (%d ops)" id (List.length ops)
   | Prepare id -> Format.fprintf ppf "prepare %d" id
   | Recovery_marker -> Format.pp_print_string ppf "recovery-marker"
   | Commit id -> Format.fprintf ppf "commit %d" id
@@ -35,12 +37,7 @@ let pp_record ppf = function
 
 type frame = { payload : string; crc : int64 }
 
-let fnv1a s =
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
-    s;
-  !h
+let fnv1a = Repdir_util.Checksum.fnv1a
 
 let frame_of_record (r : record) =
   let payload = Marshal.to_string r [] in
@@ -81,7 +78,7 @@ let ops_before_last_recovery t id =
     | e :: rest -> (
         match e.rec_ with
         | Recovery_marker -> scan true rest
-        | Insert (id', _, _, _) | Coalesce (id', _, _, _) ->
+        | Insert (id', _, _, _) | Coalesce (id', _, _, _) | Sync_apply (id', _) ->
             if seen_marker && id' = id then not (committed t id) else scan seen_marker rest
         | Begin _ | Prepare _ | Commit _ | Abort _ | Checkpoint _ -> scan seen_marker rest)
   in
@@ -94,7 +91,7 @@ let in_doubt t =
       match e.rec_ with
       | Prepare id -> if not (Hashtbl.mem prepared id) then Hashtbl.replace prepared id true
       | Commit id | Abort id -> Hashtbl.replace prepared id false
-      | Begin _ | Insert _ | Coalesce _ | Recovery_marker | Checkpoint _ -> ())
+      | Begin _ | Insert _ | Coalesce _ | Sync_apply _ | Recovery_marker | Checkpoint _ -> ())
     t.log;
   Hashtbl.fold (fun id pending acc -> if pending then id :: acc else acc) prepared []
   |> List.sort compare
@@ -225,8 +222,10 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
         | Insert (id, k, v, value) when is_committed id -> M.insert map k v value
         | Coalesce (id, lo, hi, v) when is_committed id ->
             ignore (M.coalesce map ~lo ~hi v)
+        | Sync_apply (id, ops) when is_committed id ->
+            List.iter (M.apply_sync_op map) ops
         | Begin _ | Prepare _ | Commit _ | Abort _ | Insert _ | Coalesce _
-        | Recovery_marker -> ())
+        | Sync_apply _ | Recovery_marker -> ())
       recs;
     map
 end

@@ -25,6 +25,9 @@ type record =
   | Begin of Txn.id
   | Insert of Txn.id * Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value
   | Coalesce of Txn.id * Bound.t * Bound.t * Version.t
+  | Sync_apply of Txn.id * Repdir_gapmap.Gapmap_intf.sync_op list
+      (** Anti-entropy merge plan applied to this representative; replays by
+          re-running the primitive ops in order. *)
   | Prepare of Txn.id
       (** Two-phase commit vote: the transaction's effects are durable and
           its outcome is delegated to the coordinator's decision record. *)
