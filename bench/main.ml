@@ -123,15 +123,41 @@ let bench_rep_insert_coalesce () =
               4);
          Rep.commit rep ~txn))
 
+let bench_rep_insert_coalesce_leased () =
+  (* Same churn cycle with the lease machinery armed: every op renews a
+     sliding deadline through no-op timers, isolating the bookkeeping cost
+     leases add to the hot path. *)
+  let open Repdir_rep in
+  let timers = { Rep.now = (fun () -> 0.0); after = (fun _ _ -> ()) } in
+  let rep = Rep.create ~timers ~lease:1.0e9 ~name:"bench-leased" () in
+  let txn0 = 1 in
+  for i = 0 to 199 do
+    Rep.insert rep ~txn:txn0 (Key.of_int (2 * i)) 1 "v"
+  done;
+  Rep.commit rep ~txn:txn0;
+  let t = ref 1 in
+  Test.make ~name:"rep/txn(insert+coalesce)+lease"
+    (Staged.stage (fun () ->
+         incr t;
+         let txn = !t in
+         let k = (2 * (txn mod 199)) + 1 in
+         Rep.insert rep ~txn (Key.of_int k) 3 "v";
+         ignore
+           (Rep.coalesce rep ~txn
+              ~lo:(Repdir_key.Bound.Key (Key.of_int (k - 1)))
+              ~hi:(Repdir_key.Bound.Key (Key.of_int (k + 1)))
+              4);
+         Rep.commit rep ~txn))
+
 (* --- whole-suite operations --------------------------------------------------------- *)
 
-let make_suite ~config ~entries =
+let make_suite ?two_phase ~config ~entries () =
   let open Repdir_rep in
   let open Repdir_core in
   let n = Config.n_reps config in
   let reps = Array.init n (fun i -> Rep.create ~name:(Printf.sprintf "r%d" i) ()) in
   let suite =
-    Suite.create ~config ~transport:(Transport.local reps)
+    Suite.create ?two_phase ~config ~transport:(Transport.local reps)
       ~txns:(Repdir_txn.Txn.Manager.create ())
       ()
   in
@@ -144,19 +170,19 @@ let make_suite ~config ~entries =
 
 let bench_suite_lookup ~config =
   let open Repdir_core in
-  let suite = make_suite ~config ~entries:100 in
+  let suite = make_suite ~config ~entries:100 () in
   let rng = Repdir_util.Rng.create 3L in
   Test.make
     ~name:(Printf.sprintf "suite(%s)/lookup" (Config.to_string config))
     (Staged.stage (fun () ->
          ignore (Suite.lookup suite (Key.of_int (Repdir_util.Rng.int rng 100)))))
 
-let bench_suite_insert_delete ~config =
+let bench_suite_insert_delete ?two_phase ?(tag = "") ~config () =
   let open Repdir_core in
-  let suite = make_suite ~config ~entries:100 in
+  let suite = make_suite ?two_phase ~config ~entries:100 () in
   let i = ref 0 in
   Test.make
-    ~name:(Printf.sprintf "suite(%s)/insert+delete" (Config.to_string config))
+    ~name:(Printf.sprintf "suite(%s)/insert+delete%s" (Config.to_string config) tag)
     (Staged.stage (fun () ->
          incr i;
          let k = Key.of_int (1000 + (!i mod 100)) in
@@ -228,7 +254,7 @@ let bench_tables =
 
 (* One result row per benchmark: the OLS time-per-run estimate plus latency
    percentiles over bechamel's raw samples (each sample's time divided by its
-   iteration count). Rows feed both the on-screen table and BENCH_pr2.json. *)
+   iteration count). Rows feed both the on-screen table and BENCH_pr3.json. *)
 type bench_row = { name : string; ns : float; p50 : float; p90 : float; p99 : float }
 
 let pretty_ns ns =
@@ -338,10 +364,15 @@ let () =
         bench_btree_digest ~branching:32 100_000;
         bench_lock_acquire_release ();
         bench_rep_insert_coalesce ();
+        bench_rep_insert_coalesce_leased ();
         bench_suite_lookup ~config:cfg_322;
-        bench_suite_insert_delete ~config:cfg_322;
+        bench_suite_insert_delete ~config:cfg_322 ();
+        (* One-phase vs presumed-abort two-phase commit on the same
+           workload: the 2PC delta is the prepare round + the coordinator's
+           forced decision log write. *)
+        bench_suite_insert_delete ~two_phase:true ~tag:"+2pc" ~config:cfg_322 ();
         bench_suite_lookup ~config:(Config.simple ~n:5 ~r:3 ~w:3);
-        bench_suite_insert_delete ~config:(Config.simple ~n:5 ~r:3 ~w:3);
+        bench_suite_insert_delete ~config:(Config.simple ~n:5 ~r:3 ~w:3) ();
         bench_file_voting_modify ();
         bench_availability ();
       ]
@@ -349,7 +380,7 @@ let () =
 
   section "Per-table pipeline benchmarks (scaled-down, bechamel)";
   let table_rows = run_benchmarks ~quota:0.5 bench_tables in
-  write_bench_json ~path:"BENCH_pr2.json" (micro_rows @ table_rows);
+  write_bench_json ~path:"BENCH_pr3.json" (micro_rows @ table_rows);
 
   (* ---- full reproductions, paper parameters ---- *)
   let module F = Repdir_harness.Figures in

@@ -171,15 +171,29 @@ let nemesis_cmd =
     let config = Repdir_quorum.Config.simple ~n ~r ~w in
     Printf.printf
       "Nemesis campaign (%s suite): crash storm, rolling partition, flaky links, torn-WAL \
-       crashes\n\
+       crashes, coordinator crashes\n\
        Hardened transport: at-most-once RPC (request-id dedup), bounded retries with \
-       backoff+jitter, 2PC; every response checked against a sequential model.\n"
+       backoff+jitter, 2PC; every response checked against a sequential model.\n\
+       Quiesce audit (no power cycle): zero violations, zero orphaned locks, zero open \
+       in-doubt transactions.\n"
       (Repdir_quorum.Config.to_string config);
     let outcomes = Nemesis.run_all ~seed ~config ~duration ~key_space:keys () in
     print_table (Nemesis.table_of_outcomes outcomes);
-    let total = List.fold_left (fun a o -> a + o.Nemesis.violations) 0 outcomes in
-    if total > 0 then begin
-      Printf.printf "FAILED: %d sequential-model violations\n" total;
+    let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+    let violations = sum (fun o -> o.Nemesis.violations) in
+    let orphans = sum (fun o -> o.Nemesis.orphan_locks) in
+    let indoubt = sum (fun o -> o.Nemesis.indoubt_open) in
+    if violations > 0 then begin
+      Printf.printf "FAILED: %d sequential-model violations\n" violations;
+      exit 1
+    end;
+    if orphans > 0 then begin
+      Printf.printf
+        "FAILED: %d orphaned locks at quiesce (termination protocol left residue)\n" orphans;
+      exit 1
+    end;
+    if indoubt > 0 then begin
+      Printf.printf "FAILED: %d in-doubt transactions never resolved\n" indoubt;
       exit 1
     end
   in
@@ -248,7 +262,13 @@ let sync_cmd =
     Arg.(value & flag & info [ "staleness" ]
            ~doc:"Also sweep the sync period against replica staleness under steady traffic.")
   in
-  let run seeds entries writes period deadline staleness =
+  let power_cycle_t =
+    Arg.(value & flag & info [ "power-cycle" ]
+           ~doc:"Staleness sweep only: restart the partitioned representative before it \
+                 rejoins (the retired workaround for orphaned locks, kept for A/B \
+                 comparison against lease-based termination).")
+  in
+  let run seeds entries writes period deadline staleness power_cycle =
     let sync_config = { Repdir_sync.Sync.default_config with period } in
     Printf.printf
       "Anti-entropy convergence campaign (3-2-2 suite): partition one representative,\n\
@@ -261,8 +281,22 @@ let sync_cmd =
     print_table (Anti_entropy.table_of_outcomes outcomes);
     if staleness then begin
       print_newline ();
-      print_endline "Sync period vs staleness (steady writes, repeating partition cycle):";
-      print_table (Anti_entropy.staleness_table ())
+      Printf.printf
+        "Sync period vs staleness (steady writes, repeating partition cycle, %s):\n"
+        (if power_cycle then "power-cycle rejoin" else "lease-based termination, no restart");
+      let rows = Anti_entropy.staleness_sweep ~power_cycle () in
+      print_table (Anti_entropy.table_of_staleness_rows rows);
+      let sum f = List.fold_left (fun a row -> a + f row) 0 rows in
+      let orphans = sum (fun row -> row.Anti_entropy.st_orphan_locks) in
+      let indoubt = sum (fun row -> row.Anti_entropy.st_indoubt_open) in
+      if orphans > 0 then begin
+        Printf.printf "FAILED: %d orphaned locks left after the staleness sweep\n" orphans;
+        exit 1
+      end;
+      if indoubt > 0 then begin
+        Printf.printf "FAILED: %d in-doubt transactions never resolved in the sweep\n" indoubt;
+        exit 1
+      end
     end;
     let total = List.length outcomes in
     let stragglers = List.filter (fun o -> not o.Anti_entropy.converged) outcomes in
@@ -288,7 +322,8 @@ let sync_cmd =
   Cmd.v
     (Cmd.info "sync"
        ~doc:"Anti-entropy: partition-then-heal convergence over gap-version range digests")
-    Term.(const run $ seeds_t $ size_t $ writes_t $ period_t $ deadline_t $ staleness_t)
+    Term.(const run $ seeds_t $ size_t $ writes_t $ period_t $ deadline_t $ staleness_t
+          $ power_cycle_t)
 
 (* --- one-off simulation ------------------------------------------------------------ *)
 

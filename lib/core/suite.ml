@@ -27,17 +27,19 @@ type t = {
   rng : Rng.t;
   touched : (Txn.id, session) Hashtbl.t;
   two_phase : bool;
-  registry : Commit_registry.t;
+  coordinator : Coordinator.t;
   batch_depth : int;
   sync : Repdir_sync.Sync.t option;
 }
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
-    ?(registry = Commit_registry.create ()) ?(batch_depth = 1) ?sync ~config ~transport
-    ~txns () =
+    ?coordinator ?(batch_depth = 1) ?sync ~config ~transport ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
+  let coordinator =
+    match coordinator with Some c -> c | None -> Coordinator.create ()
+  in
   {
     config;
     picker;
@@ -46,13 +48,14 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     rng = Rng.create seed;
     touched = Hashtbl.create 16;
     two_phase;
-    registry;
+    coordinator;
     batch_depth;
     sync;
   }
 
 let config t = t.config
 let transport t = t.transport
+let coordinator t = t.coordinator
 let sync t = t.sync
 let sync_counters t = Option.map Repdir_sync.Sync.counters t.sync
 
@@ -397,7 +400,11 @@ let abort_touched t txn =
       Int_set.iter
         (fun i ->
           match t.transport.Transport.call i (fun rep -> Rep.abort rep ~txn) with
-          | Ok () | Error _ -> ())
+          | Ok () | Error _ -> ()
+          | exception Txn.Abort _ ->
+              (* The representative's termination protocol already settled
+                 this transaction the other way; nothing left to do here. *)
+              ())
         s.reps;
       Hashtbl.remove t.touched txn
 
@@ -410,14 +417,20 @@ let commit_one_phase t txn set =
   Int_set.iter
     (fun i ->
       match t.transport.Transport.call i (fun rep -> Rep.commit rep ~txn) with
-      | Ok () | Error _ -> ())
+      | Ok () | Error _ -> ()
+      | exception Txn.Abort _ ->
+          (* The representative aborted unilaterally (lease expiry) before
+             the commit arrived; single-phase commit is best effort, and
+             anti-entropy repairs the divergence. *)
+          ())
     set;
   Hashtbl.remove t.touched txn
 
-(* Two-phase commit: prepare everywhere, then write the decision to the
-   coordinator registry, then commit. Any prepare failure — or losing the
-   decision race to a recovering in-doubt participant — aborts the whole
-   transaction atomically. *)
+(* Presumed-abort two-phase commit. The client is the coordinator: it runs an
+   explicit prepare round over the participants, force-logs a commit decision
+   in its own log before telling anyone, then runs the commit round. Any
+   prepare failure decides abort — recorded but never forced, because a
+   participant that finds no decision on file presumes abort anyway. *)
 let commit_two_phase t txn s =
   (* A yes-vote is only valid from the incarnation that executed the
      transaction's operations: a participant that restarted since first
@@ -430,36 +443,47 @@ let commit_two_phase t txn s =
     | Some first -> t.transport.Transport.incarnation i = first
     | None -> true
   in
+  let coord = Coordinator.id t.coordinator in
   let all_prepared =
     Int_set.for_all
       (fun i ->
         same_incarnation i
         &&
-        match t.transport.Transport.call i (fun rep -> Rep.prepare rep ~txn) with
+        match t.transport.Transport.call i (fun rep -> Rep.prepare rep ~txn ~coord) with
         | Ok () -> same_incarnation i
         | Error _ -> false
         | exception Txn.Abort _ ->
-            (* The representative refused the vote (e.g. it lost this
-               transaction's effects in a crash). *)
+            (* The representative refused the vote (it lost this
+               transaction's effects in a crash, or already aborted it
+               unilaterally when its lease expired). *)
             false)
       s.reps
   in
+  (* First-writer-wins against the termination protocol: an in-doubt
+     participant's resolution query may have already presumed abort, in
+     which case our commit decision loses and the round below aborts. *)
   let decision =
-    if all_prepared then Commit_registry.try_decide t.registry txn Commit_registry.Committed
-    else Commit_registry.try_decide t.registry txn Commit_registry.Aborted
+    Coordinator.decide t.coordinator txn
+      (if all_prepared then Coordinator.Committed else Coordinator.Aborted)
   in
   match decision with
-  | Commit_registry.Committed ->
+  | Coordinator.Committed ->
       Int_set.iter
         (fun i ->
           match t.transport.Transport.call i (fun rep -> Rep.commit rep ~txn) with
           | Ok () | Error _ ->
               (* A participant that crashed here is in doubt; its recovery
-                 reads the registry and replays our effects. *)
+                 re-locks our effects and resolves them by querying this
+                 coordinator's decision log. *)
+              ()
+          | exception Txn.Abort _ ->
+              (* Impossible for a prepared participant (it cannot abort once
+                 its vote is cast unless we decide so); kept total for
+                 duplicate-delivery races. *)
               ())
         s.reps;
       Hashtbl.remove t.touched txn
-  | Commit_registry.Aborted ->
+  | Coordinator.Aborted ->
       abort_touched t txn;
       raise (Unavailable "transaction aborted during two-phase commit")
 

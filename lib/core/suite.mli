@@ -37,7 +37,7 @@ val create :
   ?picker:Picker.strategy ->
   ?seed:int64 ->
   ?two_phase:bool ->
-  ?registry:Repdir_txn.Commit_registry.t ->
+  ?coordinator:Coordinator.t ->
   ?batch_depth:int ->
   ?sync:Repdir_sync.Sync.t ->
   config:Config.t ->
@@ -45,16 +45,19 @@ val create :
   txns:Txn.Manager.t ->
   unit ->
   t
-(** [two_phase] (default false) commits transactions with two-phase commit
-    against [registry] (which must be the same object the representatives
-    were created with): prepare at every touched representative, record the
-    decision atomically, then commit. A crash between prepare and commit
-    leaves the representative in doubt, and its recovery resolves against
-    the registry — so either all representatives eventually apply the
-    transaction or none do. With the default single-phase commit, a
-    representative that crashes during the commit round simply loses the
-    transaction's effects locally (safe for quorum reasons but not
-    atomic).
+(** [two_phase] (default false) commits transactions with presumed-abort
+    two-phase commit, this client acting as [coordinator] (default: a fresh
+    private one): prepare at every touched representative — each vote
+    durably records the coordinator's node id — force-log the commit
+    decision in the coordinator's own log, then run the commit round. Any
+    prepare failure decides abort. A participant that crashes or loses
+    contact between prepare and commit holds the transaction in doubt and
+    resolves it through the termination protocol (querying this
+    coordinator's decision log, or a peer) — so either all representatives
+    eventually apply the transaction or none do. With the default
+    single-phase commit, a representative that crashes during the commit
+    round simply loses the transaction's effects locally (safe for quorum
+    reasons but not atomic).
 
     [batch_depth] (default 1) enables the §4 batching: real-predecessor/
     successor walks ask each quorum member for [batch_depth] successive
@@ -69,6 +72,9 @@ val create :
 
 val config : t -> Config.t
 val transport : t -> Transport.t
+
+val coordinator : t -> Coordinator.t
+(** The decision log this suite commits against when [two_phase] is on. *)
 
 val sync : t -> Repdir_sync.Sync.t option
 

@@ -268,18 +268,28 @@ let campaign ?(seeds = [ 1983L; 2024L; 7L; 42L; 1011L ]) ?config ?n_entries
 
 (* --- staleness / bytes-exchanged sweep ------------------------------------------ *)
 
+type staleness_row = {
+  st_period : float;
+  st_mean_stale : float;
+  st_end_stale : int;
+  st_counters : Sync.counters;
+  st_digests_equal : bool;
+  st_orphan_locks : int;
+  st_indoubt_open : int;
+}
+
 (* How does the anti-entropy period trade repair traffic against staleness?
    Steady client writes with a repeating partition cycle; the actor runs
    throughout at the given period. Staleness is sampled at fixed virtual
    times; at the end traffic stops and the actor gets a grace window in
    which it must converge the suite. *)
 let staleness_row ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
-    ~period ~duration () =
+    ?(lease = 60.0) ?(power_cycle = false) ~period ~duration () =
   let n = Repdir_quorum.Config.n_reps config in
-  let grace = 60.0 +. (4.0 *. period) in
+  let grace = 60.0 +. (4.0 *. period) +. lease +. 30.0 in
   let world =
     Sim_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:1
-      ~n_clients:1 ~config ()
+      ~n_clients:1 ~lease ~config ()
   in
   let sim = Sim_world.sim world in
   let net = Sim_world.net world in
@@ -322,16 +332,19 @@ let staleness_row ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r
           in
           Net.partition net [ victim ] everyone_else;
           Sim.sleep sim 45.0;
-          (* A representative cut off mid-transaction can be left holding
-             range locks for a coordinator that already gave up on it —
-             the commit/abort call was lost to the partition and there is
-             no participant-side transaction timeout. Those orphaned locks
-             would block every later sync session over the same ranges.
-             Model the standard recovery: the isolated node restarts before
-             rejoining, dropping volatile locks and replaying its WAL back
-             to committed state. *)
-          Sim_world.crash_rep world victim;
-          Sim_world.recover_rep world victim;
+          (* A representative cut off mid-transaction is left holding range
+             locks for a coordinator that already gave up on it. The lease
+             machinery now terminates those transactions in place: an
+             unprepared one lease-expires into a unilateral abort (locks
+             released), a prepared one goes in doubt and resolves once the
+             partition heals. [power_cycle] keeps the retired workaround —
+             restart the isolated node before rejoining so volatile locks
+             are dropped wholesale — for A/B comparison against the
+             termination protocol. *)
+          if power_cycle then begin
+            Sim_world.crash_rep world victim;
+            Sim_world.recover_rep world victim
+          end;
           Net.heal_partition net
         end
       done;
@@ -350,41 +363,61 @@ let staleness_row ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r
     | [] -> 0.0
     | l -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
   in
-  (* Two end-of-run repair signals: [stale_entries] counts entries some
-     representative still holds at an out-of-date version — the actor must
-     drive this to zero in the grace window. Root digests can stay unequal
-     even then: a delete-heavy workload parks mutually dominated ghosts
-     (see DESIGN.md, "Ghosts and the representability limit"), which
-     version dominance hides from every read. *)
-  (period, mean_stale, stale_entries reps, c, all_digests_equal reps)
+  (* Repair signals at the end of the run: [stale_entries] counts entries
+     some representative still holds at an out-of-date version — the actor
+     must drive this to zero in the grace window. Root digests can stay
+     unequal even then: a delete-heavy workload parks mutually dominated
+     ghosts (see DESIGN.md, "Ghosts and the representability limit"), which
+     version dominance hides from every read. Orphaned locks and open
+     in-doubt transactions must both be zero — residue means the
+     termination protocol failed to clean up after a partition. *)
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  {
+    st_period = period;
+    st_mean_stale = mean_stale;
+    st_end_stale = stale_entries reps;
+    st_counters = c;
+    st_digests_equal = all_digests_equal reps;
+    st_orphan_locks = sum Rep.locks_held + sum Rep.lock_waiters;
+    st_indoubt_open = sum Rep.in_doubt_count;
+  }
 
-let staleness_table ?seed ?config ?(periods = [ 10.0; 30.0; 100.0; 300.0 ])
-    ?(duration = 900.0) () =
+let staleness_sweep ?seed ?config ?lease ?power_cycle
+    ?(periods = [ 10.0; 30.0; 100.0; 300.0 ]) ?(duration = 900.0) () =
+  List.map
+    (fun period -> staleness_row ?seed ?config ?lease ?power_cycle ~period ~duration ())
+    periods
+
+let table_of_staleness_rows rows =
   let t =
     Table.create
       ~header:
         [
           "period"; "mean stale"; "end stale"; "sessions"; "failed"; "digests"; "pulls";
-          "sent"; "digests eq";
+          "sent"; "digests eq"; "orphans"; "in-doubt";
         ]
       ()
   in
   List.iter
-    (fun period ->
-      let period, mean_stale, end_stale, c, digests_equal =
-        staleness_row ?seed ?config ~period ~duration ()
-      in
+    (fun row ->
+      let c = row.st_counters in
       Table.add_row t
         [
-          Table.cell_float period;
-          Table.cell_float mean_stale;
-          Table.cell_int end_stale;
+          Table.cell_float row.st_period;
+          Table.cell_float row.st_mean_stale;
+          Table.cell_int row.st_end_stale;
           Table.cell_int c.Sync.sessions;
           Table.cell_int c.Sync.sessions_failed;
           Table.cell_int c.Sync.digest_rpcs;
           Table.cell_int c.Sync.pull_rpcs;
           Table.cell_int c.Sync.entries_sent;
-          (if digests_equal then "yes" else "no");
+          (if row.st_digests_equal then "yes" else "no");
+          Table.cell_int row.st_orphan_locks;
+          Table.cell_int row.st_indoubt_open;
         ])
-    periods;
+    rows;
   t
+
+let staleness_table ?seed ?config ?lease ?power_cycle ?periods ?duration () =
+  table_of_staleness_rows
+    (staleness_sweep ?seed ?config ?lease ?power_cycle ?periods ?duration ())

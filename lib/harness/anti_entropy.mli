@@ -72,19 +72,54 @@ val campaign :
 
 val table_of_outcomes : outcome list -> Repdir_util.Table.t
 
-val staleness_table :
+type staleness_row = {
+  st_period : float;  (** the actor's sync period for this row *)
+  st_mean_stale : float;  (** stale entries averaged over fixed-time samples *)
+  st_end_stale : int;  (** stale entries left after the no-traffic grace window *)
+  st_counters : Sync.counters;
+  st_digests_equal : bool;  (** all root digests equal at the end *)
+  st_orphan_locks : int;
+      (** granted locks + queued waiters left across all representatives at
+          quiesce; must be 0 — residue means the lease/termination machinery
+          failed to clean up after a partition *)
+  st_indoubt_open : int;  (** unresolved in-doubt transactions at quiesce; must be 0 *)
+}
+
+val staleness_sweep :
   ?seed:int64 ->
   ?config:Repdir_quorum.Config.t ->
+  ?lease:float ->
+  ?power_cycle:bool ->
   ?periods:float list ->
   ?duration:float ->
   unit ->
-  Repdir_util.Table.t
+  staleness_row list
 (** Sweep the actor's period under steady client writes and a repeating
     one-representative partition cycle: shorter periods keep replicas
     fresher (lower mean staleness) at the cost of more sessions and digest
     traffic. Each row also reports the end-of-run state after a grace
     window with no traffic: the stale-entry count the actor must drive to
-    zero, and whether root digests equalized outright (a delete-heavy
-    workload can park mutually dominated ghosts that keep digests apart
-    without any entry being stale — see DESIGN.md, "Ghosts and the
-    representability limit"). *)
+    zero, whether root digests equalized outright (a delete-heavy workload
+    can park mutually dominated ghosts that keep digests apart without any
+    entry being stale — see DESIGN.md, "Ghosts and the representability
+    limit"), and the orphan-lock / open-in-doubt residue that must be zero.
+
+    The partitioned representative is {i not} restarted before rejoining:
+    transactions orphaned by the partition terminate through the lease
+    machinery ([lease], default 60.0 — unprepared work aborts unilaterally,
+    prepared work resolves through coordinator/peer queries after heal).
+    [power_cycle] (default false) reinstates the retired crash-and-recover
+    workaround for A/B comparison. *)
+
+val table_of_staleness_rows : staleness_row list -> Repdir_util.Table.t
+
+val staleness_table :
+  ?seed:int64 ->
+  ?config:Repdir_quorum.Config.t ->
+  ?lease:float ->
+  ?power_cycle:bool ->
+  ?periods:float list ->
+  ?duration:float ->
+  unit ->
+  Repdir_util.Table.t
+(** {!staleness_sweep} rendered with {!table_of_staleness_rows}. *)

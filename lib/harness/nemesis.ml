@@ -140,6 +140,38 @@ let torn_wal_crashes ~n ~duration ~seed =
   done;
   { plan_name = "torn-WAL crashes"; duration; steps = List.rev !steps }
 
+(* Aim squarely at the two-phase commit window: briefly isolate the client
+   (which is also the coordinator) over and over, so some cuts land between
+   the prepare round and the decision or between the decision and the commit
+   round. Prepared participants are left holding locks with a vanished
+   coordinator — exactly what the termination protocol exists to clean up:
+   unprepared ones abort unilaterally on lease expiry, prepared ones go in
+   doubt and resolve by querying the coordinator after the heal (or a peer
+   when only the coordinator link stays cut). Windows are short so the
+   client comes back to find its transactions terminated under it. *)
+let coordinator_crash ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let client = n (* the single client sits on the node after the reps *) in
+  let reps = List.init n Fun.id in
+  let steps = ref [] in
+  let t = ref 20.0 in
+  while !t < duration -. 60.0 do
+    let window = 3.0 +. Rng.float rng 12.0 in
+    steps := { at = !t; action = Partition ([ client ], reps) } :: !steps;
+    steps := { at = !t +. window; action = Heal } :: !steps;
+    (* Occasionally keep the coordinator cut off across a whole lease period
+       while a representative also bounces: in-doubt resolution must fall
+       back to peers and to recovery-restored state. *)
+    if Rng.float rng 1.0 < 0.3 then begin
+      let victim = Rng.int rng n in
+      let at = !t +. window +. 2.0 +. Rng.float rng 5.0 in
+      steps := { at; action = Crash victim } :: !steps;
+      steps := { at = at +. 15.0 +. Rng.float rng 10.0; action = Recover victim } :: !steps
+    end;
+    t := !t +. window +. 15.0 +. Rng.float rng 15.0
+  done;
+  { plan_name = "coordinator crash"; duration; steps = List.rev !steps }
+
 let standard_plans ?(duration = 1000.0) ~n ~seed () =
   let mix k = Int64.add seed (Int64.mul 7919L (Int64.of_int k)) in
   [
@@ -147,6 +179,7 @@ let standard_plans ?(duration = 1000.0) ~n ~seed () =
     rolling_partition ~n ~duration ~seed:(mix 2);
     flaky_links ~n ~duration ~seed:(mix 3);
     torn_wal_crashes ~n ~duration ~seed:(mix 4);
+    coordinator_crash ~n ~duration ~seed:(mix 5);
   ]
 
 (* --- running a plan ------------------------------------------------------------------- *)
@@ -164,14 +197,21 @@ type outcome = {
   msgs_reordered : int;
   wal_records_repaired : int;
   sim_events : int;
+  leases_expired : int;
+  unilateral_aborts : int;
+  indoubt_by_coordinator : int;
+  indoubt_by_peer : int;
+  indoubt_recovered : int;
+  orphan_locks : int;
+  indoubt_open : int;
 }
 
 let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
-    ?(key_space = 30) ?(op_gap = 2.0) plan =
+    ?(key_space = 30) ?(op_gap = 2.0) ?(lease = 60.0) ?(power_cycle = false) plan =
   let n = Repdir_quorum.Config.n_reps config in
   let world =
     Sim_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:4 ~rpc_backoff:2.0
-      ~two_phase:true ~n_clients:1 ~config ()
+      ~two_phase:true ~n_clients:1 ~lease ~config ()
   in
   let sim = Sim_world.sim world in
   let net = Sim_world.net world in
@@ -262,13 +302,22 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
         if crashed i then Sim_world.recover_rep world i
       done;
       Sim.sleep sim 200.0;
-      (* Power-cycle every representative (one at a time, so quorums stay
-         collectible): orphaned locks die with the volatile state, and the
-         final answers must survive a full restart from the WAL. *)
-      for i = 0 to n - 1 do
-        Sim_world.crash_rep world i;
-        Sim_world.recover_rep world i
-      done;
+      (* Formerly a forced power-cycle of every representative scrubbed
+         orphaned locks here. The termination protocol has made that
+         workaround obsolete — leases abort abandoned transactions and
+         in-doubt ones resolve against the coordinator or a peer — so the
+         default is to verify the final answers with whatever volatile
+         state the campaign left behind. [power_cycle] keeps the old
+         behaviour for A/B comparison. *)
+      if power_cycle then
+        for i = 0 to n - 1 do
+          Sim_world.crash_rep world i;
+          Sim_world.recover_rep world i
+        done
+      else
+        (* Give straggler termination work one more lease period to finish
+           before the final audit. *)
+        Sim.sleep sim (lease +. 30.0);
       (* Every key the workload could have touched must now agree with the
          sequential model. *)
       for k = 0 to key_space - 1 do
@@ -288,11 +337,10 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
             incr violations
       done);
   Sim.run sim;
-  let wal_repaired =
-    Array.fold_left
-      (fun acc r -> acc + Repdir_rep.Rep.wal_records_repaired r)
-      0 (Sim_world.reps world)
-  in
+  let reps = Sim_world.reps world in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  let wal_repaired = sum Repdir_rep.Rep.wal_records_repaired in
+  let sum_counter f = sum (fun r -> f (Repdir_rep.Rep.counters r)) in
   {
     plan = plan.plan_name;
     attempted = !attempted;
@@ -306,15 +354,24 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
     msgs_reordered = Net.messages_reordered net;
     wal_records_repaired = wal_repaired;
     sim_events = Sim.events_executed sim;
+    leases_expired = sum_counter (fun c -> c.Repdir_rep.Rep.leases_expired);
+    unilateral_aborts = sum_counter (fun c -> c.Repdir_rep.Rep.unilateral_aborts);
+    indoubt_by_coordinator = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_by_coordinator);
+    indoubt_by_peer = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_by_peer);
+    indoubt_recovered = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_recovered);
+    (* At quiesce every transaction has terminated: any lock still granted
+       or queued is an orphan the termination protocol failed to clean up. *)
+    orphan_locks = sum Repdir_rep.Rep.locks_held + sum Repdir_rep.Rep.lock_waiters;
+    indoubt_open = sum Repdir_rep.Rep.in_doubt_count;
   }
 
 let run_all ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
-    ?(duration = 1000.0) ?key_space ?op_gap () =
+    ?(duration = 1000.0) ?key_space ?op_gap ?lease ?power_cycle () =
   let n = Repdir_quorum.Config.n_reps config in
   List.mapi
     (fun i plan ->
       let world_seed = Int64.add seed (Int64.mul 1000003L (Int64.of_int i)) in
-      run_plan ~seed:world_seed ~config ?key_space ?op_gap plan)
+      run_plan ~seed:world_seed ~config ?key_space ?op_gap ?lease ?power_cycle plan)
     (standard_plans ~duration ~n ~seed ())
 
 let table_of_outcomes outcomes =
@@ -331,6 +388,12 @@ let table_of_outcomes outcomes =
           "Dup'd";
           "Reordered";
           "WAL repaired";
+          "Leases";
+          "Unilat";
+          "ByCoord";
+          "ByPeer";
+          "Orphans";
+          "InDoubt";
           "Events";
           "Violations";
         ]
@@ -349,6 +412,12 @@ let table_of_outcomes outcomes =
           string_of_int o.msgs_duplicated;
           string_of_int o.msgs_reordered;
           string_of_int o.wal_records_repaired;
+          string_of_int o.leases_expired;
+          string_of_int o.unilateral_aborts;
+          string_of_int o.indoubt_by_coordinator;
+          string_of_int o.indoubt_by_peer;
+          string_of_int o.orphan_locks;
+          string_of_int o.indoubt_open;
           string_of_int o.sim_events;
           string_of_int o.violations;
         ])
@@ -361,5 +430,5 @@ let table_of_outcomes outcomes =
     ];
   t
 
-let table ?seed ?config ?duration ?key_space ?op_gap () =
-  table_of_outcomes (run_all ?seed ?config ?duration ?key_space ?op_gap ())
+let table ?seed ?config ?duration ?key_space ?op_gap ?lease ?power_cycle () =
+  table_of_outcomes (run_all ?seed ?config ?duration ?key_space ?op_gap ?lease ?power_cycle ())

@@ -5,9 +5,12 @@
     (drop/duplicate/reorder/latency spikes), and crashes that tear or
     corrupt the write-ahead log's tail. {!run_plan} drives a live
     random workload through the plan on a {!Sim_world}, checking every
-    response against a sequential model, then heals the world, power-cycles
-    every representative (so the answers must survive WAL recovery), and
-    verifies the whole key space again. All randomness — the plan builders,
+    response against a sequential model, then heals the world, lets the
+    transaction-termination protocol drain (leases expire abandoned
+    transactions; in-doubt ones resolve against the coordinator or a peer),
+    and verifies the whole key space again — with {i no} power-cycle: any
+    lock still held at quiesce is reported as an orphan. All randomness —
+    the plan builders,
     the workload, the link gremlins, the retry jitter — derives from
     explicit seeds, so a run is bit-reproducible.
 
@@ -15,7 +18,8 @@
     deduplication and bounded exponential-backoff retries, two-phase commit,
     and client-level retries via {!Repdir_core.Suite.with_retries} — the
     point of the exercise is that {i zero} sequential-model violations
-    survive all four standard plans. *)
+    survive all five standard plans, and every lock manager drains to
+    zero without anyone pulling a power plug. *)
 
 open Repdir_sim
 module Wal = Repdir_txn.Wal
@@ -59,8 +63,17 @@ val torn_wal_crashes : n:int -> duration:float -> seed:int64 -> plan
 (** Crashes that tear, corrupt, or truncate the victim's WAL tail; recovery
     must come back with exactly the committed prefix. *)
 
+val coordinator_crash : n:int -> duration:float -> seed:int64 -> plan
+(** Repeated short isolations of the client/coordinator node, aimed at the
+    window between the prepare round and the decision (and between decision
+    and commit round), sometimes combined with a representative bounce.
+    Participants stranded mid-protocol must terminate on their own: lease
+    expiry aborts unprepared transactions unilaterally; prepared ones go in
+    doubt and resolve by querying the coordinator after the heal, a peer, or
+    via crash recovery. *)
+
 val standard_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
-(** The four plans above, with seeds derived from [seed]. *)
+(** The five plans above, with seeds derived from [seed]. *)
 
 (* --- running -------------------------------------------------------------------- *)
 
@@ -77,6 +90,14 @@ type outcome = {
   msgs_reordered : int;
   wal_records_repaired : int;  (** log records scrubbed by recoveries *)
   sim_events : int;  (** total simulator events — a reproducibility fingerprint *)
+  leases_expired : int;  (** transaction leases that ran out, all reps *)
+  unilateral_aborts : int;  (** lease expiries terminated alone (unprepared) *)
+  indoubt_by_coordinator : int;  (** in-doubt resolutions answered by the coordinator *)
+  indoubt_by_peer : int;  (** in-doubt resolutions answered by a peer rep *)
+  indoubt_recovered : int;  (** resolved in-doubt transactions restored by recovery *)
+  orphan_locks : int;
+      (** locks still granted or queued anywhere at quiesce — must be 0 *)
+  indoubt_open : int;  (** transactions still in doubt at quiesce — must be 0 *)
 }
 
 val run_plan :
@@ -84,10 +105,15 @@ val run_plan :
   ?config:Repdir_quorum.Config.t ->
   ?key_space:int ->
   ?op_gap:float ->
+  ?lease:float ->
+  ?power_cycle:bool ->
   plan ->
   outcome
 (** Defaults: the paper's 3-2-2 suite, 30 keys, exponential think time with
-    mean 2.0 between operations. *)
+    mean 2.0 between operations, a 60-unit transaction lease. [power_cycle]
+    (default false) restores the retired cleanup behaviour — restarting
+    every representative before the final audit — for A/B comparison
+    against the termination protocol. *)
 
 val run_all :
   ?seed:int64 ->
@@ -95,9 +121,11 @@ val run_all :
   ?duration:float ->
   ?key_space:int ->
   ?op_gap:float ->
+  ?lease:float ->
+  ?power_cycle:bool ->
   unit ->
   outcome list
-(** Run the four standard plans, each in a fresh world with a seed derived
+(** Run the five standard plans, each in a fresh world with a seed derived
     from [seed]. *)
 
 val table_of_outcomes : outcome list -> Repdir_util.Table.t
@@ -108,6 +136,8 @@ val table :
   ?duration:float ->
   ?key_space:int ->
   ?op_gap:float ->
+  ?lease:float ->
+  ?power_cycle:bool ->
   unit ->
   Repdir_util.Table.t
 (** {!run_all} rendered as one row per plan plus a violation total. *)

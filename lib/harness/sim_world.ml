@@ -17,7 +17,7 @@ type t = {
   seed : int64;
   n_clients : int;
   parallel_rpc : bool;
-  registry : Repdir_txn.Commit_registry.t;
+  coordinators : Coordinator.t array;
   two_phase : bool;
 }
 
@@ -49,9 +49,44 @@ let parallel_fanout sim =
   in
   { Transport.map }
 
+(* Termination queries from an in-doubt representative [r]: ask the
+   coordinator for its decision; if it is unreachable, ask the peer
+   representatives what they know. Runs inside a simulator process (it
+   blocks on RPC). Peer answers are final — see {!Rep.outcome_of}. *)
+let resolver_for t r ~coord txn =
+  let n = Config.n_reps t.config in
+  let from_coordinator =
+    if coord >= n && coord < n + t.n_clients then
+      match
+        Rpc.call t.net ~src:r ~dst:coord ~timeout:t.rpc_timeout (fun () ->
+            Coordinator.resolve t.coordinators.(coord - n) txn)
+      with
+      | Ok Coordinator.Committed -> Some (`Committed, Rep.By_coordinator)
+      | Ok Coordinator.Aborted -> Some (`Aborted, Rep.By_coordinator)
+      | Error Rpc.Timeout -> None
+    else None
+  in
+  match from_coordinator with
+  | Some _ as answer -> answer
+  | None ->
+      let rec ask p =
+        if p >= n then None
+        else if p = r then ask (p + 1)
+        else
+          match
+            Rpc.call t.net ~src:r ~dst:p ~timeout:t.rpc_timeout (fun () ->
+                Rep.outcome_of t.reps.(p) txn)
+          with
+          | Ok `Committed -> Some (`Committed, Rep.By_peer)
+          | Ok `Aborted -> Some (`Aborted, Rep.By_peer)
+          | Ok `Unknown | Error Rpc.Timeout -> ask (p + 1)
+          | exception Rep.Crashed _ -> ask (p + 1)
+      in
+      ask 0
+
 let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
     ?(rpc_backoff = 5.0) ?(n_clients = 1) ?(parallel_rpc = true) ?(two_phase = false)
-    ~config () =
+    ?lease ~config () =
   if rpc_attempts < 1 then invalid_arg "Sim_world: need at least one RPC attempt";
   let sim = Sim.create ~seed () in
   let n = Config.n_reps config in
@@ -61,27 +96,44 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
   let net = Net.create sim ~n_nodes:(n + n_clients + 1) ?latency () in
   let waiter register = Sim.suspend sim register in
   let lock_group = Repdir_lock.Lock_manager.new_group () in
-  let registry = Repdir_txn.Commit_registry.create () in
+  (* Timer callbacks must run as full simulator processes ([Sim.spawn], not
+     [Sim.at]): lease expiry and termination queries block on locks and
+     RPC. *)
+  let timers =
+    {
+      Rep.now = (fun () -> Sim.now sim);
+      after = (fun d k -> Sim.spawn sim ~at:(Sim.now sim +. d) k);
+    }
+  in
   let reps =
     Array.init n (fun i ->
-        Rep.create ~waiter ~lock_group ~registry ~name:(Printf.sprintf "rep%d" i) ())
+        Rep.create ~waiter ~lock_group ~timers ?lease ~name:(Printf.sprintf "rep%d" i) ())
   in
-  {
-    sim;
-    net;
-    reps;
-    servers = Array.init n (fun _ -> Rpc.server ());
-    txns = Txn.Manager.create ();
-    config;
-    rpc_timeout;
-    rpc_attempts;
-    rpc_backoff;
-    seed;
-    n_clients;
-    parallel_rpc;
-    registry;
-    two_phase;
-  }
+  let t =
+    {
+      sim;
+      net;
+      reps;
+      servers = Array.init n (fun _ -> Rpc.server ());
+      txns = Txn.Manager.create ();
+      config;
+      rpc_timeout;
+      rpc_attempts;
+      rpc_backoff;
+      seed;
+      n_clients;
+      parallel_rpc;
+      (* Each client doubles as the coordinator of its own transactions; the
+         coordinator id is the client's network node. *)
+      coordinators = Array.init n_clients (fun i -> Coordinator.create ~id:(n + i) ());
+      two_phase;
+    }
+  in
+  (* The resolver is always installed — in-doubt transactions can arise from
+     any crash between prepare and decision, lease or no lease, and blocking
+     them forever would wedge their key ranges. *)
+  Array.iteri (fun r rep -> Rep.set_resolver rep (resolver_for t r)) reps;
+  t
 
 let sim t = t.sim
 let net t = t.net
@@ -127,10 +179,12 @@ let client_transport t i =
   in
   Lazy.force transport
 
-let registry t = t.registry
+let coordinator t i =
+  if i < 0 || i >= t.n_clients then invalid_arg "Sim_world: no such client";
+  t.coordinators.(i)
 
 let suite_for_client ?picker ?seed ?sync t i =
-  Suite.create ?picker ?seed ?sync ~two_phase:t.two_phase ~registry:t.registry
+  Suite.create ?picker ?seed ?sync ~two_phase:t.two_phase ~coordinator:t.coordinators.(i)
     ~config:t.config ~transport:(client_transport t i) ~txns:t.txns ()
 
 (* --- anti-entropy -------------------------------------------------------------- *)

@@ -23,6 +23,7 @@ val create :
   ?n_clients:int ->
   ?parallel_rpc:bool ->
   ?two_phase:bool ->
+  ?lease:float ->
   config:Config.t ->
   unit ->
   t
@@ -31,7 +32,16 @@ val create :
     requests out concurrently (the §5 latency optimization); when false,
     quorum members are contacted one at a time as in the paper's
     pseudo-code. [two_phase] (default false) commits suite transactions with
-    two-phase commit against a shared coordinator decision registry.
+    presumed-abort two-phase commit; each client doubles as the coordinator
+    of its own transactions, keeping its decision log at its own node
+    ({!coordinator}), which participants query to resolve in-doubt
+    transactions. [lease] (default: none) arms a sliding virtual-clock lease
+    over every transaction at every representative: an unprepared
+    transaction idle for a lease period is unilaterally aborted (presumed
+    abort) and its locks released; a prepared one goes in doubt and is
+    resolved by querying its coordinator, then peers. The resolver is
+    installed regardless of [lease], so crash-recovered in-doubt
+    transactions always terminate.
 
     All client RPCs go through {!Repdir_sim.Rpc.call_at_most_once}: each
     representative node keeps a request-id dedup cache (reset when it
@@ -45,7 +55,10 @@ val net : t -> Net.t
 val config : t -> Config.t
 val txns : t -> Txn.Manager.t
 val reps : t -> Rep.t array
-val registry : t -> Repdir_txn.Commit_registry.t
+
+val coordinator : t -> int -> Coordinator.t
+(** Client [i]'s two-phase-commit decision log (it lives at the client's
+    node; in-doubt participants reach it by RPC). *)
 
 val client_transport : t -> int -> Transport.t
 (** Transport for client [i] (0-based, [i < n_clients]). Calls must be made

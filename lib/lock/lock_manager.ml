@@ -9,6 +9,7 @@ type waiter = {
   w_mode : Mode.t;
   w_range : Bound.Interval.t;
   w_on_grant : unit -> unit;
+  w_on_drop : unit -> unit;
 }
 
 type t = {
@@ -105,7 +106,7 @@ let find_cycle t ~txn seeds =
   in
   try_seeds seeds
 
-let acquire t ~txn mode range ~on_grant =
+let acquire t ~txn ?(on_drop = ignore) mode range ~on_grant =
   if can_grant t ~txn mode range ~queue_prefix:t.queue then begin
     t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted;
     Granted
@@ -116,8 +117,25 @@ let acquire t ~txn mode range ~on_grant =
     | Some cycle -> Deadlock cycle
     | None ->
         t.queue <-
-          t.queue @ [ { w_txn = txn; w_mode = mode; w_range = range; w_on_grant = on_grant } ];
+          t.queue
+          @ [
+              {
+                w_txn = txn;
+                w_mode = mode;
+                w_range = range;
+                w_on_grant = on_grant;
+                w_on_drop = on_drop;
+              };
+            ];
         Waiting
+
+(* Recovery-time force grant: re-hold a restored in-doubt transaction's lock
+   without queueing or deadlock detection. Sound only on a freshly rebuilt
+   manager where every holder is another restored in-doubt transaction —
+   they all held their locks concurrently before the crash, so they are
+   mutually compatible by construction. *)
+let reacquire t ~txn mode range =
+  t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted
 
 (* Grant queued requests that have become compatible, preserving FIFO order:
    a waiter is granted only if it does not conflict with granted locks nor
@@ -137,8 +155,15 @@ let drain_queue t =
 
 let release_all t ~txn =
   t.granted <- List.filter (fun g -> g.g_txn <> txn) t.granted;
-  t.queue <- List.filter (fun w -> w.w_txn <> txn) t.queue;
-  drain_queue t
+  let dropped, kept = List.partition (fun w -> w.w_txn = txn) t.queue in
+  t.queue <- kept;
+  drain_queue t;
+  (* Wake the dropped waiters last: a transaction terminated from outside
+     (lease expiry, in-doubt resolution) can have operations suspended in
+     this queue, and their processes must learn the wait was cancelled
+     rather than sleep forever. By this point the grant state is settled,
+     so the woken process observes the release completely. *)
+  List.iter (fun w -> w.w_on_drop ()) dropped
 
 let holds t ~txn =
   List.filter_map

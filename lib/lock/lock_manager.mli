@@ -47,13 +47,31 @@ val detach : t -> unit
     volatile lock table on crash). *)
 
 val acquire :
-  t -> txn:txn_id -> Mode.t -> Bound.Interval.t -> on_grant:(unit -> unit) -> outcome
+  t ->
+  txn:txn_id ->
+  ?on_drop:(unit -> unit) ->
+  Mode.t ->
+  Bound.Interval.t ->
+  on_grant:(unit -> unit) ->
+  outcome
 (** [on_grant] is invoked (synchronously, from within a later {!release_all})
-    only for requests that first returned [Waiting]. *)
+    only for requests that first returned [Waiting]. [on_drop] (default:
+    nothing) fires instead when the still-waiting request is cancelled by
+    {!release_all} on its own transaction — the path taken when a lease
+    expiry or in-doubt resolution terminates a transaction that has an
+    operation suspended in the queue. Exactly one of the two callbacks ever
+    fires for a waiting request. *)
+
+val reacquire : t -> txn:txn_id -> Mode.t -> Bound.Interval.t -> unit
+(** Force-grant without queueing or deadlock detection: crash recovery
+    re-holding a restored in-doubt transaction's locks on a freshly rebuilt
+    manager. All concurrent holders are other restored in-doubt transactions,
+    which coexisted before the crash, so the grant cannot conflict. *)
 
 val release_all : t -> txn:txn_id -> unit
 (** Release every lock held by the transaction and drop its waiting requests,
-    then grant any newly-compatible queued requests in FIFO order. *)
+    then grant any newly-compatible queued requests in FIFO order. Each
+    dropped waiter's [on_drop] callback fires after the queue is drained. *)
 
 val holds : t -> txn:txn_id -> (Mode.t * Bound.Interval.t) list
 (** Locks currently granted to the transaction, most recent first. *)

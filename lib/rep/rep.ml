@@ -9,6 +9,12 @@ exception Crashed of string
 
 type waiter = ((unit -> unit) -> unit) -> unit
 
+type timers = { now : unit -> float; after : float -> (unit -> unit) -> unit }
+
+type resolution_source = By_coordinator | By_peer
+
+type resolver = coord:int -> Txn.id -> ([ `Committed | `Aborted ] * resolution_source) option
+
 type counters = {
   mutable lookups : int;
   mutable predecessors : int;
@@ -19,18 +25,34 @@ type counters = {
   mutable digests : int;
   mutable pulls : int;
   mutable sync_applies : int;
+  mutable leases_expired : int;
+  mutable unilateral_aborts : int;
+  mutable indoubt_by_coordinator : int;
+  mutable indoubt_by_peer : int;
+  mutable indoubt_recovered : int;
 }
+
+(* Volatile per-transaction lease state. *)
+type active = { mutable deadline : float; mutable prepared : bool; mutable coord : int }
+
+(* An in-doubt (prepared, undecided) transaction awaiting termination. *)
+type indoubt = { id_coord : int; id_recovered : bool }
 
 type t = {
   name : string;
   branching : int;
   waiter : waiter;
   lock_group : Lock_manager.group;
-  registry : Commit_registry.t;
+  timers : timers option;
+  lease : float option;
+  mutable resolver : resolver option;
   mutable map : Btree.t;
   mutable locks : Lock_manager.t;
   mutable undo : Undo.t;
   wal : Wal.t;
+  actives : (Txn.id, active) Hashtbl.t;
+  outcomes : (Txn.id, [ `Committed | `Aborted ]) Hashtbl.t;
+  indoubt : (Txn.id, indoubt) Hashtbl.t;
   mutable crashed : bool;
   mutable incarnation : int;
   mutable wal_records_repaired : int;
@@ -41,17 +63,22 @@ let no_waiter _register =
   failwith "Rep: lock wait in sequential mode (no waiter installed)"
 
 let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
-    ?(lock_group = Lock_manager.new_group ()) ?(registry = Commit_registry.create ()) ~name () =
+    ?(lock_group = Lock_manager.new_group ()) ?timers ?lease ?resolver ~name () =
   {
     name;
     branching;
     waiter;
     lock_group;
-    registry;
+    timers;
+    lease;
+    resolver;
     map = Btree.create_with ~branching ();
     locks = Lock_manager.create ~group:lock_group ();
     undo = Undo.create ();
     wal = Wal.create ();
+    actives = Hashtbl.create 16;
+    outcomes = Hashtbl.create 64;
+    indoubt = Hashtbl.create 8;
     crashed = false;
     incarnation = 0;
     wal_records_repaired = 0;
@@ -66,6 +93,11 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
         digests = 0;
         pulls = 0;
         sync_applies = 0;
+        leases_expired = 0;
+        unilateral_aborts = 0;
+        indoubt_by_coordinator = 0;
+        indoubt_by_peer = 0;
+        indoubt_recovered = 0;
       };
   }
 
@@ -73,25 +105,166 @@ let name t = t.name
 let counters t = t.counters
 let size t = Btree.size t.map
 let check_alive t = if t.crashed then raise (Crashed t.name)
+let set_resolver t r = t.resolver <- Some r
+
+(* --- transaction termination -------------------------------------------------- *)
+
+(* Retry period for termination queries when no lease interval is configured
+   (in-doubt transactions can still arise from crash recovery). *)
+let default_resolve_retry = 30.0
+
+let retry_period t = match t.lease with Some l -> l | None -> default_resolve_retry
+
+(* Terminate an in-doubt transaction with a known-final verdict. Idempotent:
+   a duplicate decision (coordinator retry racing a peer answer) finds the
+   transaction already gone and does nothing. For a transaction restored by
+   crash recovery the effects were withheld at replay, so commit means
+   re-applying its redo records now — sound because its write ranges stayed
+   locked the whole time — and abort means simply dropping them. *)
+let resolve_in_doubt t ~txn verdict =
+  match Hashtbl.find_opt t.indoubt txn with
+  | None -> ()
+  | Some info ->
+      Hashtbl.remove t.indoubt txn;
+      Hashtbl.remove t.actives txn;
+      Hashtbl.replace t.outcomes txn verdict;
+      (match verdict with
+      | `Committed ->
+          Wal.append t.wal (Wal.Commit txn);
+          Wal.sync t.wal;
+          if info.id_recovered then Wal_replay.redo t.wal txn t.map
+          else Undo.forget t.undo ~txn
+      | `Aborted ->
+          Wal.append t.wal (Wal.Abort txn);
+          if not info.id_recovered then Undo_apply.rollback t.undo ~txn t.map);
+      Lock_manager.release_all t.locks ~txn
+
+(* Lease bookkeeping and the termination protocol proper. The timer chain
+   re-arms itself while the lease keeps being renewed; both the chain and the
+   resolution loop carry the incarnation at which they were started so a
+   crash orphans them harmlessly. *)
+let rec arm_lease_timer t ~txn ~at =
+  match t.timers with
+  | None -> ()
+  | Some timers ->
+      let inc = t.incarnation in
+      timers.after
+        (Float.max 0. (at -. timers.now ()))
+        (fun () ->
+          if (not t.crashed) && t.incarnation = inc then
+            match Hashtbl.find_opt t.actives txn with
+            | None -> () (* terminated in the meantime *)
+            | Some a ->
+                if timers.now () >= a.deadline -. 1e-9 then expire t ~txn a
+                else arm_lease_timer t ~txn ~at:a.deadline)
+
+and expire t ~txn (a : active) =
+  t.counters.leases_expired <- t.counters.leases_expired + 1;
+  Hashtbl.remove t.actives txn;
+  if a.prepared then begin
+    (* A prepared vote is binding: the participant must not decide alone.
+       It enters the in-doubt state — only writers to the transaction's
+       ranges block, the rest of the representative stays available — and
+       queries the coordinator (then peers) until someone knows. *)
+    Hashtbl.replace t.indoubt txn { id_coord = a.coord; id_recovered = false };
+    start_resolution t ~txn
+  end
+  else begin
+    (* Unprepared: presumed abort lets the participant abort unilaterally
+       and release its locks. The coordinator can never commit this
+       transaction afterwards, because any later prepare here is refused. *)
+    t.counters.unilateral_aborts <- t.counters.unilateral_aborts + 1;
+    Hashtbl.replace t.outcomes txn `Aborted;
+    Wal.append t.wal (Wal.Abort txn);
+    Undo_apply.rollback t.undo ~txn t.map;
+    Lock_manager.release_all t.locks ~txn
+  end
+
+and start_resolution t ~txn =
+  match t.timers with
+  | None -> () (* terminated only by an explicit commit/abort/resolve call *)
+  | Some timers ->
+      let inc = t.incarnation in
+      let rec step () =
+        if (not t.crashed) && t.incarnation = inc then
+          match Hashtbl.find_opt t.indoubt txn with
+          | None -> ()
+          | Some info -> (
+              let answer =
+                match t.resolver with
+                | None -> None
+                | Some resolve -> ( try resolve ~coord:info.id_coord txn with _ -> None)
+              in
+              (* The query blocked; re-check that nothing terminated the
+                 transaction (or crashed the rep) while it was in flight. *)
+              if (not t.crashed) && t.incarnation = inc && Hashtbl.mem t.indoubt txn then
+                match answer with
+                | Some (verdict, source) ->
+                    (match source with
+                    | By_coordinator ->
+                        t.counters.indoubt_by_coordinator <-
+                          t.counters.indoubt_by_coordinator + 1
+                    | By_peer -> t.counters.indoubt_by_peer <- t.counters.indoubt_by_peer + 1);
+                    if info.id_recovered then
+                      t.counters.indoubt_recovered <- t.counters.indoubt_recovered + 1;
+                    resolve_in_doubt t ~txn verdict
+                | None -> timers.after (retry_period t) step)
+      in
+      timers.after 0. step
+
+(* Renew the transaction's lease (creating it on first contact). *)
+let touch t ~txn =
+  match (t.timers, t.lease) with
+  | Some timers, Some lease -> (
+      match Hashtbl.find_opt t.actives txn with
+      | Some a -> a.deadline <- timers.now () +. lease
+      | None ->
+          let a = { deadline = timers.now () +. lease; prepared = false; coord = -1 } in
+          Hashtbl.replace t.actives txn a;
+          arm_lease_timer t ~txn ~at:a.deadline)
+  | _ -> ()
+
+(* Every operation runs under this guard: a transaction the termination
+   protocol has already decided (or holds in doubt) must not execute new
+   operations — its retry/duplicate RPCs surface as aborts at the client. *)
+let check_txn_open t ~txn =
+  check_alive t;
+  if Hashtbl.mem t.indoubt txn then
+    raise (Txn.Abort (Txn.Unavailable (t.name ^ ": transaction is in doubt")));
+  (match Hashtbl.find_opt t.outcomes txn with
+  | Some _ -> raise (Txn.Abort (Txn.Unavailable (t.name ^ ": transaction already terminated")))
+  | None -> ());
+  touch t ~txn
 
 (* Acquire a lock, blocking through the waiter if needed; a would-be deadlock
    unwinds as a transaction abort before anything is queued. The simulation
    is single-threaded and non-preemptive, so the grant callback cannot fire
    between [acquire] returning [Waiting] and the waiter installing the real
-   wake-up function. *)
+   wake-up function. A wait cancelled from outside (lease expiry terminating
+   this very transaction) resumes through [on_drop] and unwinds as an abort. *)
 let lock_blocking t ~txn mode range =
   let wake = ref ignore in
-  match Lock_manager.acquire t.locks ~txn mode range ~on_grant:(fun () -> !wake ()) with
+  let dropped = ref false in
+  match
+    Lock_manager.acquire t.locks ~txn
+      ~on_drop:(fun () ->
+        dropped := true;
+        !wake ())
+      mode range
+      ~on_grant:(fun () -> !wake ())
+  with
   | Lock_manager.Granted -> ()
   | Lock_manager.Deadlock cycle -> raise (Txn.Abort (Txn.Deadlock cycle))
   | Lock_manager.Waiting ->
       t.counters.lock_waits <- t.counters.lock_waits + 1;
-      t.waiter (fun w -> wake := w)
+      t.waiter (fun w -> wake := w);
+      if !dropped then
+        raise (Txn.Abort (Txn.Unavailable (t.name ^ ": transaction terminated while waiting")))
 
 (* --- Figure 6 operations --------------------------------------------------- *)
 
 let lookup t ~txn bound =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.lookups <- t.counters.lookups + 1;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.point bound);
   Btree.lookup t.map bound
@@ -103,7 +276,7 @@ let lookup t ~txn bound =
    terminates: each iteration's lock is kept, monotonically freezing a wider
    range of the key space. *)
 let predecessor t ~txn bound =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.predecessors <- t.counters.predecessors + 1;
   let rec stabilize () =
     let candidate = Btree.predecessor t.map bound in
@@ -114,7 +287,7 @@ let predecessor t ~txn bound =
   stabilize ()
 
 let successor t ~txn bound =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.successors <- t.counters.successors + 1;
   let rec stabilize () =
     let candidate = Btree.successor t.map bound in
@@ -140,7 +313,7 @@ let predecessor_chain t ~txn bound ~depth =
   if depth <= 0 then invalid_arg "Rep.predecessor_chain: depth must be positive";
   if Bound.equal bound Bound.Low then invalid_arg "Rep.predecessor_chain: LOW";
   t.counters.predecessors <- t.counters.predecessors + 1;
-  check_alive t;
+  check_txn_open t ~txn;
   let rec stabilize () =
     let chain = read_pred_chain t bound ~depth in
     let lowest =
@@ -166,7 +339,7 @@ let successor_chain t ~txn bound ~depth =
   if depth <= 0 then invalid_arg "Rep.successor_chain: depth must be positive";
   if Bound.equal bound Bound.High then invalid_arg "Rep.successor_chain: HIGH";
   t.counters.successors <- t.counters.successors + 1;
-  check_alive t;
+  check_txn_open t ~txn;
   let rec stabilize () =
     let chain = read_succ_chain t bound ~depth in
     let highest = match List.rev chain with [] -> bound | last :: _ -> last.key in
@@ -177,7 +350,7 @@ let successor_chain t ~txn bound ~depth =
   stabilize ()
 
 let insert t ~txn key version value =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.inserts <- t.counters.inserts + 1;
   lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.point (Bound.Key key));
   (* Undo first: inverse depends on whether the entry already exists. *)
@@ -200,7 +373,7 @@ let endpoint_exists t = function
       | Repdir_gapmap.Gapmap_intf.Absent _ -> false)
 
 let coalesce t ~txn ~lo ~hi version =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.coalesces <- t.counters.coalesces + 1;
   lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.make lo hi);
   (* Validate the endpoints before logging anything: a failed coalesce must
@@ -228,24 +401,24 @@ let coalesce t ~txn ~lo ~hi version =
 module Gm = Repdir_gapmap.Gapmap_intf
 
 let digest_range t ~txn ~lo ~hi =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.digests <- t.counters.digests + 1;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
   Btree.digest_range t.map ~lo ~hi
 
 let split_range t ~txn ~lo ~hi ~arity =
-  check_alive t;
+  check_txn_open t ~txn;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
   Btree.split_range t.map ~lo ~hi ~arity
 
 let pull_range t ~txn ~lo ~hi =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.pulls <- t.counters.pulls + 1;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
   Btree.pull_range t.map ~lo ~hi
 
 let apply_range t ~txn (tr : Gm.transfer) =
-  check_alive t;
+  check_txn_open t ~txn;
   t.counters.sync_applies <- t.counters.sync_applies + 1;
   lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.make tr.t_lo tr.t_hi);
   let plan = Btree.plan_transfer t.map tr in
@@ -292,32 +465,94 @@ let root_digest t =
 
 (* --- transaction boundary --------------------------------------------------- *)
 
-let prepare t ~txn =
+let prepare t ~txn ~coord =
   check_alive t;
-  (* Refuse to vote for a transaction whose effects here predate our last
-     crash: the volatile state (including the in-memory results of those
-     operations) is gone, so committing would half-apply the transaction. *)
-  if Wal.ops_before_last_recovery t.wal txn then
-    raise (Txn.Abort (Txn.Unavailable (t.name ^ " lost the transaction's effects in a crash")));
-  Wal.append t.wal (Wal.Prepare txn);
-  (* Force the log before voting yes: a prepared transaction's effects must
-     survive any crash, since the coordinator may decide to commit. *)
-  Wal.sync t.wal
+  if Hashtbl.mem t.indoubt txn then () (* duplicate: the yes vote is already durable *)
+  else
+    match Hashtbl.find_opt t.outcomes txn with
+    | Some `Aborted ->
+        (* Typically a unilateral lease abort beat the coordinator's prepare:
+           the no vote is final, the coordinator must decide abort. *)
+        raise (Txn.Abort (Txn.Unavailable (t.name ^ " already aborted the transaction")))
+    | Some `Committed -> () (* duplicate prepare after a delivered commit *)
+    | None ->
+        (* Refuse to vote for a transaction whose effects here predate our
+           last crash: the volatile state (including the in-memory results of
+           those operations) is gone, so committing would half-apply the
+           transaction. *)
+        if Wal.ops_before_last_recovery t.wal txn then
+          raise
+            (Txn.Abort (Txn.Unavailable (t.name ^ " lost the transaction's effects in a crash")));
+        Wal.append t.wal (Wal.Prepare (txn, coord));
+        (* Force the log before voting yes: a prepared transaction's effects
+           must survive any crash, since the coordinator may decide to
+           commit. *)
+        Wal.sync t.wal;
+        (* From here the vote binds: a later lease expiry must turn into
+           in-doubt resolution against this coordinator, never a unilateral
+           abort. *)
+        touch t ~txn;
+        (match Hashtbl.find_opt t.actives txn with
+        | Some a ->
+            a.prepared <- true;
+            a.coord <- coord
+        | None -> ())
 
 let commit t ~txn =
   check_alive t;
-  Wal.append t.wal (Wal.Commit txn);
-  (* Force the commit record before acknowledging — an acknowledged commit
-     can never be lost to a torn tail. *)
-  Wal.sync t.wal;
-  Undo.forget t.undo ~txn;
-  Lock_manager.release_all t.locks ~txn
+  match Hashtbl.find_opt t.outcomes txn with
+  | Some `Committed -> () (* duplicate delivery: commit is idempotent *)
+  | Some `Aborted ->
+      raise (Txn.Abort (Txn.Unavailable (t.name ^ " already aborted the transaction")))
+  | None ->
+      Hashtbl.remove t.actives txn;
+      if Hashtbl.mem t.indoubt txn then resolve_in_doubt t ~txn `Committed
+      else begin
+        Hashtbl.replace t.outcomes txn `Committed;
+        Wal.append t.wal (Wal.Commit txn);
+        (* Force the commit record before acknowledging — an acknowledged
+           commit can never be lost to a torn tail. *)
+        Wal.sync t.wal;
+        Undo.forget t.undo ~txn;
+        Lock_manager.release_all t.locks ~txn
+      end
 
 let abort t ~txn =
   check_alive t;
-  Wal.append t.wal (Wal.Abort txn);
-  Undo_apply.rollback t.undo ~txn t.map;
-  Lock_manager.release_all t.locks ~txn
+  match Hashtbl.find_opt t.outcomes txn with
+  | Some `Aborted -> () (* duplicate delivery: abort is idempotent *)
+  | Some `Committed ->
+      raise (Txn.Abort (Txn.Unavailable (t.name ^ " already committed the transaction")))
+  | None ->
+      Hashtbl.remove t.actives txn;
+      if Hashtbl.mem t.indoubt txn then resolve_in_doubt t ~txn `Aborted
+      else begin
+        Hashtbl.replace t.outcomes txn `Aborted;
+        Wal.append t.wal (Wal.Abort txn);
+        Undo_apply.rollback t.undo ~txn t.map;
+        Lock_manager.release_all t.locks ~txn
+      end
+
+(* What this representative knows about a transaction's fate — the answer it
+   gives a peer's termination query. [`Committed] implies the coordinator
+   logged a commit decision; [`Aborted] implies either a coordinator abort
+   decision or a unilateral abort taken while unprepared, after which this
+   rep refuses every prepare, so the coordinator can never commit. Both are
+   therefore final. [`Unknown] is always safe — the asker just keeps
+   trying. *)
+let outcome_of t txn =
+  check_alive t;
+  match Hashtbl.find_opt t.outcomes txn with
+  | Some `Committed -> `Committed
+  | Some `Aborted -> `Aborted
+  | None -> `Unknown
+
+let in_doubt_txns t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.indoubt [] |> List.sort compare
+
+let in_doubt_count t = Hashtbl.length t.indoubt
+let locks_held t = Lock_manager.granted_count t.locks
+let lock_waiters t = Lock_manager.waiting_count t.locks
 
 (* --- crash and recovery ------------------------------------------------------ *)
 
@@ -326,7 +561,12 @@ let crash t =
   t.map <- Btree.create_with ~branching:t.branching ();
   Lock_manager.detach t.locks;
   t.locks <- Lock_manager.create ~group:t.lock_group ();
-  t.undo <- Undo.create ()
+  t.undo <- Undo.create ();
+  (* All volatile transaction state dies with the incarnation; recovery
+     rebuilds outcomes and the in-doubt set from the log. *)
+  Hashtbl.reset t.actives;
+  Hashtbl.reset t.outcomes;
+  Hashtbl.reset t.indoubt
 
 let is_crashed t = t.crashed
 let incarnation t = t.incarnation
@@ -341,18 +581,38 @@ let recover t =
      survives is a prefix of history; committed-only replay below then
      reconstructs exactly the committed prefix. *)
   t.wal_records_repaired <- t.wal_records_repaired + Wal.repair t.wal;
-  (* Resolve in-doubt (prepared, undecided) transactions against the
-     coordinator decision registry; racing resolutions are serialized by the
-     registry's first-writer-wins rule. *)
-  List.iter
-    (fun txn -> ignore (Commit_registry.try_decide t.registry txn Commit_registry.Aborted))
-    (Wal.in_doubt t.wal);
-  t.map <- Wal_replay.replay ~decided:(Commit_registry.decided_commit t.registry) t.wal;
+  let restored = Wal.in_doubt t.wal in
+  (* Replay the committed state only: a prepared-but-undecided transaction's
+     effects are withheld from the map until the termination protocol learns
+     its outcome. Deciding it here (say, auto-abort) would be unsound — the
+     coordinator may have logged a commit we never saw delivered. *)
+  t.map <- Wal_replay.replay t.wal;
   Lock_manager.detach t.locks;
   t.locks <- Lock_manager.create ~group:t.lock_group ();
   t.undo <- Undo.create ();
+  Hashtbl.reset t.actives;
+  Hashtbl.reset t.outcomes;
+  Hashtbl.reset t.indoubt;
+  List.iter
+    (function
+      | Wal.Commit id -> Hashtbl.replace t.outcomes id `Committed
+      | Wal.Abort id -> Hashtbl.replace t.outcomes id `Aborted
+      | _ -> ())
+    (Wal.records t.wal);
   t.crashed <- false;
   t.incarnation <- t.incarnation + 1;
+  (* Restore each in-doubt transaction: re-hold its write locks so the
+     withheld effects stay isolated (writers to those ranges block, nothing
+     else does), and hand it to the termination protocol. Its redo records
+     are applied iff the verdict is commit. *)
+  List.iter
+    (fun (txn, coord) ->
+      List.iter
+        (fun range -> Lock_manager.reacquire t.locks ~txn Mode.Rep_modify range)
+        (Wal.write_ranges t.wal txn);
+      Hashtbl.replace t.indoubt txn { id_coord = coord; id_recovered = true };
+      start_resolution t ~txn)
+    restored;
   Wal.append t.wal Wal.Recovery_marker;
   Wal.sync t.wal
 

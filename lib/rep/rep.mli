@@ -32,6 +32,22 @@ type waiter = ((unit -> unit) -> unit) -> unit
     called immediately with the wake-up callback and returns at once; the
     waiter itself returns only once the callback has fired. *)
 
+type timers = { now : unit -> float; after : float -> (unit -> unit) -> unit }
+(** Clock access for leases and termination retries: [now] reads the virtual
+    clock, [after d k] schedules [k] to run as a new logical thread [d] time
+    units from now (it may block, e.g. on RPC). Without timers the
+    representative never expires leases and never self-resolves in-doubt
+    transactions. *)
+
+type resolution_source = By_coordinator | By_peer
+
+type resolver = coord:int -> Repdir_txn.Txn.id -> ([ `Committed | `Aborted ] * resolution_source) option
+(** Termination query callback, installed by the harness: ask the coordinator
+    node [coord] for the transaction's decision and, if it is unreachable,
+    ask peer representatives what they know ({!outcome_of}). [None] means
+    nobody knows yet; the representative retries after a lease period. May
+    block (RPC); exceptions are treated as [None]. *)
+
 type t
 
 (** Operation counters, for the performance characterization. *)
@@ -45,20 +61,33 @@ type counters = {
   mutable digests : int;  (** anti-entropy digest requests served *)
   mutable pulls : int;  (** anti-entropy range transfers served *)
   mutable sync_applies : int;  (** anti-entropy merges applied here *)
+  mutable leases_expired : int;  (** transaction leases that ran out *)
+  mutable unilateral_aborts : int;  (** expiries terminated alone (unprepared) *)
+  mutable indoubt_by_coordinator : int;  (** in-doubt resolved by asking the coordinator *)
+  mutable indoubt_by_peer : int;  (** in-doubt resolved by asking a peer rep *)
+  mutable indoubt_recovered : int;
+      (** resolved in-doubt transactions that had been restored by crash recovery *)
 }
 
 val create :
   ?branching:int ->
   ?waiter:waiter ->
   ?lock_group:Repdir_lock.Lock_manager.group ->
-  ?registry:Repdir_txn.Commit_registry.t ->
+  ?timers:timers ->
+  ?lease:float ->
+  ?resolver:resolver ->
   name:string ->
   unit ->
   t
 (** [lock_group] shares waits-for deadlock detection across representatives
     (see {!Repdir_lock.Lock_manager.group}); required whenever concurrent
-    transactions span representatives. [registry] is the coordinator decision
-    record consulted for two-phase commit and in-doubt recovery. *)
+    transactions span representatives. [timers] connects the representative
+    to the virtual clock; [lease] (off by default) bounds how long a
+    transaction may sit idle here before the termination protocol takes over;
+    [resolver] answers in-doubt termination queries (also installable later
+    with {!set_resolver}). *)
+
+val set_resolver : t -> resolver -> unit
 
 val name : t -> string
 val counters : t -> counters
@@ -125,15 +154,47 @@ val root_digest : t -> Gapmap_intf.digest
 
 (* --- transaction boundary -------------------------------------------------- *)
 
-val prepare : t -> txn:Repdir_txn.Txn.id -> unit
-(** Two-phase commit vote: durably record that the transaction's effects are
-    complete here. Locks stay held; the outcome is the coordinator's
-    decision. A crash after prepare leaves the transaction in doubt, and
-    {!recover} resolves it against the registry. *)
+val prepare : t -> txn:Repdir_txn.Txn.id -> coord:int -> unit
+(** Two-phase commit vote: durably record (with the coordinator's node id)
+    that the transaction's effects are complete here. Locks stay held; the
+    outcome is the coordinator's decision. A crash after prepare leaves the
+    transaction in doubt; {!recover} restores it — locks re-held, effects
+    withheld — and the termination protocol resolves it. Raises [Txn.Abort]
+    if this representative already aborted the transaction (e.g. a lease
+    expired and it aborted unilaterally) or lost its effects in a crash. *)
 
 val commit : t -> txn:Repdir_txn.Txn.id -> unit
 val abort : t -> txn:Repdir_txn.Txn.id -> unit
-(** Both release the transaction's locks; abort also rolls back its effects. *)
+(** Both release the transaction's locks; abort also rolls back its effects.
+    Idempotent under duplicate delivery. Raises [Txn.Abort] when asked for
+    the outcome opposite to one already recorded — a representative never
+    both commits and aborts the same transaction. *)
+
+(* --- transaction termination ------------------------------------------------ *)
+
+val outcome_of : t -> Repdir_txn.Txn.id -> [ `Committed | `Aborted | `Unknown ]
+(** What this representative durably knows about a transaction's fate — the
+    answer it serves to a peer's termination query. Both definite answers are
+    final: [`Committed] implies the coordinator logged commit; [`Aborted]
+    implies the coordinator can never commit (it either decided abort or can
+    no longer gather this rep's vote). *)
+
+val resolve_in_doubt : t -> txn:Repdir_txn.Txn.id -> [ `Committed | `Aborted ] -> unit
+(** Terminate an in-doubt transaction with a verdict obtained out of band
+    (tests, harness). No-op if the transaction is not in doubt here. *)
+
+val in_doubt_txns : t -> Repdir_txn.Txn.id list
+(** Prepared-but-undecided transactions currently blocking their write
+    ranges, ascending. *)
+
+val in_doubt_count : t -> int
+
+val locks_held : t -> int
+(** Granted range locks, all transactions. Zero at quiesce — any residue is
+    an orphaned lock the termination protocol failed to clean up. *)
+
+val lock_waiters : t -> int
+(** Queued lock requests; zero at quiesce. *)
 
 (* --- failure injection and recovery ---------------------------------------- *)
 
@@ -162,11 +223,12 @@ val wal_records_repaired : t -> int
 val recover : t -> unit
 (** Scrub the write-ahead log back to its longest checksum-valid prefix
     (discarding any torn or corrupted tail), then rebuild the gap map from
-    it. Transactions prepared but undecided at the crash are resolved
-    against the registry: if the coordinator had decided commit, their
-    effects are replayed; otherwise the representative registers an abort
-    resolution (first-writer-wins with the coordinator) and discards
-    them. *)
+    the committed records. Transactions prepared but undecided at the crash
+    are restored as in-doubt: their effects are withheld from the map, their
+    write ranges re-locked, and the termination protocol (resolver queries to
+    the coordinator, then peers) decides their fate — commit replays their
+    redo records, abort drops them. Deciding locally would be unsound: the
+    coordinator may have logged a commit this representative never saw. *)
 
 val checkpoint : t -> unit
 (** Write a checkpoint record and truncate the log. Raises [Invalid_argument]

@@ -3,9 +3,10 @@
     The paper assumes "a flexible underlying transaction mechanism" (§1);
     this module provides its client-visible core: globally unique transaction
     ids ordered by age (used for deadlock victim selection), a status
-    registry, and the exceptions through which aborts propagate. The
+    table, and the exceptions through which aborts propagate. The
     per-representative machinery (undo logs, write-ahead log) lives in
-    {!Undo} and {!Wal}. *)
+    {!Undo} and {!Wal}; the two-phase-commit decision log lives in
+    {!Coordinator}. *)
 
 type id = int
 

@@ -5,7 +5,7 @@ type record =
   | Insert of Txn.id * Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value
   | Coalesce of Txn.id * Bound.t * Bound.t * Version.t
   | Sync_apply of Txn.id * Repdir_gapmap.Gapmap_intf.sync_op list
-  | Prepare of Txn.id
+  | Prepare of Txn.id * int
   | Commit of Txn.id
   | Abort of Txn.id
   | Recovery_marker
@@ -22,7 +22,7 @@ let pp_record ppf = function
   | Coalesce (id, lo, hi, v) ->
       Format.fprintf ppf "coalesce[%d] (%a,%a)->%a" id Bound.pp lo Bound.pp hi Version.pp v
   | Sync_apply (id, ops) -> Format.fprintf ppf "sync-apply[%d] (%d ops)" id (List.length ops)
-  | Prepare id -> Format.fprintf ppf "prepare %d" id
+  | Prepare (id, coord) -> Format.fprintf ppf "prepare %d (coord %d)" id coord
   | Recovery_marker -> Format.pp_print_string ppf "recovery-marker"
   | Commit id -> Format.fprintf ppf "commit %d" id
   | Abort id -> Format.fprintf ppf "abort %d" id
@@ -89,12 +89,41 @@ let in_doubt t =
   List.iter
     (fun e ->
       match e.rec_ with
-      | Prepare id -> if not (Hashtbl.mem prepared id) then Hashtbl.replace prepared id true
-      | Commit id | Abort id -> Hashtbl.replace prepared id false
+      | Prepare (id, coord) ->
+          if not (Hashtbl.mem prepared id) then Hashtbl.replace prepared id (Some coord)
+      | Commit id | Abort id -> Hashtbl.replace prepared id None
       | Begin _ | Insert _ | Coalesce _ | Sync_apply _ | Recovery_marker | Checkpoint _ -> ())
     t.log;
-  Hashtbl.fold (fun id pending acc -> if pending then id :: acc else acc) prepared []
+  Hashtbl.fold
+    (fun id pending acc -> match pending with Some coord -> (id, coord) :: acc | None -> acc)
+    prepared []
   |> List.sort compare
+
+(* Key-space footprint of a transaction's redo records, for re-holding its
+   locks when recovery restores it as in doubt. One interval per record is
+   coarse but safe: it covers at least what the pre-crash RepModify locks
+   covered. *)
+let write_ranges t txn =
+  let span_of_ops ops =
+    let bound_of = function
+      | Repdir_gapmap.Gapmap_intf.Sync_put (k, _, _) | Repdir_gapmap.Gapmap_intf.Sync_del k ->
+          Bound.Key k
+      | Repdir_gapmap.Gapmap_intf.Sync_gap (b, _) -> b
+    in
+    match List.map bound_of ops with
+    | [] -> None
+    | b :: rest ->
+        let lo = List.fold_left Bound.min b rest and hi = List.fold_left Bound.max b rest in
+        Some (Bound.Interval.make lo hi)
+  in
+  List.filter_map
+    (fun r ->
+      match r with
+      | Insert (id, k, _, _) when id = txn -> Some (Bound.Interval.point (Bound.Key k))
+      | Coalesce (id, lo, hi, _) when id = txn -> Some (Bound.Interval.make lo hi)
+      | Sync_apply (id, ops) when id = txn -> span_of_ops ops
+      | _ -> None)
+    (records t)
 
 let checkpoint_of_map entries ~gaps =
   let low_gap =
@@ -205,7 +234,7 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
     let map = M.create () in
     let recs = records t in
     let prepared id =
-      List.exists (fun e -> match e.rec_ with Prepare id' -> id' = id | _ -> false) t.log
+      List.exists (fun e -> match e.rec_ with Prepare (id', _) -> id' = id | _ -> false) t.log
     in
     let is_committed id = committed t id || (prepared id && decided id) in
     let restore_checkpoint (c : checkpoint) =
@@ -228,4 +257,19 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
         | Sync_apply _ | Recovery_marker -> ())
       recs;
     map
+
+  (* Re-apply one transaction's redo records to a live map — the deferred
+     commit of a recovery-restored in-doubt transaction. Sound only because
+     the transaction's write ranges stayed locked since recovery, so no
+     later transaction has touched them. *)
+  let redo t txn map =
+    List.iter
+      (fun r ->
+        match r with
+        | Insert (id, k, v, value) when id = txn -> M.insert map k v value
+        | Coalesce (id, lo, hi, v) when id = txn -> ignore (M.coalesce map ~lo ~hi v)
+        | Sync_apply (id, ops) when id = txn -> List.iter (M.apply_sync_op map) ops
+        | Begin _ | Prepare _ | Commit _ | Abort _ | Insert _ | Coalesce _ | Sync_apply _
+        | Recovery_marker | Checkpoint _ -> ())
+      (records t)
 end

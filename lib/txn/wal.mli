@@ -28,9 +28,11 @@ type record =
   | Sync_apply of Txn.id * Repdir_gapmap.Gapmap_intf.sync_op list
       (** Anti-entropy merge plan applied to this representative; replays by
           re-running the primitive ops in order. *)
-  | Prepare of Txn.id
+  | Prepare of Txn.id * int
       (** Two-phase commit vote: the transaction's effects are durable and
-          its outcome is delegated to the coordinator's decision record. *)
+          its outcome is delegated to the coordinator's decision record. The
+          second field is the coordinator's network node id, so crash
+          recovery knows whom to query for the outcome. *)
   | Commit of Txn.id
   | Abort of Txn.id
   | Recovery_marker
@@ -77,9 +79,16 @@ val ops_before_last_recovery : t -> Txn.id -> bool
     transaction's volatile effects in a crash, so it must refuse to prepare
     or commit it. *)
 
-val in_doubt : t -> Txn.id list
-(** Transactions with a [Prepare] record but no [Commit]/[Abort] record:
-    their outcome must be resolved against the coordinator's decisions. *)
+val in_doubt : t -> (Txn.id * int) list
+(** Transactions with a [Prepare] record but no [Commit]/[Abort] record,
+    each with the coordinator node recorded at prepare time: their outcome
+    must be resolved by the termination protocol (ask the coordinator, then
+    peers). Sorted by transaction id. *)
+
+val write_ranges : t -> Txn.id -> Bound.Interval.t list
+(** Closed key intervals covering the transaction's redo records (one per
+    record, possibly overlapping) — the RepModify footprint recovery must
+    re-lock when it restores the transaction as in doubt. *)
 
 val checkpoint_of_map : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value) list
                         -> gaps:(Bound.t * Bound.t * Version.t) list
@@ -120,4 +129,10 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) : sig
       apply when the log holds its [Commit], or when it is prepared and
       [decided] (the coordinator's verdict; default: nobody) says
       committed. *)
+
+  val redo : t -> Txn.id -> M.t -> unit
+  (** Apply one transaction's redo records, in log order, to an existing
+      map: the deferred commit of a recovery-restored in-doubt transaction.
+      Only sound while the transaction's {!write_ranges} have stayed locked
+      since the map was rebuilt. *)
 end

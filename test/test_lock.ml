@@ -194,6 +194,144 @@ let test_no_false_deadlock () =
   Alcotest.check outcome_testable "waiting, not deadlock" Waiting
     (acquire m 3 Rep_modify (iv "b" "y"))
 
+(* --- termination: on_drop, reacquire, orphan cleanup -------------------------- *)
+
+let test_on_drop_fires_for_terminated_waiter () =
+  (* A waiting transaction is terminated (lease expiry, unilateral abort):
+     releasing its locks must fire on_drop — not on_grant — exactly once,
+     so the suspended op process can unwind with an abort. *)
+  let m = Lock_manager.create () in
+  let granted = ref 0 and dropped = ref 0 in
+  ignore (acquire m 1 Rep_modify full);
+  Alcotest.check outcome_testable "t2 waits" Waiting
+    (Lock_manager.acquire m ~txn:2
+       ~on_drop:(fun () -> incr dropped)
+       Rep_modify full
+       ~on_grant:(fun () -> incr granted));
+  Lock_manager.release_all m ~txn:2;
+  Alcotest.(check int) "on_drop fired" 1 !dropped;
+  Alcotest.(check int) "on_grant never fired" 0 !granted;
+  Alcotest.(check int) "queue empty" 0 (Lock_manager.waiting_count m);
+  (* The holder's later release finds nothing to wake. *)
+  Lock_manager.release_all m ~txn:1;
+  Alcotest.(check int) "no grants" 1 !dropped;
+  Alcotest.(check int) "no late on_grant" 0 !granted
+
+let test_orphan_release_wakes_fifo_in_order () =
+  (* The orphaned holder's release must grant the surviving waiters in FIFO
+     order, skipping the waiter that was itself terminated. *)
+  let m = Lock_manager.create () in
+  let order = ref [] in
+  let wait txn = ignore
+    (Lock_manager.acquire m ~txn Rep_modify full
+       ~on_drop:(fun () -> order := -txn :: !order)
+       ~on_grant:(fun () -> order := txn :: !order))
+  in
+  ignore (acquire m 1 Rep_modify full);
+  wait 2;
+  wait 3;
+  wait 4;
+  (* t3 is terminated while waiting; then the orphaned holder t1 goes. *)
+  Lock_manager.release_all m ~txn:3;
+  Alcotest.(check (list int)) "t3 dropped, nobody granted yet" [ -3 ] !order;
+  Lock_manager.release_all m ~txn:1;
+  Alcotest.(check (list int)) "head of the queue granted" [ 2; -3 ] !order;
+  Lock_manager.release_all m ~txn:2;
+  Alcotest.(check (list int)) "then the next, in FIFO order" [ 4; 2; -3 ] !order;
+  Lock_manager.release_all m ~txn:4;
+  Alcotest.(check int) "all drained" 0 (Lock_manager.granted_count m)
+
+let test_reacquire_restores_in_doubt_lock () =
+  (* Crash recovery re-holds an in-doubt transaction's write ranges on a
+     fresh manager: the restored lock must block conflicting requests until
+     the termination protocol releases it. *)
+  let m = Lock_manager.create () in
+  Lock_manager.reacquire m ~txn:9 Rep_modify (iv "a" "m");
+  Alcotest.(check int) "restored lock granted" 1 (Lock_manager.granted_count m);
+  Alcotest.check outcome_testable "conflicting request blocks" Waiting
+    (acquire m 2 Rep_modify (iv "b" "c"));
+  Alcotest.check outcome_testable "disjoint request proceeds" Granted
+    (acquire m 3 Rep_modify (iv "x" "z"));
+  (* Resolution releases the in-doubt transaction; the waiter wakes. *)
+  Lock_manager.release_all m ~txn:9;
+  Alcotest.(check int) "waiter granted after resolution" 2 (Lock_manager.granted_count m);
+  Alcotest.(check int) "queue empty" 0 (Lock_manager.waiting_count m)
+
+let test_orphan_release_prunes_group_edges () =
+  (* Two managers in one deadlock-detection group. t1 holds in A and waits
+     in B; releasing t1 everywhere (its lease expired) must prune its
+     cross-manager waits-for edges: a request that would have closed a
+     cycle through t1 afterwards just waits. *)
+  let g = Lock_manager.new_group () in
+  let a = Lock_manager.create ~group:g () in
+  let b = Lock_manager.create ~group:g () in
+  ignore (acquire a 1 Rep_modify full);
+  ignore (acquire b 2 Rep_modify full);
+  Alcotest.check outcome_testable "t1 waits in B" Waiting (acquire b 1 Rep_modify full);
+  (* Sanity: t2 -> t1 would close the cycle right now. *)
+  (match acquire a 2 Rep_modify full with
+  | Deadlock _ -> ()
+  | Granted | Waiting -> Alcotest.fail "expected cross-manager deadlock");
+  (* t1 is terminated: its locks and queued waits go away in both managers. *)
+  Lock_manager.release_all a ~txn:1;
+  Lock_manager.release_all b ~txn:1;
+  (* The same request no longer sees a cycle — the edge was pruned. *)
+  Alcotest.check outcome_testable "no stale edge after termination" Granted
+    (acquire a 2 Rep_modify full);
+  Lock_manager.release_all a ~txn:2;
+  Lock_manager.release_all b ~txn:2;
+  Alcotest.(check int) "A drained" 0 (Lock_manager.granted_count a + Lock_manager.waiting_count a);
+  Alcotest.(check int) "B drained" 0 (Lock_manager.granted_count b + Lock_manager.waiting_count b)
+
+(* Property: under any interleaving of acquires and terminations, every
+   waiter gets exactly one of on_grant/on_drop, and releasing every
+   transaction leaves the manager empty — no orphaned grant, no stuck
+   waiter, no callback fired twice. *)
+let qcheck_callbacks_exactly_once =
+  let gen =
+    QCheck.(
+      list_of_size Gen.(int_range 1 20)
+        (triple (int_range 1 5) bool (pair (int_bound 25) (int_bound 25))))
+  in
+  QCheck.Test.make ~name:"every waiter gets exactly one callback" ~count:500 gen
+    (fun script ->
+      let m = Lock_manager.create () in
+      let granted = Hashtbl.create 16 and dropped = Hashtbl.create 16 in
+      let bump tbl i =
+        Hashtbl.replace tbl i (1 + Option.value ~default:0 (Hashtbl.find_opt tbl i))
+      in
+      let waiters = ref [] in
+      List.iteri
+        (fun i (txn, modify, (x, y)) ->
+          let lo = min x y and hi = max x y in
+          let range =
+            iv (Printf.sprintf "%02d" lo) (Printf.sprintf "%02d" hi)
+          in
+          let mode = if modify then Mode.Rep_modify else Mode.Rep_lookup in
+          match
+            Lock_manager.acquire m ~txn mode range
+              ~on_drop:(fun () -> bump dropped i)
+              ~on_grant:(fun () -> bump granted i)
+          with
+          | Lock_manager.Waiting -> waiters := i :: !waiters
+          | Granted | Deadlock _ -> ())
+        script;
+      (* Terminate every transaction, lowest id first (any order works). *)
+      List.iter
+        (fun txn -> Lock_manager.release_all m ~txn)
+        [ 1; 2; 3; 4; 5 ];
+      let ok_callbacks =
+        List.for_all
+          (fun i ->
+            let g = Option.value ~default:0 (Hashtbl.find_opt granted i) in
+            let d = Option.value ~default:0 (Hashtbl.find_opt dropped i) in
+            g + d = 1)
+          !waiters
+      in
+      ok_callbacks
+      && Lock_manager.granted_count m = 0
+      && Lock_manager.waiting_count m = 0)
+
 let () =
   Alcotest.run "lock"
     [
@@ -223,5 +361,17 @@ let () =
           Alcotest.test_case "three txn cycle" `Quick test_three_txn_deadlock;
           Alcotest.test_case "upgrade deadlock" `Quick test_upgrade_deadlock;
           Alcotest.test_case "no false positive" `Quick test_no_false_deadlock;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "on_drop fires for terminated waiter" `Quick
+            test_on_drop_fires_for_terminated_waiter;
+          Alcotest.test_case "orphan release wakes FIFO in order" `Quick
+            test_orphan_release_wakes_fifo_in_order;
+          Alcotest.test_case "reacquire restores in-doubt lock" `Quick
+            test_reacquire_restores_in_doubt_lock;
+          Alcotest.test_case "orphan release prunes group edges" `Quick
+            test_orphan_release_prunes_group_edges;
+          QCheck_alcotest.to_alcotest qcheck_callbacks_exactly_once;
         ] );
     ]

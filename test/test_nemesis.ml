@@ -12,14 +12,19 @@ module Config = Repdir_quorum.Config
 
 let check_campaign ~seed outcomes =
   Alcotest.(check int)
-    (Printf.sprintf "seed %Ld: four plans" seed)
-    4 (List.length outcomes);
+    (Printf.sprintf "seed %Ld: five plans" seed)
+    5 (List.length outcomes);
   List.iter
     (fun o ->
       let label what = Printf.sprintf "seed %Ld, %s: %s" seed o.Nemesis.plan what in
       Alcotest.(check int) (label "zero violations") 0 o.Nemesis.violations;
       Alcotest.(check bool) (label "made progress") true (o.Nemesis.succeeded > 0);
-      Alcotest.(check int) (label "full final sweep") 30 o.Nemesis.final_keys_checked)
+      Alcotest.(check int) (label "full final sweep") 30 o.Nemesis.final_keys_checked;
+      (* The termination protocol — not a power cycle — must account for
+         every transaction: no lock manager holds residue at quiesce and
+         nothing is left in doubt. *)
+      Alcotest.(check int) (label "no orphaned locks") 0 o.Nemesis.orphan_locks;
+      Alcotest.(check int) (label "no open in-doubt txns") 0 o.Nemesis.indoubt_open)
     outcomes
 
 let test_standard_plans_no_violations () =
@@ -47,6 +52,33 @@ let test_bit_reproducible () =
   List.iter
     (fun o -> Alcotest.(check int) (o.Nemesis.plan ^ ": no violations") 0 o.Nemesis.violations)
     a
+
+let test_coordinator_crash_resolves_everything () =
+  (* Regression seeds for the prepare/decide window: the client (who is the
+     coordinator) is repeatedly cut off from every representative for short
+     windows, stranding participants mid-protocol — some prepared (in
+     doubt), some not (lease-expired). With NO power cycle, every stranded
+     transaction must terminate on its own: zero model violations, every
+     lock manager drained, nothing left in doubt. *)
+  let stranded = ref 0 in
+  List.iter
+    (fun seed ->
+      let o =
+        Nemesis.run_plan ~seed
+          (Nemesis.coordinator_crash ~n:3 ~duration:1000.0 ~seed)
+      in
+      let label what = Printf.sprintf "seed %Ld: %s" seed what in
+      Alcotest.(check int) (label "zero violations") 0 o.Nemesis.violations;
+      Alcotest.(check bool) (label "made progress") true (o.Nemesis.succeeded > 0);
+      Alcotest.(check int) (label "no orphaned locks") 0 o.Nemesis.orphan_locks;
+      Alcotest.(check int) (label "no open in-doubt txns") 0 o.Nemesis.indoubt_open;
+      stranded :=
+        !stranded + o.Nemesis.leases_expired + o.Nemesis.indoubt_by_coordinator
+        + o.Nemesis.indoubt_by_peer + o.Nemesis.indoubt_recovered)
+    [ 42L; 7L; 1983L ];
+  (* The campaign must actually exercise the termination machinery — a run
+     that never strands a transaction proves nothing. *)
+  Alcotest.(check bool) "campaign stranded transactions" true (!stranded > 0)
 
 let test_plans_are_pure_functions_of_seed () =
   let p1 = Nemesis.crash_storm ~n:3 ~duration:500.0 ~seed:13L in
@@ -104,6 +136,8 @@ let () =
             test_standard_plans_no_violations;
           Alcotest.test_case "regression seeds" `Quick test_more_seeds;
           Alcotest.test_case "bit-reproducible" `Quick test_bit_reproducible;
+          Alcotest.test_case "coordinator crash resolves everything" `Quick
+            test_coordinator_crash_resolves_everything;
           Alcotest.test_case "plans are pure functions of seed" `Quick
             test_plans_are_pure_functions_of_seed;
         ] );

@@ -1,96 +1,280 @@
-(* Tests for atomic commitment: prepare records, the commit registry's
-   first-writer-wins decision cell, in-doubt recovery, and end-to-end
-   two-phase commit through the suite with crash injection between the
-   phases. *)
+(* Tests for distributed transaction termination: the presumed-abort
+   coordinator decision log, prepare records carrying the coordinator id,
+   in-doubt crash recovery with locks re-held and effects withheld, lease
+   expiry (unilateral abort / in-doubt), resolution by coordinator and by
+   peer, and end-to-end two-phase commit through the suite with crash
+   injection between the phases. *)
 
 open Repdir_txn
 open Repdir_rep
 open Repdir_quorum
 open Repdir_core
 
-(* --- registry -------------------------------------------------------------------- *)
+(* A manual virtual clock standing in for the simulator: [after] queues the
+   callback, [advance] moves time forward and fires everything due (including
+   callbacks scheduled by fired callbacks). *)
+let make_clock () =
+  let now = ref 0.0 in
+  let pending = ref [] in
+  let timers =
+    {
+      Rep.now = (fun () -> !now);
+      after = (fun d k -> pending := (!now +. d, k) :: !pending);
+    }
+  in
+  let advance dt =
+    now := !now +. dt;
+    let progress = ref true in
+    while !progress do
+      match List.partition (fun (at, _) -> at <= !now) !pending with
+      | [], _ -> progress := false
+      | due, rest ->
+          pending := rest;
+          List.iter (fun (_, k) -> k ()) (List.sort compare due)
+    done
+  in
+  (timers, advance)
 
-let test_registry_first_writer_wins () =
-  let r = Commit_registry.create () in
+(* --- coordinator ------------------------------------------------------------------ *)
+
+let test_coordinator_first_writer_wins () =
+  let c = Coordinator.create ~id:9 () in
   Alcotest.(check bool) "first decision sticks" true
-    (Commit_registry.try_decide r 1 Commit_registry.Committed = Commit_registry.Committed);
+    (Coordinator.decide c 1 Coordinator.Committed = Coordinator.Committed);
   Alcotest.(check bool) "second decision loses" true
-    (Commit_registry.try_decide r 1 Commit_registry.Aborted = Commit_registry.Committed);
-  Alcotest.(check bool) "decided commit" true (Commit_registry.decided_commit r 1);
-  Alcotest.(check bool) "unknown undecided" true (Commit_registry.decision r 2 = None)
+    (Coordinator.decide c 1 Coordinator.Aborted = Coordinator.Committed);
+  Alcotest.(check bool) "decision on file" true
+    (Coordinator.decision c 1 = Some Coordinator.Committed);
+  Alcotest.(check bool) "unknown undecided" true (Coordinator.decision c 2 = None);
+  Alcotest.(check int) "id stamped" 9 (Coordinator.id c)
+
+let test_coordinator_resolve_presumes_abort () =
+  let c = Coordinator.create () in
+  (* A termination query for an undecided transaction decides abort — and
+     that decision is binding: the coordinator's own late commit loses. *)
+  Alcotest.(check bool) "no information means abort" true
+    (Coordinator.resolve c 7 = Coordinator.Aborted);
+  Alcotest.(check bool) "late commit degrades to abort" true
+    (Coordinator.decide c 7 Coordinator.Committed = Coordinator.Aborted);
+  Alcotest.(check bool) "decided commit resolves commit" true
+    (Coordinator.decide c 8 Coordinator.Committed = Coordinator.Committed
+    && Coordinator.resolve c 8 = Coordinator.Committed);
+  let k = Coordinator.counters c in
+  Alcotest.(check int) "presumed aborts counted" 1 k.Coordinator.presumed_aborts;
+  Alcotest.(check int) "resolutions counted" 2 k.Coordinator.resolutions
+
+let test_coordinator_recover_keeps_commits () =
+  let c = Coordinator.create () in
+  ignore (Coordinator.decide c 1 Coordinator.Committed);
+  ignore (Coordinator.decide c 2 Coordinator.Aborted);
+  Coordinator.recover c;
+  Alcotest.(check bool) "commit survives recovery" true
+    (Coordinator.decision c 1 = Some Coordinator.Committed);
+  (* The abort record was never forced; whether it survives is immaterial —
+     resolve must still answer abort (presumed if the record is gone). *)
+  Alcotest.(check bool) "abort still answers abort" true
+    (Coordinator.resolve c 2 = Coordinator.Aborted)
 
 (* --- wal in-doubt ------------------------------------------------------------------ *)
 
 let test_wal_in_doubt () =
   let w = Wal.create () in
   Wal.append w (Wal.Insert (1, "a", 1, "v"));
-  Wal.append w (Wal.Prepare 1);
+  Wal.append w (Wal.Prepare (1, 4));
   Wal.append w (Wal.Insert (2, "b", 1, "v"));
-  Wal.append w (Wal.Prepare 2);
+  Wal.append w (Wal.Prepare (2, 4));
   Wal.append w (Wal.Commit 2);
-  Wal.append w (Wal.Prepare 3);
+  Wal.append w (Wal.Prepare (3, 5));
   Wal.append w (Wal.Abort 3);
-  Alcotest.(check (list int)) "only txn 1 in doubt" [ 1 ] (Wal.in_doubt w)
+  Alcotest.(check bool) "only txn 1 in doubt, with its coordinator" true
+    (Wal.in_doubt w = [ (1, 4) ])
 
 let test_wal_replay_prepared_decided () =
   let w = Wal.create () in
   Wal.append w (Wal.Insert (1, "a", 1, "v"));
-  Wal.append w (Wal.Prepare 1);
+  Wal.append w (Wal.Prepare (1, 4));
   Wal.append w (Wal.Insert (2, "b", 1, "v"));
-  Wal.append w (Wal.Prepare 2);
+  Wal.append w (Wal.Prepare (2, 4));
   let module Replay = Wal.Replay (Repdir_gapmap.Reference) in
   (* Coordinator says: txn 1 committed, txn 2 not. *)
   let g = Replay.replay ~decided:(fun id -> id = 1) w in
   Alcotest.(check (list string)) "only decided txn applies" [ "a" ]
     (List.map (fun (k, _, _) -> k) (Repdir_gapmap.Reference.entries g))
 
+let test_wal_redo_deferred_commit () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Insert (1, "a", 1, "v"));
+  Wal.append w (Wal.Prepare (1, 4));
+  let module Replay = Wal.Replay (Repdir_gapmap.Reference) in
+  let g = Replay.replay w in
+  Alcotest.(check int) "effects withheld" 0
+    (List.length (Repdir_gapmap.Reference.entries g));
+  Replay.redo w 1 g;
+  Alcotest.(check (list string)) "redo applies the held effects" [ "a" ]
+    (List.map (fun (k, _, _) -> k) (Repdir_gapmap.Reference.entries g))
+
 (* --- rep in-doubt recovery ------------------------------------------------------------ *)
 
-let test_rep_recovery_commits_decided_in_doubt () =
-  let registry = Commit_registry.create () in
-  let rep = Rep.create ~registry ~name:"r" () in
+let test_rep_recovery_restores_in_doubt_locked () =
+  let rep = Rep.create ~name:"r" () in
   Rep.insert rep ~txn:1 "k" 1 "v";
-  Rep.prepare rep ~txn:1;
-  (* Coordinator decided commit; the participant crashes before hearing. *)
-  ignore (Commit_registry.try_decide registry 1 Commit_registry.Committed);
+  Rep.prepare rep ~txn:1 ~coord:7;
   Rep.crash rep;
   Rep.recover rep;
-  Alcotest.(check (list string)) "in-doubt effects replayed" [ "k" ]
-    (List.map (fun (k, _, _) -> k) (Rep.entries rep))
-
-let test_rep_recovery_aborts_undecided_in_doubt () =
-  let registry = Commit_registry.create () in
-  let rep = Rep.create ~registry ~name:"r" () in
-  Rep.insert rep ~txn:1 "k" 1 "v";
-  Rep.prepare rep ~txn:1;
-  Rep.crash rep;
-  Rep.recover rep;
-  Alcotest.(check (list string)) "undecided in-doubt discarded" []
+  (* Effects withheld, transaction in doubt, its write range re-locked. *)
+  Alcotest.(check (list string)) "effects withheld" []
     (List.map (fun (k, _, _) -> k) (Rep.entries rep));
-  (* The recovery registered an abort veto: a late coordinator commit must
-     lose the race and observe the abort. *)
-  Alcotest.(check bool) "late commit loses" true
-    (Commit_registry.try_decide registry 1 Commit_registry.Committed = Commit_registry.Aborted)
+  Alcotest.(check (list int)) "in doubt" [ 1 ] (Rep.in_doubt_txns rep);
+  Alcotest.(check bool) "write range re-locked" true (Rep.locks_held rep > 0);
+  (* Commit verdict: the held redo records apply and locks drain. *)
+  Rep.resolve_in_doubt rep ~txn:1 `Committed;
+  Alcotest.(check (list string)) "committed after resolution" [ "k" ]
+    (List.map (fun (k, _, _) -> k) (Rep.entries rep));
+  Alcotest.(check int) "in-doubt drained" 0 (Rep.in_doubt_count rep);
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held rep);
+  Alcotest.(check bool) "outcome is committed" true (Rep.outcome_of rep 1 = `Committed)
 
-let test_rep_recovery_unprepared_still_discarded () =
-  let registry = Commit_registry.create () in
-  let rep = Rep.create ~registry ~name:"r" () in
+let test_rep_recovery_abort_verdict_drops_effects () =
+  let rep = Rep.create ~name:"r" () in
   Rep.insert rep ~txn:1 "k" 1 "v";
-  (* No prepare: even a (bogus) commit decision cannot resurrect it. *)
-  ignore (Commit_registry.try_decide registry 1 Commit_registry.Committed);
+  Rep.prepare rep ~txn:1 ~coord:7;
   Rep.crash rep;
   Rep.recover rep;
-  Alcotest.(check int) "unprepared work discarded" 0 (Rep.size rep)
+  Rep.resolve_in_doubt rep ~txn:1 `Aborted;
+  Alcotest.(check int) "nothing applied" 0 (Rep.size rep);
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held rep);
+  Alcotest.(check bool) "outcome is aborted" true (Rep.outcome_of rep 1 = `Aborted);
+  (* The decision is durable across another crash. *)
+  Rep.crash rep;
+  Rep.recover rep;
+  Alcotest.(check bool) "abort survives another crash" true
+    (Rep.outcome_of rep 1 = `Aborted);
+  Alcotest.(check int) "still nothing in doubt" 0 (Rep.in_doubt_count rep)
+
+let test_rep_recovery_resolver_terminates () =
+  (* With timers and a resolver installed, recovery itself starts the
+     termination protocol: the restored in-doubt transaction resolves
+     without any outside call. *)
+  let timers, advance = make_clock () in
+  let asked = ref [] in
+  let rep = Rep.create ~timers ~name:"r" () in
+  Rep.set_resolver rep (fun ~coord txn ->
+      asked := (coord, txn) :: !asked;
+      Some (`Committed, Rep.By_coordinator));
+  Rep.insert rep ~txn:3 "k" 1 "v";
+  Rep.prepare rep ~txn:3 ~coord:11;
+  Rep.crash rep;
+  Rep.recover rep;
+  advance 0.0;
+  Alcotest.(check bool) "resolver asked with the logged coordinator" true
+    (!asked = [ (11, 3) ]);
+  Alcotest.(check (list string)) "committed by the protocol" [ "k" ]
+    (List.map (fun (k, _, _) -> k) (Rep.entries rep));
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held rep);
+  let c = Rep.counters rep in
+  Alcotest.(check int) "counted as coordinator resolution" 1
+    c.Rep.indoubt_by_coordinator;
+  Alcotest.(check int) "counted as recovered" 1 c.Rep.indoubt_recovered
+
+let test_rep_resolution_retries_until_answer () =
+  let timers, advance = make_clock () in
+  let calls = ref 0 in
+  let rep = Rep.create ~timers ~lease:10.0 ~name:"r" () in
+  Rep.set_resolver rep (fun ~coord:_ _ ->
+      incr calls;
+      if !calls < 3 then None else Some (`Aborted, Rep.By_peer));
+  Rep.insert rep ~txn:4 "k" 1 "v";
+  Rep.prepare rep ~txn:4 ~coord:11;
+  (* Lease expires: prepared, so in doubt — first query at once, then one
+     retry per lease period until the peer answers. *)
+  advance 11.0;
+  Alcotest.(check int) "first query immediate" 1 !calls;
+  Alcotest.(check int) "still in doubt" 1 (Rep.in_doubt_count rep);
+  advance 10.0;
+  advance 10.0;
+  Alcotest.(check int) "retried each lease period" 3 !calls;
+  Alcotest.(check int) "resolved" 0 (Rep.in_doubt_count rep);
+  Alcotest.(check bool) "aborted by peer answer" true (Rep.outcome_of rep 4 = `Aborted);
+  Alcotest.(check int) "counted as peer resolution" 1
+    (Rep.counters rep).Rep.indoubt_by_peer
+
+(* --- leases --------------------------------------------------------------------------- *)
+
+let test_lease_expiry_unilateral_abort () =
+  let timers, advance = make_clock () in
+  let rep = Rep.create ~timers ~lease:10.0 ~name:"r" () in
+  Rep.insert rep ~txn:1 "k" 1 "v";
+  advance 5.0;
+  (* Any operation renews the sliding lease. *)
+  ignore (Rep.lookup rep ~txn:1 (Repdir_key.Bound.key "k"));
+  advance 8.0;
+  Alcotest.(check bool) "touch kept it alive" true (Rep.outcome_of rep 1 = `Unknown);
+  advance 10.0;
+  (* Unprepared and idle past the lease: unilaterally aborted, locks gone. *)
+  Alcotest.(check bool) "unilaterally aborted" true (Rep.outcome_of rep 1 = `Aborted);
+  Alcotest.(check int) "rolled back" 0 (Rep.size rep);
+  Alcotest.(check int) "locks released" 0 (Rep.locks_held rep);
+  let c = Rep.counters rep in
+  Alcotest.(check int) "lease expiry counted" 1 c.Rep.leases_expired;
+  Alcotest.(check int) "unilateral abort counted" 1 c.Rep.unilateral_aborts;
+  (* The abort is binding: a late prepare for the same transaction must be
+     refused, so the coordinator can never commit it. *)
+  (try
+     Rep.prepare rep ~txn:1 ~coord:7;
+     Alcotest.fail "prepare accepted after unilateral abort"
+   with Txn.Abort _ -> ());
+  (* Late duplicate abort is idempotent; late commit must be refused. *)
+  Rep.abort rep ~txn:1;
+  (try
+     Rep.commit rep ~txn:1;
+     Alcotest.fail "commit accepted after unilateral abort"
+   with Txn.Abort _ -> ())
+
+let test_lease_expiry_prepared_goes_in_doubt () =
+  let timers, advance = make_clock () in
+  let answer = ref None in
+  let rep = Rep.create ~timers ~lease:10.0 ~name:"r" () in
+  Rep.set_resolver rep (fun ~coord:_ _ -> !answer);
+  Rep.insert rep ~txn:2 "k" 1 "v";
+  Rep.prepare rep ~txn:2 ~coord:7;
+  advance 11.0;
+  (* Prepared: may not abort alone. It sits in doubt, locks held. *)
+  Alcotest.(check (list int)) "in doubt" [ 2 ] (Rep.in_doubt_txns rep);
+  Alcotest.(check bool) "locks still held" true (Rep.locks_held rep > 0);
+  Alcotest.(check bool) "no unilateral abort" true
+    ((Rep.counters rep).Rep.unilateral_aborts = 0);
+  answer := Some (`Committed, Rep.By_coordinator);
+  advance 10.0;
+  Alcotest.(check (list string)) "committed once the coordinator answers" [ "k" ]
+    (List.map (fun (k, _, _) -> k) (Rep.entries rep));
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held rep)
+
+let test_commit_abort_mutual_exclusion () =
+  let rep = Rep.create ~name:"r" () in
+  Rep.insert rep ~txn:1 "k" 1 "v";
+  Rep.commit rep ~txn:1;
+  Rep.commit rep ~txn:1 (* duplicate delivery: idempotent *);
+  (try
+     Rep.abort rep ~txn:1;
+     Alcotest.fail "abort accepted after commit"
+   with Txn.Abort _ -> ());
+  Rep.insert rep ~txn:2 "x" 1 "v";
+  Rep.abort rep ~txn:2;
+  Rep.abort rep ~txn:2;
+  (try
+     Rep.commit rep ~txn:2;
+     Alcotest.fail "commit accepted after abort"
+   with Txn.Abort _ -> ());
+  Alcotest.(check bool) "outcomes on file" true
+    (Rep.outcome_of rep 1 = `Committed && Rep.outcome_of rep 2 = `Aborted)
 
 (* --- end-to-end through the suite ------------------------------------------------------ *)
 
 let test_suite_two_phase_commit_success () =
-  let registry = Commit_registry.create () in
-  let reps =
-    Array.init 3 (fun i -> Rep.create ~registry ~name:(Printf.sprintf "r%d" i) ())
-  in
+  let coordinator = Coordinator.create ~id:3 () in
+  let reps = Array.init 3 (fun i -> Rep.create ~name:(Printf.sprintf "r%d" i) ()) in
   let suite =
-    Suite.create ~two_phase:true ~registry
+    Suite.create ~two_phase:true ~coordinator
       ~config:(Config.simple ~n:3 ~r:2 ~w:2)
       ~transport:(Transport.local reps)
       ~txns:(Txn.Manager.create ())
@@ -98,84 +282,51 @@ let test_suite_two_phase_commit_success () =
   in
   (match Suite.insert suite "k" "v" with Ok () -> () | Error _ -> Alcotest.fail "insert");
   Alcotest.(check bool) "visible" true (Suite.mem suite "k");
-  (* The decision record exists and says committed. *)
-  Alcotest.(check bool) "registry has a commit decision" true
-    (Commit_registry.decided_commit registry 1)
+  (* The commit decision was force-logged by this client's coordinator. *)
+  Alcotest.(check bool) "coordinator logged the commit" true
+    (Coordinator.decision coordinator 1 = Some Coordinator.Committed);
+  Alcotest.(check bool) "log is durable (non-empty)" true
+    (Coordinator.log_length coordinator > 0)
 
 let test_suite_two_phase_crash_between_phases () =
-  (* Crash a write-quorum member after every prepare succeeded but before
-     its commit arrives; after recovery its state must include the
-     transaction (the registry says committed) — the exact window
-     single-phase commit loses. *)
-  let registry = Commit_registry.create () in
-  let reps =
-    Array.init 3 (fun i -> Rep.create ~registry ~name:(Printf.sprintf "r%d" i) ())
-  in
-  let base = Transport.local reps in
-  let victim = ref (-1) in
-  let transport =
-    {
-      base with
-      Transport.call =
-        (fun i f ->
-          if i = !victim && not (Repdir_rep.Rep.is_crashed reps.(i)) then begin
-            (* The commit message to the victim is "lost": crash it first. *)
-            Rep.crash reps.(i);
-            Error (Transport.Down "victim")
-          end
-          else base.Transport.call i f);
-    }
-  in
+  (* A write-quorum member crashes after every prepare succeeded but before
+     its commit arrives; the coordinator logged commit, so recovery restores
+     the transaction in doubt and the termination protocol commits it — the
+     exact window single-phase commit loses. *)
+  let coordinator = Coordinator.create ~id:3 () in
+  let reps = Array.init 3 (fun i -> Rep.create ~name:(Printf.sprintf "r%d" i) ()) in
   let txns = Txn.Manager.create () in
-  let suite =
-    Suite.create ~two_phase:true ~registry ~picker:(Picker.Fixed [| 0; 1; 2 |])
-      ~config:(Config.simple ~n:3 ~r:2 ~w:2) ~transport ~txns ()
-  in
-  (* First, run the whole operation normally except: arm the victim to
-     reject (and crash at) the *commit* call. We do that by wrapping
-     with_txn ourselves so prepare happens before arming. *)
-  (match
-     Suite.with_txn suite (fun txn ->
-         match Suite.insert ~txn suite "k" "v" with
-         | Ok () ->
-             (* Arm: the next call to rep 0 (its commit) crashes it. The
-                prepares happen inside commit_touched *before* commits, so
-                we need the crash to trigger only on the commit round —
-                prepare uses the same transport. Instead, arm after the
-                operation body: prepares will hit the victim... which would
-                abort the transaction. To hit the window precisely we arm
-                between phases below via the registry hook instead. *)
-             ()
-         | Error _ -> Alcotest.fail "insert")
-   with
-  | () -> ()
-  | exception Suite.Unavailable _ -> Alcotest.fail "should commit");
-  (* Now simulate the window directly at the representative level. *)
   let txn = Txn.Manager.begin_txn txns in
   Rep.insert reps.(0) ~txn "w" 9 "v";
   Rep.insert reps.(1) ~txn "w" 9 "v";
-  Rep.prepare reps.(0) ~txn;
-  Rep.prepare reps.(1) ~txn;
-  ignore (Commit_registry.try_decide registry txn Commit_registry.Committed);
+  Rep.prepare reps.(0) ~txn ~coord:3;
+  Rep.prepare reps.(1) ~txn ~coord:3;
+  ignore (Coordinator.decide coordinator txn Coordinator.Committed);
   Rep.commit reps.(1) ~txn;
   (* rep0 crashes before its commit arrives. *)
   Rep.crash reps.(0);
   Rep.recover reps.(0);
+  Alcotest.(check (list int)) "rep0 holds the txn in doubt" [ txn ]
+    (Rep.in_doubt_txns reps.(0));
+  (* Termination: rep0 queries the coordinator it logged at prepare. *)
+  let verdict =
+    match Coordinator.resolve coordinator txn with
+    | Coordinator.Committed -> `Committed
+    | Coordinator.Aborted -> `Aborted
+  in
+  Rep.resolve_in_doubt reps.(0) ~txn verdict;
   Alcotest.(check bool) "window closed: rep0 has the entry" true
     (List.exists (fun (k, _, _) -> k = "w") (Rep.entries reps.(0)));
-  ignore !victim
+  Alcotest.(check int) "no orphaned locks" 0 (Rep.locks_held reps.(0))
 
 let test_suite_two_phase_prepare_failure_aborts_all () =
   (* rep0 crashes after the operation body but before the prepare round:
      its vote cannot be collected, so the whole transaction must abort —
      no representative may keep the entry. *)
-  let registry = Commit_registry.create () in
-  let reps =
-    Array.init 3 (fun i -> Rep.create ~registry ~name:(Printf.sprintf "r%d" i) ())
-  in
+  let reps = Array.init 3 (fun i -> Rep.create ~name:(Printf.sprintf "r%d" i) ()) in
   let txns = Txn.Manager.create () in
   let suite =
-    Suite.create ~two_phase:true ~registry ~picker:(Picker.Fixed [| 0; 1; 2 |])
+    Suite.create ~two_phase:true ~picker:(Picker.Fixed [| 0; 1; 2 |])
       ~config:(Config.simple ~n:3 ~r:2 ~w:2)
       ~transport:(Transport.local reps) ~txns ()
   in
@@ -206,19 +357,18 @@ let test_prepare_refused_after_mid_txn_crash () =
      flight* lost that transaction's effects; it must refuse the prepare
      vote, aborting the transaction instead of half-committing it. (Found by
      the chaos test.) *)
-  let registry = Commit_registry.create () in
-  let rep = Rep.create ~registry ~name:"r" () in
+  let rep = Rep.create ~name:"r" () in
   Rep.insert rep ~txn:5 "k" 1 "v";
   Rep.crash rep;
   Rep.recover rep;
   (* The transaction's client is unaware and proceeds to commit. *)
   (try
-     Rep.prepare rep ~txn:5;
+     Rep.prepare rep ~txn:5 ~coord:3;
      Alcotest.fail "prepare accepted a half-lost transaction"
    with Txn.Abort (Txn.Unavailable _) -> ());
   (* A transaction whose operations all happened after the recovery is fine. *)
   Rep.insert rep ~txn:6 "k2" 1 "v";
-  Rep.prepare rep ~txn:6;
+  Rep.prepare rep ~txn:6 ~coord:3;
   Rep.commit rep ~txn:6;
   Alcotest.(check bool) "fresh txn commits" true
     (List.exists (fun (k, _, _) -> k = "k2") (Rep.entries rep))
@@ -227,12 +377,9 @@ let test_suite_mid_txn_crash_aborts_atomically () =
   (* End-to-end: rep0 crashes and recovers between the transaction's two
      inserts; 2PC must abort the whole transaction — neither key may be
      visible afterwards. *)
-  let registry = Commit_registry.create () in
-  let reps =
-    Array.init 3 (fun i -> Rep.create ~registry ~name:(Printf.sprintf "r%d" i) ())
-  in
+  let reps = Array.init 3 (fun i -> Rep.create ~name:(Printf.sprintf "r%d" i) ()) in
   let suite =
-    Suite.create ~two_phase:true ~registry ~picker:(Picker.Fixed [| 0; 1; 2 |])
+    Suite.create ~two_phase:true ~picker:(Picker.Fixed [| 0; 1; 2 |])
       ~config:(Config.simple ~n:3 ~r:2 ~w:2)
       ~transport:(Transport.local reps)
       ~txns:(Txn.Manager.create ())
@@ -257,33 +404,69 @@ let test_suite_mid_txn_crash_aborts_atomically () =
   Alcotest.(check bool) "x not visible" false (Suite.mem suite "x");
   Alcotest.(check bool) "y not visible" false (Suite.mem suite "y")
 
-let test_registry_race_recovery_vetoes_commit () =
-  (* The participant recovers (vetoing) before the coordinator decides: the
-     coordinator's later commit must lose and abort the other participant. *)
-  let registry = Commit_registry.create () in
-  let a = Rep.create ~registry ~name:"a" () in
-  let b = Rep.create ~registry ~name:"b" () in
+let test_recovery_race_resolution_beats_late_commit () =
+  (* The participant recovers and resolves (presumed abort) before the
+     coordinator decides: the coordinator's later commit must lose and
+     abort the other participant too. *)
+  let coordinator = Coordinator.create ~id:3 () in
+  let a = Rep.create ~name:"a" () in
+  let b = Rep.create ~name:"b" () in
   let txn = 41 in
   Rep.insert a ~txn "k" 1 "v";
   Rep.insert b ~txn "k" 1 "v";
-  Rep.prepare a ~txn;
-  Rep.prepare b ~txn;
+  Rep.prepare a ~txn ~coord:3;
+  Rep.prepare b ~txn ~coord:3;
   Rep.crash a;
-  Rep.recover a (* vetoes: in doubt, undecided -> aborted *);
-  Alcotest.(check bool) "coordinator's commit loses" true
-    (Commit_registry.try_decide registry txn Commit_registry.Committed
-    = Commit_registry.Aborted);
+  Rep.recover a;
+  (* a's termination query reaches the coordinator first: no decision on
+     file, so the query decides abort (first-writer-wins). *)
+  let verdict =
+    match Coordinator.resolve coordinator txn with
+    | Coordinator.Committed -> `Committed
+    | Coordinator.Aborted -> `Aborted
+  in
+  Rep.resolve_in_doubt a ~txn verdict;
+  Alcotest.(check bool) "coordinator's late commit loses" true
+    (Coordinator.decide coordinator txn Coordinator.Committed = Coordinator.Aborted);
   (* The coordinator conforms by aborting b. *)
   Rep.abort b ~txn;
   Alcotest.(check int) "a empty" 0 (Rep.size a);
-  Alcotest.(check int) "b empty" 0 (Rep.size b)
+  Alcotest.(check int) "b empty" 0 (Rep.size b);
+  Alcotest.(check int) "no locks on a" 0 (Rep.locks_held a);
+  Alcotest.(check int) "no locks on b" 0 (Rep.locks_held b)
+
+let test_peer_resolution_is_final () =
+  (* The coordinator is unreachable; a peer that heard the commit round
+     answers the termination query, and that answer is safe to act on. *)
+  let coordinator = Coordinator.create ~id:3 () in
+  let a = Rep.create ~name:"a" () in
+  let b = Rep.create ~name:"b" () in
+  let txn = 42 in
+  Rep.insert a ~txn "k" 1 "v";
+  Rep.insert b ~txn "k" 1 "v";
+  Rep.prepare a ~txn ~coord:3;
+  Rep.prepare b ~txn ~coord:3;
+  ignore (Coordinator.decide coordinator txn Coordinator.Committed);
+  Rep.commit b ~txn;
+  Rep.crash a;
+  Rep.recover a;
+  (* a cannot reach the coordinator; it asks b instead. *)
+  (match Rep.outcome_of b txn with
+  | `Committed -> Rep.resolve_in_doubt a ~txn `Committed
+  | `Aborted | `Unknown -> Alcotest.fail "peer should know the commit");
+  Alcotest.(check bool) "a committed via peer" true
+    (List.exists (fun (k, _, _) -> k = "k") (Rep.entries a));
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held a)
 
 (* --- end-to-end on the simulator -------------------------------------------------------- *)
 
 let test_sim_world_two_phase_end_to_end () =
   let open Repdir_sim in
   let open Repdir_harness in
-  let world = Sim_world.create ~two_phase:true ~rpc_timeout:30.0 ~config:(Config.simple ~n:3 ~r:2 ~w:2) () in
+  let world =
+    Sim_world.create ~two_phase:true ~rpc_timeout:30.0
+      ~config:(Config.simple ~n:3 ~r:2 ~w:2) ()
+  in
   let sim = Sim_world.sim world in
   let suite = Sim_world.suite_for_client world 0 in
   let ok = ref false in
@@ -296,24 +479,142 @@ let test_sim_world_two_phase_end_to_end () =
   Sim.run sim;
   Alcotest.(check bool) "2PC world runs correctly" true !ok
 
+let test_sim_world_in_doubt_resolves_by_rpc () =
+  (* Crash a participant right after its prepare is durable; after recovery
+     its in-doubt transaction must resolve through the installed RPC
+     resolver (coordinator first) without any outside help. *)
+  let open Repdir_sim in
+  let open Repdir_harness in
+  let world =
+    Sim_world.create ~two_phase:true ~lease:20.0 ~rpc_timeout:10.0
+      ~config:(Config.simple ~n:3 ~r:3 ~w:3) ()
+  in
+  let sim = Sim_world.sim world in
+  let reps = Sim_world.reps world in
+  let suite = Sim_world.suite_for_client world 0 in
+  Sim.spawn sim (fun () ->
+      ignore (Suite.insert suite "k" "v");
+      (* Simulate the lost-commit window at rep 2 directly: a prepared
+         transaction whose commit never arrives. *)
+      let txn = 99 in
+      Rep.insert reps.(2) ~txn "z" 5 "v";
+      Rep.prepare reps.(2) ~txn ~coord:(Sim_world.coordinator world 0 |> Coordinator.id);
+      Sim_world.crash_rep world 2;
+      Sim_world.recover_rep world 2;
+      (* The restored in-doubt transaction queries the (live) coordinator;
+         no decision is on file, so presumed abort terminates it. *)
+      Sim.sleep sim 100.0);
+  Sim.run sim;
+  Alcotest.(check int) "in-doubt drained" 0 (Rep.in_doubt_count reps.(2));
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held reps.(2));
+  Alcotest.(check bool) "presumed abort" true (Rep.outcome_of reps.(2) 99 = `Aborted);
+  Alcotest.(check bool) "resolved by coordinator query" true
+    ((Rep.counters reps.(2)).Rep.indoubt_by_coordinator = 1)
+
+(* --- the safety property ---------------------------------------------------------------- *)
+
+(* A representative must never both commit and abort the same transaction,
+   under any interleaving of crashes, duplicate deliveries, retries and
+   termination queries. The script drives one rep + its coordinator through
+   a random event sequence; transient protocol refusals (Txn.Abort) are the
+   protocol working, so they are swallowed — the property is about the
+   durable outcome bookkeeping. *)
+let qcheck_never_commit_and_abort =
+  QCheck.Test.make ~name:"rep never both commits and aborts a txn" ~count:500
+    QCheck.(list_of_size Gen.(int_range 1 14) (int_bound 7))
+    (fun script ->
+      let coord = Coordinator.create ~id:9 () in
+      let rep = Rep.create ~name:"r" () in
+      let txn = 1 in
+      let seen_commit = ref false and seen_abort = ref false in
+      let note () =
+        match Rep.outcome_of rep txn with
+        | `Committed -> seen_commit := true
+        | `Aborted -> seen_abort := true
+        | `Unknown -> ()
+      in
+      let resolve_if_in_doubt () =
+        if List.mem txn (Rep.in_doubt_txns rep) then
+          let verdict =
+            match Coordinator.resolve coord txn with
+            | Coordinator.Committed -> `Committed
+            | Coordinator.Aborted -> `Aborted
+          in
+          Rep.resolve_in_doubt rep ~txn verdict
+      in
+      let key = ref 0 in
+      let apply ev =
+        (try
+           match ev with
+           | 0 ->
+               incr key;
+               Rep.insert rep ~txn (Printf.sprintf "k%d" !key) 1 "v"
+           | 1 -> Rep.prepare rep ~txn ~coord:9
+           | 2 -> (
+               (* The coordinator tries to commit; it obeys the winner. *)
+               match Coordinator.decide coord txn Coordinator.Committed with
+               | Coordinator.Committed -> Rep.commit rep ~txn
+               | Coordinator.Aborted -> Rep.abort rep ~txn)
+           | 3 -> (
+               match Coordinator.decide coord txn Coordinator.Aborted with
+               | Coordinator.Committed -> Rep.commit rep ~txn
+               | Coordinator.Aborted -> Rep.abort rep ~txn)
+           | 4 ->
+               Rep.crash rep;
+               Rep.recover rep
+           | 5 -> (
+               (* Duplicate delivery of an already-made decision. *)
+               match Coordinator.decision coord txn with
+               | Some Coordinator.Committed -> Rep.commit rep ~txn
+               | Some Coordinator.Aborted -> Rep.abort rep ~txn
+               | None -> ())
+           | 6 -> resolve_if_in_doubt ()
+           | _ -> Coordinator.recover coord
+         with _ -> ());
+        note ()
+      in
+      List.iter apply script;
+      (* Quiesce: terminate whatever is left in doubt, then final check. *)
+      (try resolve_if_in_doubt () with _ -> ());
+      note ();
+      not (!seen_commit && !seen_abort))
+
 let () =
   Alcotest.run "two-phase"
     [
-      ( "registry",
-        [ Alcotest.test_case "first writer wins" `Quick test_registry_first_writer_wins ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "first writer wins" `Quick test_coordinator_first_writer_wins;
+          Alcotest.test_case "resolve presumes abort" `Quick
+            test_coordinator_resolve_presumes_abort;
+          Alcotest.test_case "recovery keeps commits" `Quick
+            test_coordinator_recover_keeps_commits;
+        ] );
       ( "wal",
         [
           Alcotest.test_case "in-doubt detection" `Quick test_wal_in_doubt;
           Alcotest.test_case "replay decided prepared" `Quick test_wal_replay_prepared_decided;
+          Alcotest.test_case "redo applies held effects" `Quick test_wal_redo_deferred_commit;
         ] );
       ( "rep",
         [
-          Alcotest.test_case "recovery commits decided" `Quick
-            test_rep_recovery_commits_decided_in_doubt;
-          Alcotest.test_case "recovery aborts undecided" `Quick
-            test_rep_recovery_aborts_undecided_in_doubt;
-          Alcotest.test_case "unprepared never resurrected" `Quick
-            test_rep_recovery_unprepared_still_discarded;
+          Alcotest.test_case "recovery restores in-doubt locked" `Quick
+            test_rep_recovery_restores_in_doubt_locked;
+          Alcotest.test_case "abort verdict drops effects" `Quick
+            test_rep_recovery_abort_verdict_drops_effects;
+          Alcotest.test_case "recovery resolver terminates" `Quick
+            test_rep_recovery_resolver_terminates;
+          Alcotest.test_case "resolution retries until answer" `Quick
+            test_rep_resolution_retries_until_answer;
+          Alcotest.test_case "commit/abort mutual exclusion" `Quick
+            test_commit_abort_mutual_exclusion;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "expiry aborts unprepared unilaterally" `Quick
+            test_lease_expiry_unilateral_abort;
+          Alcotest.test_case "expiry sends prepared in doubt" `Quick
+            test_lease_expiry_prepared_goes_in_doubt;
         ] );
       ( "suite",
         [
@@ -322,12 +623,20 @@ let () =
             test_suite_two_phase_crash_between_phases;
           Alcotest.test_case "prepare failure aborts all" `Quick
             test_suite_two_phase_prepare_failure_aborts_all;
-          Alcotest.test_case "recovery veto beats late commit" `Quick
-            test_registry_race_recovery_vetoes_commit;
+          Alcotest.test_case "recovery resolution beats late commit" `Quick
+            test_recovery_race_resolution_beats_late_commit;
+          Alcotest.test_case "peer resolution is final" `Quick test_peer_resolution_is_final;
           Alcotest.test_case "prepare refused after mid-txn crash" `Quick
             test_prepare_refused_after_mid_txn_crash;
           Alcotest.test_case "mid-txn crash aborts atomically" `Quick
             test_suite_mid_txn_crash_aborts_atomically;
-          Alcotest.test_case "sim world end to end" `Quick test_sim_world_two_phase_end_to_end;
         ] );
+      ( "sim",
+        [
+          Alcotest.test_case "sim world end to end" `Quick test_sim_world_two_phase_end_to_end;
+          Alcotest.test_case "in-doubt resolves by rpc" `Quick
+            test_sim_world_in_doubt_resolves_by_rpc;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest qcheck_never_commit_and_abort ] );
     ]
