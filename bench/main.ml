@@ -151,13 +151,24 @@ let bench_rep_insert_coalesce_leased () =
 
 (* --- whole-suite operations --------------------------------------------------------- *)
 
-let make_suite ?two_phase ~config ~entries () =
+let make_suite ?two_phase ?batching ?group_commit ~config ~entries () =
   let open Repdir_rep in
   let open Repdir_core in
   let n = Config.n_reps config in
-  let reps = Array.init n (fun i -> Rep.create ~name:(Printf.sprintf "r%d" i) ()) in
+  let reps =
+    Array.init n (fun i ->
+        let name = Printf.sprintf "r%d" i in
+        match group_commit with
+        | None -> Rep.create ~name ()
+        | Some w ->
+            (* Synchronous timers: the group-commit window fires immediately,
+               so the serial benchmark exercises the leader path (arm, fire,
+               sync, settle) without blocking on a real clock. *)
+            let timers = { Rep.now = (fun () -> 0.0); after = (fun _ k -> k ()) } in
+            Rep.create ~timers ~group_commit:w ~name ())
+  in
   let suite =
-    Suite.create ?two_phase ~config ~transport:(Transport.local reps)
+    Suite.create ?two_phase ?batching ~config ~transport:(Transport.local reps)
       ~txns:(Repdir_txn.Txn.Manager.create ())
       ()
   in
@@ -177,9 +188,9 @@ let bench_suite_lookup ~config =
     (Staged.stage (fun () ->
          ignore (Suite.lookup suite (Key.of_int (Repdir_util.Rng.int rng 100)))))
 
-let bench_suite_insert_delete ?two_phase ?(tag = "") ~config () =
+let bench_suite_insert_delete ?two_phase ?batching ?group_commit ?(tag = "") ~config () =
   let open Repdir_core in
-  let suite = make_suite ?two_phase ~config ~entries:100 () in
+  let suite = make_suite ?two_phase ?batching ?group_commit ~config ~entries:100 () in
   let i = ref 0 in
   Test.make
     ~name:(Printf.sprintf "suite(%s)/insert+delete%s" (Config.to_string config) tag)
@@ -327,7 +338,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_bench_json ~path rows =
+let write_bench_json ~path ?(counters = []) rows =
   let oc = open_out path in
   let num ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns in
   let ops ns =
@@ -343,13 +354,97 @@ let write_bench_json ~path rows =
         (json_escape r.name) (num r.ns) (ops r.ns) (num r.p50) (num r.p90) (num r.p99)
         (if i = last then "" else ","))
     rows;
+  output_string oc "  ],\n  \"counters\": [\n";
+  let last = List.length counters - 1 in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"value\": %.2f}%s\n" (json_escape name) v
+        (if i = last then "" else ","))
+    counters;
   output_string oc "  ]\n}\n";
   close_out oc;
-  Printf.printf "\nwrote %s (%d benchmarks)\n%!" path (List.length rows)
+  Printf.printf "\nwrote %s (%d benchmarks, %d counters)\n%!" path (List.length rows)
+    (List.length counters)
 
 let section title = Printf.printf "\n==== %s ====\n\n%!" title
 
-let () =
+(* --- messages-per-op counters (measured, not timed) ----------------------------- *)
+
+(* True wire messages per operation at 3-2-2 under two-phase commit,
+   unbatched vs batched: the before/after for the batching layer, recorded
+   next to the timing rows so one BENCH file carries both. *)
+let message_counters ?(ops = 2_000) () =
+  let per batching =
+    Repdir_harness.Figures.messages_per_op ~ops ~two_phase:true ~batching ~config:cfg_322 ()
+  in
+  let unbatched = per false in
+  let batched = per true in
+  List.concat_map
+    (fun (kind, m) ->
+      [
+        (Printf.sprintf "messages(3-2-2)/%s+2pc" kind, m);
+        (Printf.sprintf "messages(3-2-2)/%s+2pc+batch" kind, List.assoc kind batched);
+      ])
+    unbatched
+
+let print_counters counters =
+  let table = Repdir_util.Table.create ~header:[ "counter"; "msgs/op" ] () in
+  List.iter
+    (fun (n, v) -> Repdir_util.Table.add_row table [ n; Printf.sprintf "%.2f" v ])
+    counters;
+  Repdir_util.Table.print table
+
+(* --- CI smoke -------------------------------------------------------------------- *)
+
+(* Fast regression gate: the batched two-phase path must not be slower than
+   the unbatched one, and batching must cut true messages per insert and per
+   delete at 3-2-2 by at least half. *)
+let smoke () =
+  section "Bench smoke";
+  let rows =
+    run_benchmarks ~quota:0.3
+      [
+        bench_suite_insert_delete ~two_phase:true ~tag:"+2pc" ~config:cfg_322 ();
+        bench_suite_insert_delete ~two_phase:true ~batching:true ~tag:"+2pc+batch"
+          ~config:cfg_322 ();
+      ]
+  in
+  let ns name =
+    match List.find_opt (fun r -> r.name = "repdir " ^ name) rows with
+    | Some r -> r.ns
+    | None -> nan
+  in
+  let unbatched_ns = ns "suite(3-2-2)/insert+delete+2pc" in
+  let batched_ns = ns "suite(3-2-2)/insert+delete+2pc+batch" in
+  let counters = message_counters () in
+  let v name = List.assoc name counters in
+  let ratio kind =
+    v (Printf.sprintf "messages(3-2-2)/%s+2pc" kind)
+    /. v (Printf.sprintf "messages(3-2-2)/%s+2pc+batch" kind)
+  in
+  Printf.printf "\n2pc insert+delete ns/op: unbatched %.0f, batched %.0f\n" unbatched_ns
+    batched_ns;
+  Printf.printf "msgs/op reduction: insert %.2fx, delete %.2fx\n%!" (ratio "insert")
+    (ratio "delete");
+  let failures = ref [] in
+  let check cond msg = if not cond then failures := msg :: !failures in
+  check
+    ((not (Float.is_nan unbatched_ns))
+    && (not (Float.is_nan batched_ns))
+    && batched_ns <= unbatched_ns *. 1.10)
+    (Printf.sprintf "batched 2PC slower than unbatched: %.0f ns vs %.0f ns" batched_ns
+       unbatched_ns);
+  check (ratio "insert" >= 2.0)
+    (Printf.sprintf "insert msgs/op reduction %.2fx < 2x" (ratio "insert"));
+  check (ratio "delete" >= 2.0)
+    (Printf.sprintf "delete msgs/op reduction %.2fx < 2x" (ratio "delete"));
+  match !failures with
+  | [] -> Printf.printf "smoke OK\n%!"
+  | fs ->
+      List.iter (fun m -> Printf.eprintf "smoke FAIL: %s\n%!" m) fs;
+      exit 1
+
+let full () =
   section "Micro-benchmarks (bechamel, time per run)";
   let micro_rows =
     run_benchmarks ~quota:0.25
@@ -371,6 +466,13 @@ let () =
            workload: the 2PC delta is the prepare round + the coordinator's
            forced decision log write. *)
         bench_suite_insert_delete ~two_phase:true ~tag:"+2pc" ~config:cfg_322 ();
+        (* The batching A/B: one message per representative per round, the
+           prepare piggybacked on the final work round, commit notices riding
+           on later calls — and, in the last row, WAL group commit on top. *)
+        bench_suite_insert_delete ~two_phase:true ~batching:true ~tag:"+2pc+batch"
+          ~config:cfg_322 ();
+        bench_suite_insert_delete ~two_phase:true ~batching:true ~group_commit:0.001
+          ~tag:"+2pc+groupcommit" ~config:cfg_322 ();
         bench_suite_lookup ~config:(Config.simple ~n:5 ~r:3 ~w:3);
         bench_suite_insert_delete ~config:(Config.simple ~n:5 ~r:3 ~w:3) ();
         bench_file_voting_modify ();
@@ -380,7 +482,10 @@ let () =
 
   section "Per-table pipeline benchmarks (scaled-down, bechamel)";
   let table_rows = run_benchmarks ~quota:0.5 bench_tables in
-  write_bench_json ~path:"BENCH_pr3.json" (micro_rows @ table_rows);
+  section "Messages per operation (3-2-2, 2pc, unbatched vs batched)";
+  let counters = message_counters () in
+  print_counters counters;
+  write_bench_json ~path:"BENCH_pr4.json" ~counters (micro_rows @ table_rows);
 
   (* ---- full reproductions, paper parameters ---- *)
   let module F = Repdir_harness.Figures in
@@ -396,7 +501,7 @@ let () =
   section "Availability — exact read/write quorum availability";
   Repdir_util.Table.print (F.availability ());
 
-  section "Messages — representative calls per operation";
+  section "Messages — calls and true wire messages per operation";
   Repdir_util.Table.print (F.messages ());
 
   section "Concurrency (§2) — gap-versioned vs single-version, 3-2-2";
@@ -427,3 +532,5 @@ let () =
   Repdir_util.Table.print (Repdir_harness.Figures.batching ());
 
   print_newline ()
+
+let () = if Array.exists (( = ) "--smoke") Sys.argv then smoke () else full ()

@@ -80,11 +80,11 @@ let availability_cmd =
 
 let messages_cmd =
   let run seed ops entries =
-    print_endline "Representative calls per suite operation (avg)";
+    print_endline "Representative calls and wire messages per suite operation (avg)";
     print_table (Figures.messages ~seed ~ops ~entries ())
   in
   Cmd.v
-    (Cmd.info "messages" ~doc:"Per-operation representative-call costs")
+    (Cmd.info "messages" ~doc:"Per-operation call and message costs")
     Term.(const run $ seed_t $ ops_t 4_000 $ entries_t)
 
 let concurrency_cmd =

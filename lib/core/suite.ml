@@ -16,8 +16,16 @@ module Int_set = Set.Make (Int)
    participant that restarts mid-transaction has lost the transaction's
    volatile state — locks, undo records, possibly unforced log records — so
    any evidence of a restart (a changed incarnation) must fail the
-   transaction rather than let a half-remembered participant vote. *)
-type session = { mutable reps : Int_set.t; incarnations : (int, int) Hashtbl.t }
+   transaction rather than let a half-remembered participant vote.
+   [prepared] are members whose two-phase-commit vote was already collected
+   by a piggybacked [B_prepare]; [finished] are members released in-round by
+   [B_finish_readonly] — both are skipped by the termination rounds. *)
+type session = {
+  mutable reps : Int_set.t;
+  mutable prepared : Int_set.t;
+  mutable finished : Int_set.t;
+  incarnations : (int, int) Hashtbl.t;
+}
 
 type t = {
   config : Config.t;
@@ -30,10 +38,20 @@ type t = {
   coordinator : Coordinator.t;
   batch_depth : int;
   sync : Repdir_sync.Sync.t option;
+  batching : bool;
+  timers : Rep.timers option;
+  notice_window : float;
+  (* Deferred termination notices, per representative, oldest first. They
+     piggyback on the next message to that representative (see [call]); the
+     flush timer is the fallback for idle periods, and the representatives'
+     lease/termination protocol is the backstop if even that is lost. *)
+  pending : (int, Rep.notice list ref) Hashtbl.t;
+  mutable flush_armed : bool;
 }
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
-    ?coordinator ?(batch_depth = 1) ?sync ~config ~transport ~txns () =
+    ?coordinator ?(batch_depth = 1) ?sync ?(batching = false) ?timers
+    ?(notice_window = 5.0) ~config ~transport ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
@@ -51,12 +69,77 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     coordinator;
     batch_depth;
     sync;
+    batching;
+    timers;
+    notice_window;
+    pending = Hashtbl.create 8;
+    flush_armed = false;
   }
 
 let config t = t.config
 let transport t = t.transport
 let coordinator t = t.coordinator
+let batching t = t.batching
 let sync t = t.sync
+
+(* --- deferred termination notices --------------------------------------------- *)
+
+let enqueue_notice t i n =
+  let l =
+    match Hashtbl.find_opt t.pending i with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.pending i l;
+        l
+  in
+  l := !l @ [ n ]
+
+let take_notices t i =
+  match Hashtbl.find_opt t.pending i with
+  | Some l when !l <> [] ->
+      let ns = !l in
+      l := [];
+      ns
+  | _ -> []
+
+let requeue_notices t i ns =
+  if ns <> [] then
+    match Hashtbl.find_opt t.pending i with
+    | Some l -> l := ns @ !l
+    | None -> Hashtbl.replace t.pending i (ref ns)
+
+let pending_notice_count t =
+  Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.pending 0
+
+(* Deliver every queued notice in a dedicated message per representative.
+   Failures re-queue: notices are idempotent (duplicate commit/abort
+   delivery is a no-op) and the termination protocol settles any
+   transaction whose notice never lands. *)
+let flush_notices t =
+  Hashtbl.iter
+    (fun i l ->
+      match !l with
+      | [] -> ()
+      | ns -> (
+          l := [];
+          match Transport.send t.transport i (fun rep -> Rep.deliver_notices rep ns) with
+          | Ok () -> ()
+          | Error _ -> requeue_notices t i ns
+          | exception _ -> requeue_notices t i ns))
+    t.pending
+
+let rec arm_flush t =
+  match t.timers with
+  | Some timers when (not t.flush_armed) && t.notice_window > 0. ->
+      t.flush_armed <- true;
+      timers.Rep.after t.notice_window (fun () ->
+          t.flush_armed <- false;
+          flush_notices t;
+          (* A failed delivery re-queues; keep the timer alive until the
+             queues drain. *)
+          if pending_notice_count t > 0 then arm_flush t)
+  | _ -> ()
 let sync_counters t = Option.map Repdir_sync.Sync.counters t.sync
 
 let set_sync_enabled t on =
@@ -77,24 +160,37 @@ type delete_report = {
 
 (* An operation context carries the transaction and the set of
    representatives found unreachable during this operation; those are
-   excluded from quorum re-selection when the operation body is re-run. *)
-type ctx = { txn : Txn.id; mutable excluded : Int_set.t; suite : t }
+   excluded from quorum re-selection when the operation body is re-run.
+   [final] marks a single-operation implicit transaction: the operation's
+   last write round is the transaction's last round, so the batched suite
+   may piggyback the two-phase-commit prepare (or a read-only finish) on
+   it. *)
+type ctx = { txn : Txn.id; mutable excluded : Int_set.t; suite : t; final : bool }
 
 let fanout ctx f arr = ctx.suite.transport.Transport.fanout.Transport.map f arr
 
 let restarted i =
   Unavailable (Printf.sprintf "representative %d restarted mid-transaction" i)
 
+let session_of ctx =
+  let t = ctx.suite in
+  match Hashtbl.find_opt t.touched ctx.txn with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          reps = Int_set.empty;
+          prepared = Int_set.empty;
+          finished = Int_set.empty;
+          incarnations = Hashtbl.create 8;
+        }
+      in
+      Hashtbl.replace t.touched ctx.txn s;
+      s
+
 let call ctx i f =
   let t = ctx.suite in
-  let s =
-    match Hashtbl.find_opt t.touched ctx.txn with
-    | Some s -> s
-    | None ->
-        let s = { reps = Int_set.empty; incarnations = Hashtbl.create 8 } in
-        Hashtbl.replace t.touched ctx.txn s;
-        s
-  in
+  let s = session_of ctx in
   s.reps <- Int_set.add i s.reps;
   let seen = t.transport.Transport.incarnation i in
   (match Hashtbl.find_opt s.incarnations i with
@@ -106,6 +202,19 @@ let call ctx i f =
     | Some first when t.transport.Transport.incarnation i <> first -> raise (restarted i)
     | _ -> ()
   in
+  (* Ride any deferred termination notices for this representative on the
+     message we are sending anyway (commit pipelining): they are applied
+     server-side before the operation, so locks they release are available
+     to it. A transport failure re-queues them — delivery is idempotent, so
+     over-delivering on an ambiguous failure is safe. *)
+  let notices = take_notices t i in
+  let f =
+    if notices = [] then f
+    else
+      fun rep ->
+      Rep.deliver_notices rep notices;
+      f rep
+  in
   match Transport.call_exn t.transport i f with
   | r ->
       (* The participant may have restarted while the call was in flight: an
@@ -113,12 +222,20 @@ let call ctx i f =
          incarnation that knows nothing of the transaction's earlier ops. *)
       check_same_incarnation ();
       r
+  | exception (Transport.Rpc_failed _ as e) ->
+      requeue_notices t i notices;
+      check_same_incarnation ();
+      raise e
   | exception e ->
       (* Same window: a re-execution against post-recovery state can fail in
          arbitrary ways (missing endpoints, spurious lock conflicts). The
          restart, not the symptom, is the real error. *)
       check_same_incarnation ();
       raise e
+
+(* One message, many representative ops (the §4 observation that calls
+   "batch into few messages"). *)
+let exec ctx i ops = call ctx i (fun rep -> Rep.execute rep ~txn:ctx.txn ops)
 
 let available ctx i =
   ctx.suite.transport.Transport.is_up i && not (Int_set.mem i ctx.excluded)
@@ -131,9 +248,19 @@ let collect_read_quorum ctx =
   | None -> raise (Unavailable "cannot collect a read quorum")
 
 let collect_write_quorum ctx =
+  let t = ctx.suite in
+  (* Batched mode prefers members the transaction already touched: the
+     piggybacked prepare then covers the whole participant set and the
+     read-only members need no termination round of their own. *)
+  let prefer =
+    if t.batching then
+      match Hashtbl.find_opt t.touched ctx.txn with
+      | Some s -> fun i -> Int_set.mem i s.reps
+      | None -> fun _ -> false
+    else fun _ -> false
+  in
   match
-    Picker.write_quorum ctx.suite.picker ctx.suite.rng ctx.suite.config
-      ~available:(available ctx)
+    Picker.write_quorum ~prefer t.picker t.rng t.config ~available:(available ctx)
   with
   | Some q -> q
   | None -> raise (Unavailable "cannot collect a write quorum")
@@ -292,8 +419,42 @@ let real_successor ctx x =
 
 (* --- operation bodies ----------------------------------------------------------- *)
 
+(* Batched DirSuiteLookup: the read and — for a single-operation transaction
+   — the read-only release travel in one message per quorum member. A member
+   that grants the release ([R_finished true]) is done with the transaction;
+   refusals simply fall back to the normal termination round. *)
+let suite_lookup_finishing ctx bound =
+  let quorum = collect_read_quorum ctx in
+  let ops = [ Rep.B_lookup bound; Rep.B_finish_readonly ] in
+  let replies =
+    fanout ctx
+      (fun i ->
+        match exec ctx i ops with
+        | [ Rep.R_lookup l; Rep.R_finished fin ] ->
+            if fin then begin
+              let s = session_of ctx in
+              s.finished <- Int_set.add i s.finished
+            end;
+            l
+        | _ -> assert false)
+      quorum
+  in
+  Array.fold_left
+    (fun ((_, bestv, _) as best) reply ->
+      let ((_, v, _) as candidate) =
+        match reply with
+        | Gi.Present { version; value } -> (true, version, value)
+        | Gi.Absent { gap_version } -> (false, gap_version, "")
+      in
+      if v > bestv then candidate else best)
+    (false, Version.lowest - 1, "")
+    replies
+
 let do_lookup ctx key =
-  let isin, v, value = suite_lookup_bound ctx (Bound.Key key) in
+  let isin, v, value =
+    if ctx.suite.batching && ctx.final then suite_lookup_finishing ctx (Bound.Key key)
+    else suite_lookup_bound ctx (Bound.Key key)
+  in
   if isin then Some (v, value) else None
 
 (* DirSuiteInsert / DirSuiteUpdate (Figure 9).
@@ -319,6 +480,30 @@ let do_write ctx memo key value ~must_exist =
   in
   match decide () with
   | Error e -> Error e
+  | Ok ver' when ctx.suite.batching ->
+      (* The write round is this operation's last; for an implicit
+         transaction under two-phase commit, piggyback the prepare on it
+         (last-round optimization) so the explicit prepare round disappears.
+         A piggybacked vote that fails raises out of the batch and aborts
+         the transaction, exactly as a failed explicit prepare would. *)
+      let t = ctx.suite in
+      let quorum = collect_write_quorum ctx in
+      let piggyback = ctx.final && t.two_phase in
+      let ops =
+        Rep.B_insert (key, ver', value)
+        :: (if piggyback then [ Rep.B_prepare (Coordinator.id t.coordinator) ] else [])
+      in
+      ignore
+        (fanout ctx
+           (fun i ->
+             let rs = exec ctx i ops in
+             if piggyback then begin
+               let s = session_of ctx in
+               s.prepared <- Int_set.add i s.prepared
+             end;
+             rs)
+           quorum);
+      Ok ()
   | Ok ver' ->
       let quorum = collect_write_quorum ctx in
       ignore
@@ -327,8 +512,171 @@ let do_write ctx memo key value ~must_exist =
            quorum);
       Ok ()
 
+(* Fused neighbour walks for the batched delete: round 1 sends the
+   successor probe, the predecessor probe, and the victim lookup in one
+   message per read-quorum member; each later round carries a walking
+   side's candidate resolution (is it current?) together with a speculative
+   neighbour probe from it, so skipping a ghost costs one round instead of
+   the unbatched walk's probe-round-then-lookup-round pair. The speculative
+   probe's replies are discarded — in particular not folded into the
+   dominating version — when the candidate turns out current, which is
+   exactly the point where the unbatched walk stops probing. Sentinel
+   candidates resolve locally: they are present at every representative
+   with the lowest version by construction, so their quorum lookup is
+   already known. *)
+let delete_walk ctx x =
+  let quorum = collect_read_quorum ctx in
+  let maxv = ref Version.lowest in
+  let best_lookup =
+    List.fold_left
+      (fun ((_, bestv, _) as best) reply ->
+        let ((_, v, _) as candidate) =
+          match reply with
+          | Gi.Present { version; value } -> (true, version, value)
+          | Gi.Absent { gap_version } -> (false, gap_version, "")
+        in
+        if v > bestv then candidate else best)
+      (false, Version.lowest - 1, "")
+  in
+  let advance ~towards ~pick neighbours =
+    let cand =
+      List.fold_left
+        (fun acc (n : Gi.neighbor) ->
+          maxv := Version.max n.Gi.gap_version !maxv;
+          pick acc n.Gi.key)
+        towards neighbours
+    in
+    match cand with
+    | Bound.Key k -> `Walk k
+    | (Bound.Low | Bound.High) as b -> `Done (b, "", Version.lowest)
+  in
+  let first =
+    fanout ctx
+      (fun i ->
+        match exec ctx i [ Rep.B_successor x; Rep.B_predecessor x; Rep.B_lookup x ] with
+        | [ Rep.R_neighbor s; Rep.R_neighbor p; Rep.R_lookup l ] -> (s, p, l)
+        | _ -> assert false)
+      quorum
+  in
+  let s0 =
+    advance ~towards:Bound.High ~pick:Bound.min
+      (Array.to_list (Array.map (fun (s, _, _) -> s) first))
+  in
+  let p0 =
+    advance ~towards:Bound.Low ~pick:Bound.max
+      (Array.to_list (Array.map (fun (_, p, _) -> p) first))
+  in
+  let isin, vx, _ = best_lookup (Array.to_list (Array.map (fun (_, _, l) -> l) first)) in
+  let rec resolve s_state p_state =
+    match (s_state, p_state) with
+    | `Done s, `Done p -> (s, p)
+    | _ ->
+        let side_ops probe = function
+          | `Walk k -> [ Rep.B_lookup (Bound.Key k); probe (Bound.Key k) ]
+          | `Done _ -> []
+        in
+        let s_ops = side_ops (fun b -> Rep.B_successor b) s_state in
+        let p_ops = side_ops (fun b -> Rep.B_predecessor b) p_state in
+        let parts =
+          fanout ctx
+            (fun i ->
+              match (s_state, p_state, exec ctx i (s_ops @ p_ops)) with
+              | ( `Walk _,
+                  `Walk _,
+                  [ Rep.R_lookup ls; Rep.R_neighbor ns; Rep.R_lookup lp; Rep.R_neighbor np ]
+                ) ->
+                  ((Some ls, Some ns), (Some lp, Some np))
+              | `Walk _, `Done _, [ Rep.R_lookup ls; Rep.R_neighbor ns ] ->
+                  ((Some ls, Some ns), (None, None))
+              | `Done _, `Walk _, [ Rep.R_lookup lp; Rep.R_neighbor np ] ->
+                  ((None, None), (Some lp, Some np))
+              | _ -> assert false)
+            quorum
+        in
+        let step state ~towards ~pick proj =
+          match state with
+          | `Done _ as d -> d
+          | `Walk k ->
+              let collect part = Array.to_list parts |> List.filter_map (fun p -> part (proj p)) in
+              let isin, ver, value = best_lookup (collect fst) in
+              if isin then `Done (Bound.Key k, value, ver)
+              else advance ~towards ~pick (collect snd)
+        in
+        resolve
+          (step s_state ~towards:Bound.High ~pick:Bound.min fst)
+          (step p_state ~towards:Bound.Low ~pick:Bound.max snd)
+  in
+  let s, p = resolve s0 p0 in
+  (s, p, isin, vx, !maxv)
+
+(* Batched DirSuiteDelete: the fused walks above already computed every
+   input of the final round — the coalesce version [Version.next (max
+   walk_ver vx)] needs nothing from the repair round — so the per-member
+   existence checks + repair copies, the victim-presence probe, the
+   coalesce, and (for an implicit two-phase transaction) the prepare all
+   collapse into ONE message per write-quorum member. Member-local op order
+   matches the unbatched rounds (repairs before coalesce), and members carry
+   no cross-member data dependencies, so the interleaving is equivalent. *)
+let do_delete_batched ctx key =
+  let t = ctx.suite in
+  let x = Bound.Key key in
+  let (succ, svalue, sver), (pred, pvalue, pver), isin, vx, walk_ver = delete_walk ctx x in
+  let ver = Version.max walk_ver vx in
+  (* Collected after the walks so the prefer-touched policy can aim the
+     write quorum at members the transaction already visited. *)
+  let quorum = collect_write_quorum ctx in
+  let piggyback = ctx.final && t.two_phase in
+  let repair_of = function
+    | Bound.Key k, v, value -> [ Rep.B_insert_if_absent (k, v, value) ]
+    | (Bound.Low | Bound.High), _, _ -> []
+  in
+  let ops =
+    repair_of (succ, sver, svalue)
+    @ repair_of (pred, pver, pvalue)
+    @ [ Rep.B_lookup x; Rep.B_coalesce (pred, succ, Version.next ver) ]
+    @ (if piggyback then [ Rep.B_prepare (Coordinator.id t.coordinator) ] else [])
+  in
+  let per_member =
+    fanout ctx
+      (fun i ->
+        let rs = exec ctx i ops in
+        if piggyback then begin
+          let s = session_of ctx in
+          s.prepared <- Int_set.add i s.prepared
+        end;
+        let repairs = ref 0 and has_x = ref false and removed = ref 0 in
+        List.iter2
+          (fun op r ->
+            match (op, r) with
+            | Rep.B_insert_if_absent _, Rep.R_inserted inserted ->
+                if inserted then incr repairs
+            | Rep.B_lookup _, Rep.R_lookup (Gi.Present _) -> has_x := true
+            | Rep.B_lookup _, Rep.R_lookup (Gi.Absent _) -> ()
+            | Rep.B_coalesce _, Rep.R_removed n -> removed := n
+            | Rep.B_prepare _, Rep.R_unit -> ()
+            | _ -> assert false)
+          ops rs;
+        (i, !repairs, !has_x, !removed))
+      quorum
+  in
+  let repair_inserts = ref 0 and present_x = ref 0 and total_removed = ref 0 in
+  Array.iter
+    (fun (_, repairs, has_x, removed) ->
+      repair_inserts := !repair_inserts + repairs;
+      if has_x then incr present_x;
+      total_removed := !total_removed + removed)
+    per_member;
+  {
+    was_present = isin;
+    removed_per_rep = Array.map (fun (i, _, _, removed) -> (i, removed)) per_member;
+    repair_inserts = !repair_inserts;
+    ghosts_deleted = !total_removed - !present_x;
+    pred;
+    succ;
+  }
+
 (* DirSuiteDelete (Figure 13). *)
-let do_delete ctx key =
+let do_delete_unbatched ctx key =
   let x = Bound.Key key in
   let quorum = collect_write_quorum ctx in
   let succ, svalue, sver, ver1 = real_successor ctx key in
@@ -391,6 +739,9 @@ let do_delete ctx key =
     succ;
   }
 
+let do_delete ctx key =
+  if ctx.suite.batching then do_delete_batched ctx key else do_delete_unbatched ctx key
+
 (* --- transaction plumbing --------------------------------------------------------- *)
 
 let abort_touched t txn =
@@ -399,31 +750,34 @@ let abort_touched t txn =
   | Some s ->
       Int_set.iter
         (fun i ->
-          match t.transport.Transport.call i (fun rep -> Rep.abort rep ~txn) with
+          match Transport.send t.transport i (fun rep -> Rep.abort rep ~txn) with
           | Ok () | Error _ -> ()
           | exception Txn.Abort _ ->
               (* The representative's termination protocol already settled
                  this transaction the other way; nothing left to do here. *)
               ())
-        s.reps;
+        (Int_set.diff s.reps s.finished);
       Hashtbl.remove t.touched txn
 
 (* Single-phase commit: best effort. A representative that crashed after
    doing work for us has already lost its volatile state; its WAL lacks our
    commit record, so recovery discards the work. The quorum intersection
    property keeps the suite correct as long as a write quorum's worth of
-   commits survive — two-phase commit (below) closes even that window. *)
-let commit_one_phase t txn set =
+   commits survive — two-phase commit (below) closes even that window.
+   Single-phase commits are never deferred as notices: an unprepared
+   participant's lease would unilaterally *abort* work the client was
+   already told committed. *)
+let commit_one_phase t txn s =
   Int_set.iter
     (fun i ->
-      match t.transport.Transport.call i (fun rep -> Rep.commit rep ~txn) with
+      match Transport.send t.transport i (fun rep -> Rep.commit rep ~txn) with
       | Ok () | Error _ -> ()
       | exception Txn.Abort _ ->
           (* The representative aborted unilaterally (lease expiry) before
              the commit arrived; single-phase commit is best effort, and
              anti-entropy repairs the divergence. *)
           ())
-    set;
+    (Int_set.diff s.reps s.finished);
   Hashtbl.remove t.touched txn
 
 (* Presumed-abort two-phase commit. The client is the coordinator: it runs an
@@ -444,12 +798,35 @@ let commit_two_phase t txn s =
     | None -> true
   in
   let coord = Coordinator.id t.coordinator in
+  (* Members released in-round by a read-only finish are out of the
+     protocol; members whose vote was piggybacked on their final work round
+     already voted yes (a refused piggybacked vote raised out of the batch
+     and aborted the transaction before we got here). *)
+  let participants = Int_set.diff s.reps s.finished in
+  let unprepared = Int_set.diff participants s.prepared in
+  (* Batched mode: a participant the transaction only read at can be
+     released with a single finish message instead of a prepare+commit
+     pair. The representative is authoritative — a refusal (it holds writes
+     or a binding vote) falls through to the normal prepare below. *)
+  let unprepared =
+    if not t.batching then unprepared
+    else
+      Int_set.filter
+        (fun i ->
+          match Transport.send t.transport i (fun rep -> Rep.finish_readonly rep ~txn) with
+          | Ok true ->
+              s.finished <- Int_set.add i s.finished;
+              false
+          | Ok false | Error _ -> true
+          | exception _ -> true)
+        unprepared
+  in
   let all_prepared =
     Int_set.for_all
       (fun i ->
         same_incarnation i
         &&
-        match t.transport.Transport.call i (fun rep -> Rep.prepare rep ~txn ~coord) with
+        match Transport.send t.transport i (fun rep -> Rep.prepare rep ~txn ~coord) with
         | Ok () -> same_incarnation i
         | Error _ -> false
         | exception Txn.Abort _ ->
@@ -457,41 +834,58 @@ let commit_two_phase t txn s =
                transaction's effects in a crash, or already aborted it
                unilaterally when its lease expired). *)
             false)
-      s.reps
+      unprepared
   in
-  (* First-writer-wins against the termination protocol: an in-doubt
-     participant's resolution query may have already presumed abort, in
-     which case our commit decision loses and the round below aborts. *)
-  let decision =
-    Coordinator.decide t.coordinator txn
-      (if all_prepared then Coordinator.Committed else Coordinator.Aborted)
-  in
-  match decision with
-  | Coordinator.Committed ->
-      Int_set.iter
-        (fun i ->
-          match t.transport.Transport.call i (fun rep -> Rep.commit rep ~txn) with
-          | Ok () | Error _ ->
-              (* A participant that crashed here is in doubt; its recovery
-                 re-locks our effects and resolves them by querying this
-                 coordinator's decision log. *)
-              ()
-          | exception Txn.Abort _ ->
-              (* Impossible for a prepared participant (it cannot abort once
-                 its vote is cast unless we decide so); kept total for
-                 duplicate-delivery races. *)
-              ())
-        s.reps;
-      Hashtbl.remove t.touched txn
-  | Coordinator.Aborted ->
-      abort_touched t txn;
-      raise (Unavailable "transaction aborted during two-phase commit")
+  let participants = Int_set.diff s.reps s.finished in
+  if Int_set.is_empty participants then
+    (* Fully read-only and fully released in-round: there is nothing to
+       decide and nobody who could ever go in doubt — skip the forced
+       decision record entirely. *)
+    Hashtbl.remove t.touched txn
+  else
+    (* First-writer-wins against the termination protocol: an in-doubt
+       participant's resolution query may have already presumed abort, in
+       which case our commit decision loses and the round below aborts. *)
+    let decision =
+      Coordinator.decide t.coordinator txn
+        (if all_prepared then Coordinator.Committed else Coordinator.Aborted)
+    in
+    match decision with
+    | Coordinator.Committed ->
+        if t.batching then begin
+          (* Commit pipelining: every participant holds a durable yes vote
+             bound to this coordinator, so the commit notices can ride on
+             later messages (or the flush timer). Until one lands, the
+             participant's lease expiry resolves the transaction through
+             this coordinator's decision log — same verdict, just slower. *)
+          Int_set.iter (fun i -> enqueue_notice t i (Rep.N_commit txn)) participants;
+          arm_flush t
+        end
+        else
+          Int_set.iter
+            (fun i ->
+              match Transport.send t.transport i (fun rep -> Rep.commit rep ~txn) with
+              | Ok () | Error _ ->
+                  (* A participant that crashed here is in doubt; its recovery
+                     re-locks our effects and resolves them by querying this
+                     coordinator's decision log. *)
+                  ()
+              | exception Txn.Abort _ ->
+                  (* Impossible for a prepared participant (it cannot abort once
+                     its vote is cast unless we decide so); kept total for
+                     duplicate-delivery races. *)
+                  ())
+            participants;
+        Hashtbl.remove t.touched txn
+    | Coordinator.Aborted ->
+        abort_touched t txn;
+        raise (Unavailable "transaction aborted during two-phase commit")
 
 let commit_touched t txn =
   match Hashtbl.find_opt t.touched txn with
   | None -> ()
   | Some s ->
-      if t.two_phase then commit_two_phase t txn s else commit_one_phase t txn s.reps
+      if t.two_phase then commit_two_phase t txn s else commit_one_phase t txn s
 
 let with_txn t f =
   let txn = Txn.Manager.begin_txn t.txns in
@@ -534,8 +928,8 @@ let with_retries ?(attempts = 5) ?(backoff = 1.0) ?(sleep = fun _ -> ()) ?rng f 
    when the transport fails mid-flight. Representative operations are
    idempotent for fixed arguments, so a re-run only repeats work. *)
 let run_op t ?txn body =
-  let attempt txn =
-    let ctx = { txn; excluded = Int_set.empty; suite = t } in
+  let attempt ~final txn =
+    let ctx = { txn; excluded = Int_set.empty; suite = t; final } in
     let rec go () =
       try body ctx
       with Transport.Rpc_failed (i, _) ->
@@ -544,7 +938,12 @@ let run_op t ?txn body =
     in
     go ()
   in
-  match txn with Some txn -> attempt txn | None -> with_txn t attempt
+  (* Only an implicit single-operation transaction has a known final round;
+     inside an explicit [with_txn] the client may keep operating, so nothing
+     can be piggybacked on this operation. *)
+  match txn with
+  | Some txn -> attempt ~final:false txn
+  | None -> with_txn t (attempt ~final:true)
 
 (* --- public operations --------------------------------------------------------------- *)
 

@@ -40,6 +40,9 @@ val create :
   ?coordinator:Coordinator.t ->
   ?batch_depth:int ->
   ?sync:Repdir_sync.Sync.t ->
+  ?batching:bool ->
+  ?timers:Repdir_rep.Rep.timers ->
+  ?notice_window:float ->
   config:Config.t ->
   transport:Transport.t ->
   txns:Txn.Manager.t ->
@@ -68,13 +71,43 @@ val create :
     [sync] attaches the background anti-entropy actor reconciling this
     suite's representatives (see {!Repdir_sync.Sync}); the suite exposes its
     enable switch and traffic counters but the actor runs independently of
-    client operations. *)
+    client operations.
+
+    [batching] (default false — the seed behaviour) turns on per-
+    representative message batching: each round of an operation packs its
+    per-member representative calls into one {!Repdir_rep.Rep.execute}
+    message (e.g. a delete's repair checks + copies + victim probe +
+    coalesce become one message per write-quorum member), write quorums
+    prefer members the transaction already touched, the two-phase-commit
+    prepare of a single-operation transaction is piggybacked on its final
+    work round, a read-only visit is released in-round
+    ({!Repdir_rep.Rep.finish_readonly}), and commit-round deliveries are
+    deferred as notices that ride on later messages. Observationally
+    equivalent to the unbatched suite op by op; only the message count (and
+    the moment locks of *committed* transactions are released) changes.
+    Deferred commit notices rely on the representatives' lease/termination
+    protocol as a backstop, so long-lived deployments should run with leases
+    on; [notice_window] (default 5.0 time units, needs [timers]) bounds how
+    long a notice may wait before a dedicated flush message carries it. *)
 
 val config : t -> Config.t
 val transport : t -> Transport.t
 
 val coordinator : t -> Coordinator.t
 (** The decision log this suite commits against when [two_phase] is on. *)
+
+val batching : t -> bool
+
+val flush_notices : t -> unit
+(** Deliver every queued termination notice now, one message per
+    representative with a non-empty queue. Failed deliveries re-queue
+    (delivery is idempotent). The flush timer calls this automatically;
+    harnesses call it to quiesce before auditing lock or in-doubt
+    residue. *)
+
+val pending_notice_count : t -> int
+(** Termination notices queued but not yet delivered (0 when batching is
+    off or the pipeline has drained). *)
 
 val sync : t -> Repdir_sync.Sync.t option
 

@@ -20,6 +20,7 @@ type t = {
   fanout : fanout;
   mutable rpc_count : int;
   mutable retry_count : int;
+  mutable msg_count : int;
 }
 
 let local reps =
@@ -33,8 +34,14 @@ let local reps =
     fanout = sequential_fanout;
     rpc_count = 0;
     retry_count = 0;
+    msg_count = 0;
   }
 
 let call_exn t i f =
   t.rpc_count <- t.rpc_count + 1;
+  t.msg_count <- t.msg_count + 1;
   match t.call i f with Ok r -> r | Error e -> raise (Rpc_failed (i, e))
+
+let send t i f =
+  t.msg_count <- t.msg_count + 1;
+  t.call i f

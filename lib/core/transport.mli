@@ -47,6 +47,13 @@ type t = {
   mutable retry_count : int;
       (** transport-level retransmissions performed under the calls (0 for
           transports without a retry layer) *)
+  mutable msg_count : int;
+      (** total messages put on the wire: every operation call ({!call_exn}),
+          every termination-round message ({!send}), and — for transports
+          with a retry layer — every retransmission. [rpc_count] keeps its
+          historical meaning (operation calls only), so the §4 tables can
+          report calls and true messages side by side. A batched round is one
+          message however many ops it carries. *)
 }
 
 val local : Rep.t array -> t
@@ -54,4 +61,10 @@ val local : Rep.t array -> t
     representative reports [Down]. *)
 
 val call_exn : t -> int -> (Rep.t -> 'r) -> 'r
-(** Like [call] but raising {!Rpc_failed}, and counting the call. *)
+(** Like [call] but raising {!Rpc_failed}, and counting the call (in both
+    [rpc_count] and [msg_count]). *)
+
+val send : t -> int -> (Rep.t -> 'r) -> ('r, error) result
+(** Like [call] but counted in [msg_count] only: a termination-round message
+    (prepare/commit/abort/notice flush), which the historical [rpc_count]
+    never included. *)

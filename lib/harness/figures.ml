@@ -121,68 +121,108 @@ let availability ?(p_ups = [ 0.5; 0.9; 0.95; 0.99 ]) () =
     figure14_configs;
   table
 
-(* Representative calls per operation type: quantifies "there is no
-   performance penalty ... except on Delete operations" (§1 abstract). *)
+(* Shared traffic runner: drives the §4 workload mix against one suite and
+   reports, per operation kind, the average representative calls and the
+   average true wire messages (calls + batch rounds + deferred notices that
+   had to travel on their own). Deferred commit notices ride on later
+   operations' messages, so with batching the steady-state per-op delta
+   already charges each op for the traffic it induces; a final flush clears
+   the tail so nothing is left unaccounted. *)
+let traffic_run ?(seed = 1983L) ?(ops = 4_000) ?(entries = 100) ?(two_phase = false)
+    ?(batching = false) ~config () =
+  let open Repdir_core in
+  let root = Rng.create seed in
+  let workload_rng = Rng.split root in
+  let n = Config.n_reps config in
+  let reps =
+    Array.init n (fun i -> Repdir_rep.Rep.create ~name:(Printf.sprintf "rep%d" i) ())
+  in
+  let transport = Transport.local reps in
+  let txns = Repdir_txn.Txn.Manager.create () in
+  let suite =
+    Suite.create ~seed:(Rng.int64 root) ~two_phase ~batching ~config ~transport ~txns ()
+  in
+  let workload =
+    Repdir_workload.Workload.create ~lookup_fraction:0.25 ~update_fraction:0.25
+      ~rng:workload_rng ~target_size:entries ()
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Repdir_workload.Workload.Insert (k, v) -> ignore (Suite.insert suite k v)
+      | _ -> assert false)
+    (Repdir_workload.Workload.initial_fill workload);
+  Suite.flush_notices suite;
+  let call_sums = Hashtbl.create 4 in
+  let msg_sums = Hashtbl.create 4 in
+  let counts = Hashtbl.create 4 in
+  let bump tbl kind v =
+    Hashtbl.replace tbl kind (v + Option.value ~default:0 (Hashtbl.find_opt tbl kind))
+  in
+  for _ = 1 to ops do
+    let calls_before = transport.Transport.rpc_count in
+    let msgs_before = transport.Transport.msg_count in
+    let kind =
+      match Repdir_workload.Workload.next workload with
+      | Repdir_workload.Workload.Lookup k ->
+          ignore (Suite.lookup suite k);
+          "lookup"
+      | Repdir_workload.Workload.Insert (k, v) ->
+          ignore (Suite.insert suite k v);
+          "insert"
+      | Repdir_workload.Workload.Update (k, v) ->
+          ignore (Suite.update suite k v);
+          "update"
+      | Repdir_workload.Workload.Delete k ->
+          ignore (Suite.delete suite k);
+          "delete"
+    in
+    bump call_sums kind (transport.Transport.rpc_count - calls_before);
+    bump msg_sums kind (transport.Transport.msg_count - msgs_before);
+    bump counts kind 1
+  done;
+  Suite.flush_notices suite;
+  let avg tbl kind =
+    match (Hashtbl.find_opt tbl kind, Hashtbl.find_opt counts kind) with
+    | Some s, Some c when c > 0 -> Some (float_of_int s /. float_of_int c)
+    | _ -> None
+  in
+  List.map
+    (fun kind -> (kind, (avg call_sums kind, avg msg_sums kind)))
+    [ "lookup"; "insert"; "update"; "delete" ]
+
+let messages_per_op ?seed ?ops ?entries ?two_phase ?batching ~config () =
+  traffic_run ?seed ?ops ?entries ?two_phase ?batching ~config ()
+  |> List.filter_map (fun (kind, (_, msgs)) ->
+         Option.map (fun m -> (kind, m)) msgs)
+
+(* Per-operation traffic: representative calls (the paper's unit — quantifies
+   "there is no performance penalty ... except on Delete operations", §1
+   abstract) next to true wire messages for a two-phase suite, unbatched vs
+   batched. *)
 let messages ?(seed = 1983L) ?(ops = 4_000) ?(entries = 100) () =
   let table =
     Table.create
-      ~header:[ "Configuration"; "Lookup"; "Insert"; "Update"; "Delete" ]
+      ~header:[ "Configuration"; "Metric"; "Lookup"; "Insert"; "Update"; "Delete" ]
       ()
   in
+  let cell = function Some v -> f v | None -> "-" in
   List.iter
     (fun config ->
-      let open Repdir_core in
-      let root = Rng.create seed in
-      let workload_rng = Rng.split root in
-      let n = Config.n_reps config in
-      let reps =
-        Array.init n (fun i -> Repdir_rep.Rep.create ~name:(Printf.sprintf "rep%d" i) ())
+      let row label pick stats =
+        Table.add_row table
+          (Config.to_string config :: label
+          :: List.map (fun (_, pair) -> cell (pick pair)) stats)
       in
-      let transport = Transport.local reps in
-      let txns = Repdir_txn.Txn.Manager.create () in
-      let suite = Suite.create ~seed:(Rng.int64 root) ~config ~transport ~txns () in
-      let workload =
-        Repdir_workload.Workload.create ~lookup_fraction:0.25 ~update_fraction:0.25
-          ~rng:workload_rng ~target_size:entries ()
+      let calls = traffic_run ~seed ~ops ~entries ~config () in
+      row "calls/op (1-phase)" fst calls;
+      let unbatched = traffic_run ~seed ~ops ~entries ~two_phase:true ~config () in
+      row "msgs/op (2pc)" snd unbatched;
+      let batched =
+        traffic_run ~seed ~ops ~entries ~two_phase:true ~batching:true ~config ()
       in
-      List.iter
-        (fun op ->
-          match op with
-          | Repdir_workload.Workload.Insert (k, v) -> ignore (Suite.insert suite k v)
-          | _ -> assert false)
-        (Repdir_workload.Workload.initial_fill workload);
-      let sums = Hashtbl.create 4 in
-      let counts = Hashtbl.create 4 in
-      let bump kind cost =
-        Hashtbl.replace sums kind (cost + Option.value ~default:0 (Hashtbl.find_opt sums kind));
-        Hashtbl.replace counts kind (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
-      in
-      for _ = 1 to ops do
-        let before = transport.Transport.rpc_count in
-        let kind =
-          match Repdir_workload.Workload.next workload with
-          | Repdir_workload.Workload.Lookup k ->
-              ignore (Suite.lookup suite k);
-              "lookup"
-          | Repdir_workload.Workload.Insert (k, v) ->
-              ignore (Suite.insert suite k v);
-              "insert"
-          | Repdir_workload.Workload.Update (k, v) ->
-              ignore (Suite.update suite k v);
-              "update"
-          | Repdir_workload.Workload.Delete k ->
-              ignore (Suite.delete suite k);
-              "delete"
-        in
-        bump kind (transport.Transport.rpc_count - before)
-      done;
-      let avg kind =
-        match (Hashtbl.find_opt sums kind, Hashtbl.find_opt counts kind) with
-        | Some s, Some c when c > 0 -> f (float_of_int s /. float_of_int c)
-        | _ -> "-"
-      in
-      Table.add_row table
-        [ Config.to_string config; avg "lookup"; avg "insert"; avg "update"; avg "delete" ])
+      row "msgs/op (2pc, batched)" snd batched;
+      Table.add_separator table)
     figure14_configs;
   table
 

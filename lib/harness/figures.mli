@@ -33,8 +33,29 @@ val availability : ?p_ups:float list -> unit -> Table.t
     per-representative up-probabilities. *)
 
 val messages : ?seed:int64 -> ?ops:int -> ?entries:int -> unit -> Table.t
-(** Representative calls per operation type across configurations — the
-    paper's "no performance penalty except on Delete" claim quantified. *)
+(** Per-operation traffic across configurations: representative calls per
+    operation (the paper's unit — its "no performance penalty except on
+    Delete" claim quantified) alongside true wire messages per operation for
+    a two-phase suite, unbatched vs batched. The batched rows show the
+    effect of one [Rep.execute] message per member per round, the
+    piggybacked prepare, and commit notices riding on later calls. *)
+
+val messages_per_op :
+  ?seed:int64 ->
+  ?ops:int ->
+  ?entries:int ->
+  ?two_phase:bool ->
+  ?batching:bool ->
+  config:Repdir_quorum.Config.t ->
+  unit ->
+  (string * float) list
+(** Average true wire messages ([Transport.msg_count]) per operation kind
+    ("lookup" / "insert" / "update" / "delete") for one configuration under
+    the §4 workload mix. [two_phase] and [batching] default to [false].
+    Deferred commit notices ride on later operations' calls, so each kind is
+    charged for the steady-state traffic it induces; any tail is flushed
+    before the averages are taken. Programmatic twin of [messages], used by
+    the bench smoke check. *)
 
 val space_and_traffic : ?seed:int64 -> ?ops:int -> ?entries:int -> unit -> Table.t
 (** Storage and write-traffic comparison across replication strategies after

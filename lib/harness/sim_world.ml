@@ -86,7 +86,7 @@ let resolver_for t r ~coord txn =
 
 let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
     ?(rpc_backoff = 5.0) ?(n_clients = 1) ?(parallel_rpc = true) ?(two_phase = false)
-    ?lease ~config () =
+    ?lease ?group_commit ~config () =
   if rpc_attempts < 1 then invalid_arg "Sim_world: need at least one RPC attempt";
   let sim = Sim.create ~seed () in
   let n = Config.n_reps config in
@@ -107,7 +107,8 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
   in
   let reps =
     Array.init n (fun i ->
-        Rep.create ~waiter ~lock_group ~timers ?lease ~name:(Printf.sprintf "rep%d" i) ())
+        Rep.create ~waiter ~lock_group ~timers ?lease ?group_commit
+          ~name:(Printf.sprintf "rep%d" i) ())
   in
   let t =
     {
@@ -165,7 +166,10 @@ let client_transport t i =
                 ~rng:jitter_rng
                 ~on_retry:(fun () ->
                   let tr = Lazy.force transport in
-                  tr.Transport.retry_count <- tr.Transport.retry_count + 1)
+                  tr.Transport.retry_count <- tr.Transport.retry_count + 1;
+                  (* A retransmission is a real wire message even though it is
+                     not a fresh call. *)
+                  tr.Transport.msg_count <- tr.Transport.msg_count + 1)
                 (fun () -> f t.reps.(r))
             with
             | Ok v -> Ok v
@@ -175,6 +179,7 @@ let client_transport t i =
           (if t.parallel_rpc then parallel_fanout t.sim else Transport.sequential_fanout);
         rpc_count = 0;
         retry_count = 0;
+        msg_count = 0;
       }
   in
   Lazy.force transport
@@ -183,9 +188,16 @@ let coordinator t i =
   if i < 0 || i >= t.n_clients then invalid_arg "Sim_world: no such client";
   t.coordinators.(i)
 
-let suite_for_client ?picker ?seed ?sync t i =
-  Suite.create ?picker ?seed ?sync ~two_phase:t.two_phase ~coordinator:t.coordinators.(i)
-    ~config:t.config ~transport:(client_transport t i) ~txns:t.txns ()
+let suite_for_client ?picker ?seed ?sync ?batching ?notice_window t i =
+  let timers =
+    {
+      Rep.now = (fun () -> Sim.now t.sim);
+      after = (fun d k -> Sim.spawn t.sim ~at:(Sim.now t.sim +. d) k);
+    }
+  in
+  Suite.create ?picker ?seed ?sync ?batching ?notice_window ~timers ~two_phase:t.two_phase
+    ~coordinator:t.coordinators.(i) ~config:t.config ~transport:(client_transport t i)
+    ~txns:t.txns ()
 
 (* --- anti-entropy -------------------------------------------------------------- *)
 

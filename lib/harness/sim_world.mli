@@ -24,6 +24,7 @@ val create :
   ?parallel_rpc:bool ->
   ?two_phase:bool ->
   ?lease:float ->
+  ?group_commit:float ->
   config:Config.t ->
   unit ->
   t
@@ -42,6 +43,12 @@ val create :
     resolved by querying its coordinator, then peers. The resolver is
     installed regardless of [lease], so crash-recovered in-doubt
     transactions always terminate.
+
+    [group_commit] (default: none — every force syncs immediately, the seed
+    behaviour) gives each representative's write-ahead log a group-commit
+    window: a force that finds no sync pending becomes the group leader,
+    waits that long in sim time, and syncs once for every force that arrived
+    meanwhile (see {!Repdir_rep.Rep.create}). Keep it well below [lease].
 
     All client RPCs go through {!Repdir_sim.Rpc.call_at_most_once}: each
     representative node keeps a request-id dedup cache (reset when it
@@ -65,7 +72,18 @@ val client_transport : t -> int -> Transport.t
     from inside a simulator process. *)
 
 val suite_for_client :
-  ?picker:Picker.strategy -> ?seed:int64 -> ?sync:Repdir_sync.Sync.t -> t -> int -> Suite.t
+  ?picker:Picker.strategy ->
+  ?seed:int64 ->
+  ?sync:Repdir_sync.Sync.t ->
+  ?batching:bool ->
+  ?notice_window:float ->
+  t ->
+  int ->
+  Suite.t
+(** [batching] (default false) turns on the suite's per-representative
+    message batching (see {!Suite.create}); the suite's deferred-notice
+    flush timer runs on this world's simulator clock, with [notice_window]
+    bounding how long a commit notice may ride unflushed. *)
 
 (* --- anti-entropy ----------------------------------------------------------- *)
 

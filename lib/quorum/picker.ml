@@ -32,9 +32,16 @@ let shuffled_indices rng config =
   Rng.shuffle rng idx;
   Array.to_list idx
 
-let collect strategy rng config ~available ~quorum =
+let collect ?(prefer = fun _ -> false) strategy rng config ~available ~quorum =
   match strategy with
-  | Random -> take_until_quorum config ~available ~quorum (shuffled_indices rng config)
+  | Random ->
+      (* Uniform among preferred members first, then uniform among the rest:
+         quorum *membership* stays random, but members the transaction has
+         already touched are reused when they suffice — they need no extra
+         termination messages. Fixed and Locality orders are deliberate, so
+         preference never overrides them. *)
+      let preferred, rest = List.partition prefer (shuffled_indices rng config) in
+      take_until_quorum config ~available ~quorum (preferred @ rest)
   | Fixed order -> take_until_quorum config ~available ~quorum (Array.to_list order)
   | Locality { local; remote } ->
       (* Local representatives first; the remainder spread uniformly over the
@@ -49,5 +56,5 @@ let collect strategy rng config ~available ~quorum =
 let read_quorum strategy rng config ~available =
   collect strategy rng config ~available ~quorum:config.Config.read_quorum
 
-let write_quorum strategy rng config ~available =
-  collect strategy rng config ~available ~quorum:config.Config.write_quorum
+let write_quorum ?prefer strategy rng config ~available =
+  collect ?prefer strategy rng config ~available ~quorum:config.Config.write_quorum

@@ -23,9 +23,16 @@ type strategy =
 val pp_strategy : Format.formatter -> strategy -> unit
 
 val collect :
+  ?prefer:(int -> bool) ->
   strategy -> Rng.t -> Config.t -> available:(int -> bool) -> quorum:int -> int array option
 (** Representative indices whose votes total at least [quorum] votes, or
-    [None] if unattainable. General form used by the baselines. *)
+    [None] if unattainable. General form used by the baselines.
+
+    [prefer] (default: nobody) marks members to try first under {!Random} —
+    the batched suite prefers representatives its transaction has already
+    touched, so the final work round lands where the piggybacked prepare
+    saves a message. Membership within each class stays uniformly random;
+    {!Fixed} and {!Locality} orders are deliberate and ignore it. *)
 
 val read_quorum :
   strategy -> Rng.t -> Config.t -> available:(int -> bool) -> int array option
@@ -34,6 +41,7 @@ val read_quorum :
     representatives. *)
 
 val write_quorum :
+  ?prefer:(int -> bool) ->
   strategy -> Rng.t -> Config.t -> available:(int -> bool) -> int array option
 (** Same for W. With a [Locality] strategy the local representatives are
     always included (they are where subsequent local reads look). *)

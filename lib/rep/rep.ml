@@ -30,6 +30,10 @@ type counters = {
   mutable indoubt_by_coordinator : int;
   mutable indoubt_by_peer : int;
   mutable indoubt_recovered : int;
+  mutable batches : int;
+  mutable batch_ops : int;
+  mutable notices_applied : int;
+  mutable readonly_finishes : int;
 }
 
 (* Volatile per-transaction lease state. *)
@@ -56,6 +60,8 @@ type t = {
   mutable crashed : bool;
   mutable incarnation : int;
   mutable wal_records_repaired : int;
+  group_window : float option;
+  group : Wal.Group.group;
   counters : counters;
 }
 
@@ -63,7 +69,8 @@ let no_waiter _register =
   failwith "Rep: lock wait in sequential mode (no waiter installed)"
 
 let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
-    ?(lock_group = Lock_manager.new_group ()) ?timers ?lease ?resolver ~name () =
+    ?(lock_group = Lock_manager.new_group ()) ?timers ?lease ?resolver ?group_commit
+    ~name () =
   {
     name;
     branching;
@@ -82,6 +89,8 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
     crashed = false;
     incarnation = 0;
     wal_records_repaired = 0;
+    group_window = group_commit;
+    group = Wal.Group.create ();
     counters =
       {
         lookups = 0;
@@ -98,6 +107,10 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
         indoubt_by_coordinator = 0;
         indoubt_by_peer = 0;
         indoubt_recovered = 0;
+        batches = 0;
+        batch_ops = 0;
+        notices_applied = 0;
+        readonly_finishes = 0;
       };
   }
 
@@ -106,6 +119,58 @@ let counters t = t.counters
 let size t = Btree.size t.map
 let check_alive t = if t.crashed then raise (Crashed t.name)
 let set_resolver t r = t.resolver <- Some r
+let wal_group_forces t = Wal.Group.forces t.group
+let wal_group_absorbed t = Wal.Group.absorbed t.group
+
+(* --- group commit ------------------------------------------------------------- *)
+
+(* Force the log, coalescing concurrent forces into one sync when a group
+   window is configured (and a clock is available to hold it open). The
+   first forcer leads: it waits out the window, syncs once, and wakes every
+   follower that asked meanwhile — their records were appended before they
+   blocked, so the leader's sync covers them. The window must be well below
+   any transaction lease: a forcer blocks here while prepared (or about to
+   acknowledge), and a window approaching the lease would push healthy
+   transactions into the termination protocol. *)
+let force_wal t =
+  match (t.group_window, t.timers) with
+  | Some window, Some timers when window > 0. ->
+      let g = t.group in
+      let ticket = Wal.length t.wal in
+      if Wal.synced_length t.wal >= ticket then ()
+      else if Wal.Group.armed g then begin
+        (* Follower: ride on the leader's sync. *)
+        let inc = t.incarnation in
+        let wake = ref ignore in
+        let settled = ref None in
+        Wal.Group.enqueue g (fun outcome ->
+            settled := Some outcome;
+            !wake ());
+        if !settled = None then t.waiter (fun w -> wake := w);
+        if t.crashed || t.incarnation <> inc then raise (Crashed t.name);
+        (* Covered unless the group was cancelled from under us. *)
+        if Wal.synced_length t.wal < ticket then begin
+          Wal.sync t.wal;
+          Wal.Group.count_force g
+        end
+      end
+      else begin
+        (* Leader: hold the window open, then sync for everyone. *)
+        Wal.Group.lead g;
+        let inc = t.incarnation in
+        let wake = ref ignore in
+        let fired = ref false in
+        timers.after window (fun () ->
+            fired := true;
+            !wake ());
+        if not !fired then t.waiter (fun w -> wake := w);
+        if t.crashed || t.incarnation <> inc then raise (Crashed t.name);
+        Wal.sync t.wal;
+        Wal.Group.settle g Wal.Group.Forced
+      end
+  | _ ->
+      Wal.sync t.wal;
+      Wal.Group.count_force t.group
 
 (* --- transaction termination -------------------------------------------------- *)
 
@@ -131,7 +196,7 @@ let resolve_in_doubt t ~txn verdict =
       (match verdict with
       | `Committed ->
           Wal.append t.wal (Wal.Commit txn);
-          Wal.sync t.wal;
+          force_wal t;
           if info.id_recovered then Wal_replay.redo t.wal txn t.map
           else Undo.forget t.undo ~txn
       | `Aborted ->
@@ -487,7 +552,7 @@ let prepare t ~txn ~coord =
         (* Force the log before voting yes: a prepared transaction's effects
            must survive any crash, since the coordinator may decide to
            commit. *)
-        Wal.sync t.wal;
+        force_wal t;
         (* From here the vote binds: a later lease expiry must turn into
            in-doubt resolution against this coordinator, never a unilateral
            abort. *)
@@ -496,7 +561,11 @@ let prepare t ~txn ~coord =
         | Some a ->
             a.prepared <- true;
             a.coord <- coord
-        | None -> ())
+        | None ->
+            (* No lease machinery armed a record for this transaction; the
+               binding vote must be visible anyway (a read-only finish may
+               never discard a prepared transaction). *)
+            Hashtbl.replace t.actives txn { deadline = infinity; prepared = true; coord })
 
 let commit t ~txn =
   check_alive t;
@@ -512,7 +581,7 @@ let commit t ~txn =
         Wal.append t.wal (Wal.Commit txn);
         (* Force the commit record before acknowledging — an acknowledged
            commit can never be lost to a torn tail. *)
-        Wal.sync t.wal;
+        force_wal t;
         Undo.forget t.undo ~txn;
         Lock_manager.release_all t.locks ~txn
       end
@@ -532,6 +601,114 @@ let abort t ~txn =
         Undo_apply.rollback t.undo ~txn t.map;
         Lock_manager.release_all t.locks ~txn
       end
+
+(* --- batched execution -------------------------------------------------------- *)
+
+(* DirSuiteDelete repairs a quorum member by copying the real neighbour in
+   only when the member lacks it; batching fuses the existence check and the
+   conditional copy into one op so the whole repair fits in one message. *)
+let insert_if_absent t ~txn key version value =
+  check_txn_open t ~txn;
+  lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.point (Bound.Key key));
+  match Btree.lookup t.map (Bound.Key key) with
+  | Gm.Present _ -> false
+  | Gm.Absent _ ->
+      t.counters.inserts <- t.counters.inserts + 1;
+      Undo.record t.undo ~txn (Undo.Remove_entry key);
+      Wal.append t.wal (Wal.Insert (txn, key, version, value));
+      Btree.insert t.map key version value;
+      true
+
+(* Release a transaction that did no work here, without recording an
+   outcome. Server-authoritative: the client *believes* the transaction is
+   read-only, but only this representative knows (its undo log is empty iff
+   no operation wrote here), and a prepared vote or an in-doubt state always
+   wins. Refusals return false and the client falls back to the normal
+   termination round. No outcome is recorded because this representative's
+   vote was never collected: answering a peer's termination query with a
+   definite verdict here could contradict the coordinator's decision. *)
+let finish_readonly t ~txn =
+  check_alive t;
+  if Hashtbl.mem t.indoubt txn then false
+  else
+    match Hashtbl.find_opt t.outcomes txn with
+    | Some _ -> false
+    | None ->
+        let prepared =
+          match Hashtbl.find_opt t.actives txn with Some a -> a.prepared | None -> false
+        in
+        if prepared || Undo.actions t.undo ~txn <> [] then false
+        else begin
+          t.counters.readonly_finishes <- t.counters.readonly_finishes + 1;
+          Hashtbl.remove t.actives txn;
+          Lock_manager.release_all t.locks ~txn;
+          true
+        end
+
+type batch_op =
+  | B_lookup of Bound.t
+  | B_predecessor of Bound.t
+  | B_successor of Bound.t
+  | B_predecessor_chain of Bound.t * int
+  | B_successor_chain of Bound.t * int
+  | B_insert of Key.t * Version.t * Gm.value
+  | B_insert_if_absent of Key.t * Version.t * Gm.value
+  | B_coalesce of Bound.t * Bound.t * Version.t
+  | B_prepare of int
+  | B_finish_readonly
+
+type batch_result =
+  | R_lookup of Gm.lookup
+  | R_neighbor of Gm.neighbor
+  | R_chain of Gm.neighbor list
+  | R_unit
+  | R_inserted of bool
+  | R_removed of int
+  | R_finished of bool
+
+type notice = N_commit of Txn.id | N_abort of Txn.id
+
+(* Deferred termination records for *other* transactions, piggybacked on a
+   later message to this representative. Commit and abort are idempotent; a
+   conflicting-outcome abort means the termination protocol already settled
+   the transaction, so the notice is stale and dropped. *)
+let deliver_notice t n =
+  t.counters.notices_applied <- t.counters.notices_applied + 1;
+  match n with
+  | N_commit txn -> ( try commit t ~txn with Txn.Abort _ -> ())
+  | N_abort txn -> ( try abort t ~txn with Txn.Abort _ -> ())
+
+let deliver_notices t ns =
+  check_alive t;
+  List.iter (deliver_notice t) ns
+
+let run_batch_op t ~txn op =
+  t.counters.batch_ops <- t.counters.batch_ops + 1;
+  match op with
+  | B_lookup b -> R_lookup (lookup t ~txn b)
+  | B_predecessor b -> R_neighbor (predecessor t ~txn b)
+  | B_successor b -> R_neighbor (successor t ~txn b)
+  | B_predecessor_chain (b, depth) -> R_chain (predecessor_chain t ~txn b ~depth)
+  | B_successor_chain (b, depth) -> R_chain (successor_chain t ~txn b ~depth)
+  | B_insert (k, v, value) ->
+      insert t ~txn k v value;
+      R_unit
+  | B_insert_if_absent (k, v, value) -> R_inserted (insert_if_absent t ~txn k v value)
+  | B_coalesce (lo, hi, v) -> R_removed (coalesce t ~txn ~lo ~hi v)
+  | B_prepare coord ->
+      prepare t ~txn ~coord;
+      R_unit
+  | B_finish_readonly -> R_finished (finish_readonly t ~txn)
+
+(* One message, many ops: run them strictly in list order and return per-op
+   results. The first failure propagates and abandons the rest; earlier ops
+   keep their effects (covered by the transaction's locks) and are cleaned
+   up by the transaction's abort, exactly as if each op had been its own
+   RPC. *)
+let execute t ~txn ops =
+  check_alive t;
+  t.counters.batches <- t.counters.batches + 1;
+  List.rev (List.fold_left (fun acc op -> run_batch_op t ~txn op :: acc) [] ops)
 
 (* What this representative knows about a transaction's fate — the answer it
    gives a peer's termination query. [`Committed] implies the coordinator
@@ -558,6 +735,9 @@ let lock_waiters t = Lock_manager.waiting_count t.locks
 
 let crash t =
   t.crashed <- true;
+  (* Wake anyone blocked in a group-commit window; they re-check the crash
+     flag on resume and unwind as [Crashed]. *)
+  Wal.Group.settle t.group Wal.Group.Cancelled;
   t.map <- Btree.create_with ~branching:t.branching ();
   Lock_manager.detach t.locks;
   t.locks <- Lock_manager.create ~group:t.lock_group ();

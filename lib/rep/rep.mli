@@ -67,6 +67,10 @@ type counters = {
   mutable indoubt_by_peer : int;  (** in-doubt resolved by asking a peer rep *)
   mutable indoubt_recovered : int;
       (** resolved in-doubt transactions that had been restored by crash recovery *)
+  mutable batches : int;  (** {!execute} messages served *)
+  mutable batch_ops : int;  (** individual ops run inside those batches *)
+  mutable notices_applied : int;  (** piggybacked termination notices applied *)
+  mutable readonly_finishes : int;  (** transactions released by {!finish_readonly} *)
 }
 
 val create :
@@ -76,6 +80,7 @@ val create :
   ?timers:timers ->
   ?lease:float ->
   ?resolver:resolver ->
+  ?group_commit:float ->
   name:string ->
   unit ->
   t
@@ -85,7 +90,14 @@ val create :
     to the virtual clock; [lease] (off by default) bounds how long a
     transaction may sit idle here before the termination protocol takes over;
     [resolver] answers in-doubt termination queries (also installable later
-    with {!set_resolver}). *)
+    with {!set_resolver}).
+
+    [group_commit] (off by default; needs [timers]) is the WAL group-commit
+    window: a transaction forcing the log (prepare, commit) first waits that
+    long, and every force requested meanwhile rides on its single sync —
+    coalescing the per-transaction forced writes under concurrent load. Must
+    be well below [lease]: forcers block through the window while holding
+    their locks. *)
 
 val set_resolver : t -> resolver -> unit
 
@@ -151,6 +163,76 @@ val root_digest : t -> Gapmap_intf.digest
 (** Lock-free digest of the whole directory, for convergence checks by the
     harness (not part of the locked protocol). Raises {!Crashed} while the
     representative is down. *)
+
+(* --- batched execution ------------------------------------------------------ *)
+
+(** One step of a batched message (§4: representative calls "batch into few
+    messages"): the suite packs each round's per-representative calls into a
+    single {!execute} RPC instead of one RPC per call. *)
+type batch_op =
+  | B_lookup of Bound.t
+  | B_predecessor of Bound.t
+  | B_successor of Bound.t
+  | B_predecessor_chain of Bound.t * int  (** bound, depth *)
+  | B_successor_chain of Bound.t * int
+  | B_insert of Key.t * Version.t * Gapmap_intf.value
+  | B_insert_if_absent of Key.t * Version.t * Gapmap_intf.value
+      (** Fused existence check + conditional copy, for the delete repair
+          round; a no-op (taking only the lock) when the key is present. *)
+  | B_coalesce of Bound.t * Bound.t * Version.t  (** lo, hi, version *)
+  | B_prepare of int
+      (** Two-phase-commit vote piggybacked on the transaction's final work
+          round (last-round optimization); the argument is the coordinator
+          node. Everything {!prepare} implies applies — in particular the
+          vote binds even though the client learns it together with the
+          round's results. *)
+  | B_finish_readonly
+      (** Release the transaction here if (and only if) it did no work at
+          this representative — see {!finish_readonly}. *)
+
+type batch_result =
+  | R_lookup of Gapmap_intf.lookup
+  | R_neighbor of Gapmap_intf.neighbor
+  | R_chain of Gapmap_intf.neighbor list
+  | R_unit
+  | R_inserted of bool  (** [B_insert_if_absent]: whether the copy was installed *)
+  | R_removed of int  (** [B_coalesce]: entries deleted *)
+  | R_finished of bool  (** [B_finish_readonly]: whether the release was granted *)
+
+(** A deferred termination record for a transaction *other* than the one a
+    message is executing: piggybacked on the next message to this
+    representative instead of costing a dedicated commit-round message. *)
+type notice = N_commit of Repdir_txn.Txn.id | N_abort of Repdir_txn.Txn.id
+
+val execute : t -> txn:Repdir_txn.Txn.id -> batch_op list -> batch_result list
+(** Run the ops strictly in list order on behalf of one transaction and
+    return their results positionally. The first op to fail raises,
+    abandoning the rest of the batch; earlier ops keep their effects —
+    isolated by the transaction's locks and undone by its abort — exactly as
+    if each op had been its own RPC. Safe under at-most-once retransmission
+    for the same reason the individual ops are: a duplicate execution
+    re-runs idempotent steps under the locks the first run still holds. *)
+
+val deliver_notices : t -> notice list -> unit
+(** Apply piggybacked termination notices. Commit/abort of an unknown or
+    already-terminated transaction is a no-op (stale notice); a
+    conflicting-outcome refusal is swallowed — the termination protocol has
+    already settled that transaction authoritatively. *)
+
+val insert_if_absent :
+  t -> txn:Repdir_txn.Txn.id -> Key.t -> Version.t -> Gapmap_intf.value -> bool
+(** [B_insert_if_absent] as a direct call: install the entry unless the key
+    is already present (any version). Returns whether it inserted. *)
+
+val finish_readonly : t -> txn:Repdir_txn.Txn.id -> bool
+(** Release the transaction's locks and lease here without recording an
+    outcome, provided it performed no writes at this representative, is not
+    prepared, and is not in doubt — the batched fast path ending a read-only
+    visit in the same message as its reads. Returns false (and changes
+    nothing) otherwise; the client then falls back to the normal
+    prepare/commit round. No outcome is recorded because this
+    representative's vote was never collected, so it must keep answering
+    [`Unknown] to termination queries. *)
 
 (* --- transaction boundary -------------------------------------------------- *)
 
@@ -240,6 +322,14 @@ val wal_unsynced : t -> int
 (** Log records appended since the last forced write (prepare, commit,
     checkpoint or recovery). Only these can be damaged by a crash-time
     storage fault — a torn write needs unforced bytes to tear. *)
+
+val wal_group_forces : t -> int
+(** Syncs actually issued on the prepare/commit paths (with no group-commit
+    window, exactly one per force request). *)
+
+val wal_group_absorbed : t -> int
+(** Force requests that rode on a concurrent transaction's sync instead of
+    issuing their own — group commit's savings at this representative. *)
 
 (* --- inspection ------------------------------------------------------------ *)
 

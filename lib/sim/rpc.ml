@@ -42,17 +42,54 @@ let call net ~src ~dst ~timeout f =
    the finished reply. The cache is volatile: it must be reset when the node
    crashes, which re-opens the (harmless, because representative operations
    are idempotent) re-execution window — exactly the at-most-once story real
-   RPC systems tell. *)
+   RPC systems tell.
+
+   Finished entries cannot live forever: every call adds one, so an unbounded
+   table grows linearly with server lifetime. Completion order is recorded in
+   a FIFO; arriving requests opportunistically expire entries older than [ttl]
+   sim-time (any retransmission of those requests is long since abandoned —
+   the client's whole retry schedule fits well inside the TTL) and enforce the
+   [cap] backstop. Evicting early only re-opens the idempotent re-execution
+   window, the same degradation a crash-reset causes, so a conservative
+   TTL/cap trades a sliver of duplicate work for bounded memory. Eviction
+   piggybacks on request arrival: no timers, no RNG draws, so pre-existing
+   event traces are unchanged. *)
 
 type server_entry = In_flight | Done of (unit -> unit)
 
-type server = (int, server_entry) Hashtbl.t
+type server = {
+  tbl : (int, server_entry) Hashtbl.t;
+  completed : (int * float) Queue.t;
+      (* (request id, completion sim-time); sim time is monotone, so the queue
+         is expiry-ordered and each id appears at most once per incarnation *)
+  cap : int;
+  ttl : float;
+}
 
-let server () : server = Hashtbl.create 64
+let server ?(cap = 512) ?(ttl = 300.0) () : server =
+  if cap < 1 then invalid_arg "Rpc.server: cap must be positive";
+  if ttl <= 0.0 then invalid_arg "Rpc.server: ttl must be positive";
+  { tbl = Hashtbl.create 64; completed = Queue.create (); cap; ttl }
 
-let reset_server (s : server) = Hashtbl.reset s
+let reset_server (s : server) =
+  Hashtbl.reset s.tbl;
+  Queue.clear s.completed
 
-let server_entries (s : server) = Hashtbl.length s
+let server_entries (s : server) = Hashtbl.length s.tbl
+
+let evict (s : server) ~now =
+  let stale () =
+    let _, finished = Queue.peek s.completed in
+    finished +. s.ttl <= now
+  in
+  while
+    (not (Queue.is_empty s.completed)) && (Queue.length s.completed > s.cap || stale ())
+  do
+    let id, _ = Queue.pop s.completed in
+    (* Queue ids always map to [Done] entries: an id is enqueued exactly when
+       its entry turns [Done], and a crash reset clears both structures. *)
+    Hashtbl.remove s.tbl id
+  done
 
 let call_at_most_once net ~src ~dst ~server ~timeout ?(attempts = 1) ?(backoff = 1.0) ?rng
     ?(on_retry = fun () -> ()) f =
@@ -66,11 +103,12 @@ let call_at_most_once net ~src ~dst ~server ~timeout ?(attempts = 1) ?(backoff =
   let outcome = ref None in
   let wake = ref (fun () -> ()) in
   let handler () =
-    match Hashtbl.find_opt server id with
+    evict server ~now:(Sim.now sim);
+    match Hashtbl.find_opt server.tbl id with
     | Some In_flight -> ()
     | Some (Done resend) -> resend ()
     | None ->
-        Hashtbl.replace server id In_flight;
+        Hashtbl.replace server.tbl id In_flight;
         let result = try Ok (f ()) with e -> Error e in
         let resend () =
           Net.send net ~src:dst ~dst:src (fun () ->
@@ -79,7 +117,8 @@ let call_at_most_once net ~src ~dst ~server ~timeout ?(attempts = 1) ?(backoff =
                 !wake ()
               end)
         in
-        Hashtbl.replace server id (Done resend);
+        Hashtbl.replace server.tbl id (Done resend);
+        Queue.push (id, Sim.now sim) server.completed;
         resend ()
   in
   let rec attempt k =

@@ -35,7 +35,17 @@ type server
 (** Per-destination dedup state: request id -> in-flight marker or cached
     reply. Volatile — reset it when the node crashes. *)
 
-val server : unit -> server
+val server : ?cap:int -> ?ttl:float -> unit -> server
+(** A dedup cache whose finished entries expire: each arriving request first
+    drops cached replies older than [ttl] sim-time units (default 300.0) and
+    then enforces the [cap] backstop (default 512, oldest first), so the
+    cache is bounded at [cap] finished entries plus whatever is in flight no
+    matter how long the server lives. Eviction happens only on request
+    arrival — it schedules no timer events and draws no randomness. Choose
+    [ttl] comfortably above the client's worst-case retransmission horizon
+    ([timeout] and backoff sum across [attempts]); an evicted entry merely
+    re-opens the idempotent re-execution window that a crash-reset opens
+    anyway. *)
 
 val reset_server : server -> unit
 (** Forget all cached replies (the node's volatile memory was lost). A
@@ -43,6 +53,7 @@ val reset_server : server -> unit
     rely on representative operations being idempotent. *)
 
 val server_entries : server -> int
+(** Current cache size: finished (unexpired) plus in-flight entries. *)
 
 val call_at_most_once :
   Net.t ->

@@ -53,13 +53,44 @@ type t = {
   mutable log : entry list; (* newest first *)
   mutable len : int;
   mutable synced : int; (* oldest [synced] entries are forced to disk *)
+  (* Derived metadata, maintained incrementally so the per-prepare checks
+     ([committed], [ops_before_last_recovery]) cost O(1) instead of scanning
+     the whole log. [epoch] counts [Recovery_marker]s; [op_epochs] remembers
+     the epoch of each transaction's oldest operation record; [committed_set]
+     holds every transaction with a [Commit] record. Rebuilt from scratch
+     whenever the log itself is rewritten (repair, truncation, lost tail). *)
+  mutable epoch : int;
+  op_epochs : (Txn.id, int) Hashtbl.t;
+  committed_set : (Txn.id, unit) Hashtbl.t;
 }
 
-let create () = { log = []; len = 0; synced = 0 }
+let index_record t = function
+  | Recovery_marker -> t.epoch <- t.epoch + 1
+  | Insert (id, _, _, _) | Coalesce (id, _, _, _) | Sync_apply (id, _) ->
+      if not (Hashtbl.mem t.op_epochs id) then Hashtbl.replace t.op_epochs id t.epoch
+  | Commit id -> Hashtbl.replace t.committed_set id ()
+  | Begin _ | Prepare _ | Abort _ | Checkpoint _ -> ()
+
+let rebuild_index t =
+  t.epoch <- 0;
+  Hashtbl.reset t.op_epochs;
+  Hashtbl.reset t.committed_set;
+  List.iter (fun e -> index_record t e.rec_) (List.rev t.log)
+
+let create () =
+  {
+    log = [];
+    len = 0;
+    synced = 0;
+    epoch = 0;
+    op_epochs = Hashtbl.create 64;
+    committed_set = Hashtbl.create 64;
+  }
 
 let append t r =
   t.log <- { rec_ = r; frame = frame_of_record r } :: t.log;
-  t.len <- t.len + 1
+  t.len <- t.len + 1;
+  index_record t r
 
 let sync t = t.synced <- t.len
 let synced_length t = t.synced
@@ -67,22 +98,14 @@ let synced_length t = t.synced
 let length t = t.len
 let records t = List.rev_map (fun e -> e.rec_) t.log
 
-let committed t id =
-  List.exists (fun e -> match e.rec_ with Commit id' -> id' = id | _ -> false) t.log
+let committed t id = Hashtbl.mem t.committed_set id
 
 let ops_before_last_recovery t id =
-  (* log is newest-first: scan for the latest marker; anything beyond it is
-     a pre-crash record. *)
-  let rec scan seen_marker = function
-    | [] -> false
-    | e :: rest -> (
-        match e.rec_ with
-        | Recovery_marker -> scan true rest
-        | Insert (id', _, _, _) | Coalesce (id', _, _, _) | Sync_apply (id', _) ->
-            if seen_marker && id' = id then not (committed t id) else scan seen_marker rest
-        | Begin _ | Prepare _ | Commit _ | Abort _ | Checkpoint _ -> scan seen_marker rest)
-  in
-  scan false t.log
+  (* A transaction has pre-crash operation records iff its oldest op record
+     was appended before the newest marker, i.e. in an earlier epoch. *)
+  match Hashtbl.find_opt t.op_epochs id with
+  | Some e when e < t.epoch -> not (committed t id)
+  | Some _ | None -> false
 
 let in_doubt t =
   let prepared = Hashtbl.create 8 in
@@ -160,7 +183,8 @@ let truncate_to_checkpoint t =
       t.log <- kept;
       t.len <- List.length kept;
       (* Taking a checkpoint forces the log. *)
-      t.synced <- t.len
+      t.synced <- t.len;
+      rebuild_index t
 
 (* --- storage fault injection ------------------------------------------------------ *)
 
@@ -192,7 +216,8 @@ let inject t fault =
       if k < 0 then invalid_arg "Wal.inject: negative truncation";
       let k = min k unsynced in
       t.log <- drop_newest k t.log;
-      t.len <- t.len - k
+      t.len <- t.len - k;
+      rebuild_index t
   | Tear_tail when unsynced > 0 ->
       (* A torn write: only a prefix of the frame's bytes reached the disk;
          the checksum (written last) covers the full payload and no longer
@@ -223,11 +248,55 @@ let repair t =
   if dropped > 0 then begin
     t.log <- kept_newest_first;
     t.len <- len;
-    t.synced <- min t.synced len
+    t.synced <- min t.synced len;
+    rebuild_index t
   end;
   dropped
 
 let tail_valid t = match t.log with [] -> true | e :: _ -> frame_valid e.frame
+
+(* --- group commit ------------------------------------------------------------- *)
+
+(* Ticket/leader bookkeeping for coalescing concurrent force requests into a
+   single [sync]. A "ticket" is simply the log length at request time: a
+   record is durable once [synced_length] passes its ticket, so a follower
+   never needs its own force — it only waits for the leader's. The timing
+   side (the group window, and suspending the calling process) belongs to
+   the representative, which owns the clock; this module only tracks who
+   leads, who waits, and how many syncs were saved. *)
+module Group = struct
+  type outcome = Forced | Cancelled
+
+  type group = {
+    mutable armed : bool; (* a leader is holding the window open *)
+    mutable waiters : (outcome -> unit) list; (* newest first *)
+    mutable forces : int;
+    mutable absorbed : int;
+  }
+
+  let create () = { armed = false; waiters = []; forces = 0; absorbed = 0 }
+  let forces g = g.forces
+  let absorbed g = g.absorbed
+  let armed g = g.armed
+  let lead g = g.armed <- true
+
+  let enqueue g k =
+    g.absorbed <- g.absorbed + 1;
+    g.waiters <- k :: g.waiters
+
+  let count_force g = g.forces <- g.forces + 1
+
+  (* Close the window: wake every waiter in arrival order. [Forced] means the
+     leader synced the log (covering every ticket issued so far); [Cancelled]
+     means the representative crashed and waiters must re-check for
+     themselves. *)
+  let settle g outcome =
+    g.armed <- false;
+    (match outcome with Forced -> count_force g | Cancelled -> ());
+    let ws = List.rev g.waiters in
+    g.waiters <- [];
+    List.iter (fun k -> k outcome) ws
+end
 
 module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
   let replay ?(decided = fun _ -> false) t =

@@ -71,13 +71,14 @@ val records : t -> record list
 (** Oldest first. *)
 
 val committed : t -> Txn.id -> bool
-(** Whether a [Commit] record exists for the transaction. *)
+(** Whether a [Commit] record exists for the transaction. O(1): answered
+    from an index maintained on append, not by scanning the log. *)
 
 val ops_before_last_recovery : t -> Txn.id -> bool
 (** True if the transaction has operation records older than the most recent
     {!Recovery_marker} and no outcome yet: the representative lost that
     transaction's volatile effects in a crash, so it must refuse to prepare
-    or commit it. *)
+    or commit it. O(1) — this runs on every prepare, so it must not scan. *)
 
 val in_doubt : t -> (Txn.id * int) list
 (** Transactions with a [Prepare] record but no [Commit]/[Abort] record,
@@ -121,6 +122,46 @@ val repair : t -> int
 
 val tail_valid : t -> bool
 (** Whether the final frame's checksum verifies (true for an empty log). *)
+
+(** Ticket/leader bookkeeping for WAL group commit: concurrent transactions'
+    force requests at one representative coalesce into a single {!sync}.
+
+    A ticket is the log {!length} at request time; a record is durable once
+    {!synced_length} reaches its ticket. The first force request with
+    undurable records becomes the {e leader}: it calls {!lead}, holds a
+    group window open (the representative owns the clock and the process
+    suspension), then syncs and calls {!settle}. Force requests arriving
+    while {!armed} are {e followers}: they {!enqueue} a wake-up callback and
+    block; the leader's [settle Forced] covers their tickets. [settle
+    Cancelled] (crash) wakes waiters without counting a force; each must
+    re-check its ticket against the recovered log. *)
+module Group : sig
+  type outcome = Forced | Cancelled
+
+  type group
+
+  val create : unit -> group
+
+  val armed : group -> bool
+  val lead : group -> unit
+
+  val enqueue : group -> (outcome -> unit) -> unit
+  (** Register a follower's wake-up; bumps the absorbed counter. *)
+
+  val settle : group -> outcome -> unit
+  (** Disarm and wake every waiter in arrival order. [Forced] bumps the
+      force counter. *)
+
+  val count_force : group -> unit
+  (** Record a force issued outside the leader protocol (no window
+      configured, or a lone leader with no followers still forces once). *)
+
+  val forces : group -> int
+  (** Syncs actually issued through the group. *)
+
+  val absorbed : group -> int
+  (** Force requests that rode on another transaction's sync. *)
+end
 
 (** Rebuild a concrete gap map from the log. *)
 module Replay (M : Repdir_gapmap.Gapmap_intf.S) : sig

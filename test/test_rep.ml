@@ -284,6 +284,86 @@ let recovery_equivalence =
       done;
       true)
 
+(* --- batched execution ---------------------------------------------------------------------- *)
+
+let test_execute_runs_ops_in_order () =
+  let r = seeded () in
+  (* The batch mixes reads and writes; later ops must observe earlier ones
+     (the lookup of "c" sees the insert two slots before it). *)
+  match
+    Rep.execute r ~txn:2
+      [
+        Rep.B_lookup (Bound.Key "d");
+        Rep.B_insert ("c", 2, "vc");
+        Rep.B_lookup (Bound.Key "c");
+        Rep.B_coalesce (Bound.Key "c", Bound.Key "f", 3);
+        Rep.B_prepare 7;
+      ]
+  with
+  | [
+   Rep.R_lookup (Present { version = 1; value = "vd" });
+   Rep.R_unit;
+   Rep.R_lookup (Present { version = 2; value = "vc" });
+   Rep.R_removed 1;
+   Rep.R_unit;
+  ] ->
+      (* The piggybacked prepare is a real vote: the transaction is
+         prepared, so commit applies it. The coalesce saw the batch's own
+         insert of "c" as its endpoint and removed "d" between c and f. *)
+      Rep.commit r ~txn:2;
+      Alcotest.(check (list string)) "batch effects committed" [ "b"; "c"; "f" ] (keys r);
+      Alcotest.(check int) "batch counted once" 1 (Rep.counters r).Rep.batches;
+      Alcotest.(check int) "all ops counted" 5 (Rep.counters r).Rep.batch_ops
+  | _ -> Alcotest.fail "unexpected batch results"
+
+let test_insert_if_absent_semantics () =
+  let r = seeded () in
+  (match
+     Rep.execute r ~txn:2
+       [ Rep.B_insert_if_absent ("b", 5, "clobber"); Rep.B_insert_if_absent ("c", 1, "vc") ]
+   with
+  | [ Rep.R_inserted false; Rep.R_inserted true ] -> ()
+  | _ -> Alcotest.fail "unexpected insert-if-absent results");
+  Rep.commit r ~txn:2;
+  (* The present key kept its original version and value. *)
+  match Rep.lookup r ~txn:3 (Bound.Key "b") with
+  | Present { version = 1; value = "vb" } -> Rep.commit r ~txn:3
+  | _ -> Alcotest.fail "present key was clobbered"
+
+let test_finish_readonly_grant_and_refuse () =
+  let r = seeded () in
+  (* A pure reader is released in-round: locks drain, no outcome recorded. *)
+  ignore (Rep.lookup r ~txn:2 (Bound.Key "b"));
+  Alcotest.(check bool) "reader released" true (Rep.finish_readonly r ~txn:2);
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held r);
+  Alcotest.(check bool) "no outcome recorded" true (Rep.outcome_of r 2 = `Unknown);
+  (* A transaction that wrote here must be refused. *)
+  Rep.insert r ~txn:3 "x" 2 "v";
+  Alcotest.(check bool) "writer refused" false (Rep.finish_readonly r ~txn:3);
+  Rep.abort r ~txn:3;
+  (* A prepared transaction holds a binding vote — also refused. *)
+  ignore (Rep.lookup r ~txn:4 (Bound.Key "b"));
+  Rep.prepare r ~txn:4 ~coord:1;
+  Alcotest.(check bool) "prepared refused" false (Rep.finish_readonly r ~txn:4);
+  Rep.commit r ~txn:4
+
+let test_deliver_notices_idempotent () =
+  let r = seeded () in
+  Rep.insert r ~txn:5 "x" 2 "v";
+  Rep.prepare r ~txn:5 ~coord:1;
+  Rep.insert r ~txn:6 "y" 2 "v";
+  (* Duplicate and contradictory-after-settled notices are no-ops. *)
+  Rep.deliver_notices r
+    [ Rep.N_commit 5; Rep.N_abort 6; Rep.N_commit 5; Rep.N_abort 5 ];
+  Alcotest.(check bool) "commit applied" true
+    (List.exists (fun (k, _, _) -> k = "x") (Rep.entries r));
+  Alcotest.(check bool) "abort applied" false
+    (List.exists (fun (k, _, _) -> k = "y") (Rep.entries r));
+  Alcotest.(check int) "locks drained" 0 (Rep.locks_held r);
+  Alcotest.(check bool) "outcomes settled" true
+    (Rep.outcome_of r 5 = `Committed && Rep.outcome_of r 6 = `Aborted);
+  Alcotest.(check int) "notices counted" 4 (Rep.counters r).Rep.notices_applied
+
 (* --- counters ------------------------------------------------------------------------------ *)
 
 let test_counters () =
@@ -316,6 +396,15 @@ let () =
           Alcotest.test_case "predecessor chain" `Quick test_predecessor_chain;
           Alcotest.test_case "successor chain" `Quick test_successor_chain;
           Alcotest.test_case "chain gap versions" `Quick test_chain_gap_versions;
+        ] );
+      ( "batched-execution",
+        [
+          Alcotest.test_case "execute runs ops in order" `Quick test_execute_runs_ops_in_order;
+          Alcotest.test_case "insert-if-absent semantics" `Quick
+            test_insert_if_absent_semantics;
+          Alcotest.test_case "finish-readonly grant/refuse" `Quick
+            test_finish_readonly_grant_and_refuse;
+          Alcotest.test_case "notices are idempotent" `Quick test_deliver_notices_idempotent;
         ] );
       ( "rollback",
         [

@@ -259,6 +259,49 @@ let test_rpc_blocking_server () =
   | Ok t -> Alcotest.(check (float 1e-9)) "server resumed at 50" 50.0 t
   | Error Rpc.Timeout -> Alcotest.fail "should not time out"
 
+(* --- at-most-once dedup cache -------------------------------------------------------- *)
+
+let test_at_most_once_cache_stays_bounded () =
+  (* A long retry-heavy run: a quarter of all messages take far longer than
+     the RPC timeout, so clients retransmit constantly and every completed
+     call leaves a cached reply behind. The cache must stay at its cap (plus
+     in-flight slack) instead of growing with server lifetime. *)
+  let sim = Sim.create ~seed:11L () in
+  let latency rng = if Repdir_util.Rng.float rng 1.0 < 0.25 then 40.0 else 1.0 in
+  let net = Net.create sim ~n_nodes:2 ~latency () in
+  let server = Rpc.server ~cap:32 ~ttl:60.0 () in
+  let jitter = Repdir_util.Rng.create 3L in
+  let calls = 400 in
+  let completed = ref 0 in
+  let retries = ref 0 in
+  let max_entries = ref 0 in
+  Sim.spawn sim (fun () ->
+      for i = 1 to calls do
+        (match
+           Rpc.call_at_most_once net ~src:0 ~dst:1 ~server ~timeout:5.0 ~attempts:4
+             ~backoff:1.0 ~rng:jitter
+             ~on_retry:(fun () -> incr retries)
+             (fun () -> i)
+         with
+        | Ok r -> if r = i then incr completed
+        | Error Rpc.Timeout -> ());
+        max_entries := max !max_entries (Rpc.server_entries server)
+      done);
+  Sim.run sim;
+  Alcotest.(check bool) "run was retry-heavy" true (!retries > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "most calls complete (%d/%d)" !completed calls)
+    true
+    (!completed > calls * 3 / 4);
+  (* Without eviction the table would hold one entry per completed call
+     (hundreds); with it, the completed-entry FIFO never exceeds the cap and
+     only in-flight duplicates ride on top. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cache bounded (peak %d)" !max_entries)
+    true
+    (!max_entries <= 32 + 8);
+  Alcotest.(check bool) "eviction actually ran" true (Rpc.server_entries server <= 32 + 8)
+
 let () =
   Alcotest.run "sim"
     [
@@ -294,5 +337,7 @@ let () =
             test_rpc_server_exception_propagates;
           Alcotest.test_case "late reply dropped" `Quick test_rpc_late_reply_dropped;
           Alcotest.test_case "blocking server" `Quick test_rpc_blocking_server;
+          Alcotest.test_case "dedup cache stays bounded" `Quick
+            test_at_most_once_cache_stays_bounded;
         ] );
     ]

@@ -371,6 +371,119 @@ let suite_matches_model_batched =
       run_random_history ~batch_depth:3 ~n:3 ~r:2 ~w:2 ~seed ~ops:100 ();
       true)
 
+(* --- differential: message batching is observationally equivalent ------------- *)
+
+(* The same workload script drives two independent worlds — one suite with
+   per-representative message batching, one without — and every observable
+   result (insert/update acceptance, delete presence, lookup answers,
+   multi-op transaction outcomes including forced aborts) must coincide, as
+   must the final directory contents. Quorum choices are deliberately *not*
+   synchronized: with no failures injected, observable behaviour must be
+   quorum-independent, so any divergence is a batching bug, not noise. *)
+let run_batching_differential ~two_phase ~seed ~ops () =
+  let mk batching =
+    let world = make_world () in
+    let suite =
+      Suite.create ~batching ~two_phase
+        ~seed:(Int64.of_int ((seed * 7) + if batching then 1 else 2))
+        ~picker:Picker.Random ~config:world.config ~transport:world.transport
+        ~txns:world.txns ()
+    in
+    (world, suite)
+  in
+  let world_a, sa = mk false in
+  let world_b, sb = mk true in
+  let rng = Repdir_util.Rng.create (Int64.of_int seed) in
+  let universe = Array.init 16 (fun i -> Key.of_int i) in
+  let fail step fmt =
+    Printf.ksprintf (fun msg -> failwith (Printf.sprintf "step %d: %s" step msg)) fmt
+  in
+  for step = 1 to ops do
+    match Repdir_util.Rng.int rng 6 with
+    | 0 ->
+        let k = Repdir_util.Rng.pick rng universe in
+        let v = Printf.sprintf "v%d" step in
+        let r s = match Suite.insert s k v with Ok () -> true | Error `Already_present -> false in
+        if r sa <> r sb then fail step "insert %s diverged" k
+    | 1 ->
+        let k = Repdir_util.Rng.pick rng universe in
+        let v = Printf.sprintf "u%d" step in
+        let r s = match Suite.update s k v with Ok () -> true | Error `Not_present -> false in
+        if r sa <> r sb then fail step "update %s diverged" k
+    | 2 ->
+        let k = Repdir_util.Rng.pick rng universe in
+        let r s = (Suite.delete s k).Suite.was_present in
+        if r sa <> r sb then fail step "delete %s diverged" k
+    | 3 ->
+        let k = Repdir_util.Rng.pick rng universe in
+        let r s = Option.map snd (Suite.lookup s k) in
+        if r sa <> r sb then fail step "lookup %s diverged" k
+    | 4 ->
+        (* Explicit multi-op transaction: both worlds must commit the same
+           per-op results atomically. *)
+        let k1 = Repdir_util.Rng.pick rng universe in
+        let k2 = Repdir_util.Rng.pick rng universe in
+        let v = Printf.sprintf "t%d" step in
+        let r s =
+          Suite.with_txn s (fun txn ->
+              let inserted =
+                match Suite.insert ~txn s k1 v with Ok () -> true | Error _ -> false
+              in
+              let deleted = (Suite.delete ~txn s k2).Suite.was_present in
+              (inserted, deleted))
+        in
+        if r sa <> r sb then fail step "transaction (%s, %s) diverged" k1 k2
+    | _ ->
+        (* Forced abort: both worlds must roll the transaction back. *)
+        let k = Repdir_util.Rng.pick rng universe in
+        let r s =
+          try
+            Suite.with_txn s (fun txn ->
+                ignore (Suite.insert ~txn s k "doomed");
+                raise Exit)
+          with Exit -> ()
+        in
+        r sa;
+        r sb
+  done;
+  (* Drain the batched suite's deferred commit notices, then compare the
+     complete directories and audit for leaked locks or in-doubt residue. *)
+  Suite.flush_notices sb;
+  if Suite.pending_notice_count sb <> 0 then failwith "notices did not drain";
+  if Suite.to_alist sa <> Suite.to_alist sb then failwith "final contents diverged";
+  Array.iter
+    (fun world ->
+      Array.iter
+        (fun rep ->
+          (match Rep.check_invariants rep with Ok () -> () | Error e -> failwith e);
+          if Rep.locks_held rep <> 0 then
+            failwith (Printf.sprintf "%s leaked locks" (Rep.name rep));
+          if Rep.in_doubt_count rep <> 0 then
+            failwith (Printf.sprintf "%s left transactions in doubt" (Rep.name rep)))
+        world.reps)
+    [| world_a; world_b |];
+  (* Batching must actually reduce wire traffic, not just preserve meaning.
+     The precise >= 2x bound on the insert/delete mix is enforced by the
+     bench smoke; here any regression to parity fails. *)
+  if world_b.transport.Transport.msg_count >= world_a.transport.Transport.msg_count then
+    failwith
+      (Printf.sprintf "batching sent %d messages vs %d unbatched"
+         world_b.transport.Transport.msg_count world_a.transport.Transport.msg_count)
+
+let batching_differential_one_phase =
+  QCheck.Test.make ~name:"batched suite == unbatched suite (single-phase)" ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      run_batching_differential ~two_phase:false ~seed ~ops:60 ();
+      true)
+
+let batching_differential_two_phase =
+  QCheck.Test.make ~name:"batched suite == unbatched suite (two-phase commit)" ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      run_batching_differential ~two_phase:true ~seed ~ops:60 ();
+      true)
+
 let () =
   Alcotest.run "suite"
     [
@@ -408,5 +521,10 @@ let () =
           QCheck_alcotest.to_alcotest suite_matches_model_configs;
           QCheck_alcotest.to_alcotest suite_matches_model_batched;
           Alcotest.test_case "soak 800 ops" `Slow test_long_soak;
+        ] );
+      ( "batching-differential",
+        [
+          QCheck_alcotest.to_alcotest batching_differential_one_phase;
+          QCheck_alcotest.to_alcotest batching_differential_two_phase;
         ] );
     ]

@@ -511,6 +511,120 @@ let test_sim_world_in_doubt_resolves_by_rpc () =
   Alcotest.(check bool) "resolved by coordinator query" true
     ((Rep.counters reps.(2)).Rep.indoubt_by_coordinator = 1)
 
+(* --- batching: deferred commits and group commit on the simulator ----------------------- *)
+
+let test_sim_batched_commit_flush_drains () =
+  (* Batched two-phase mode defers the commit round as notices; the flush
+     timer must deliver them so locks drain without any further client
+     traffic. *)
+  let open Repdir_sim in
+  let open Repdir_harness in
+  let world =
+    Sim_world.create ~two_phase:true ~lease:200.0 ~rpc_timeout:30.0
+      ~config:(Config.simple ~n:3 ~r:2 ~w:2) ()
+  in
+  let sim = Sim_world.sim world in
+  let suite = Sim_world.suite_for_client ~batching:true ~notice_window:5.0 world 0 in
+  Sim.spawn sim (fun () ->
+      ignore (Suite.insert suite "k" "v");
+      ignore (Suite.insert suite "k2" "v2");
+      Alcotest.(check bool) "read-back sees the insert" true (Suite.mem suite "k"));
+  Sim.run sim;
+  Alcotest.(check int) "notices drained" 0 (Suite.pending_notice_count suite);
+  Array.iter
+    (fun rep ->
+      Alcotest.(check int) (Rep.name rep ^ " locks drained") 0 (Rep.locks_held rep);
+      Alcotest.(check int) (Rep.name rep ^ " nothing in doubt") 0 (Rep.in_doubt_count rep))
+    (Sim_world.reps world)
+
+let test_sim_batched_commit_lease_backstop () =
+  (* Kill the pipeline: the notice window is far beyond the lease, so the
+     deferred commit notices are effectively lost. Every prepared
+     participant's lease must push the transaction in doubt and the
+     termination protocol must commit it from the coordinator's decision
+     log — same verdict as the lost notice, just slower. *)
+  let open Repdir_sim in
+  let open Repdir_harness in
+  let world =
+    Sim_world.create ~two_phase:true ~lease:20.0 ~rpc_timeout:10.0
+      ~config:(Config.simple ~n:3 ~r:2 ~w:2) ()
+  in
+  let sim = Sim_world.sim world in
+  let suite = Sim_world.suite_for_client ~batching:true ~notice_window:5000.0 world 0 in
+  Sim.spawn sim (fun () ->
+      ignore (Suite.insert suite "k" "v");
+      Sim.sleep sim 400.0);
+  Sim.run sim;
+  let reps = Sim_world.reps world in
+  Array.iter
+    (fun rep ->
+      Alcotest.(check int) (Rep.name rep ^ " locks drained") 0 (Rep.locks_held rep);
+      Alcotest.(check int) (Rep.name rep ^ " nothing in doubt") 0 (Rep.in_doubt_count rep))
+    reps;
+  (* The write quorum's members applied the commit despite never receiving
+     the commit round. *)
+  let holders =
+    Array.fold_left
+      (fun n rep ->
+        if List.exists (fun (k, _, _) -> k = "k") (Rep.entries rep) then n + 1 else n)
+      0 reps
+  in
+  Alcotest.(check bool) "a write quorum holds the entry" true (holders >= 2);
+  let resolved =
+    Array.fold_left
+      (fun n rep -> n + (Rep.counters rep).Rep.indoubt_by_coordinator)
+      0 reps
+  in
+  Alcotest.(check bool) "resolved through the coordinator" true (resolved >= 2)
+
+let test_sim_group_commit_coalesces_syncs () =
+  (* Two clients hammer the same representatives under a group-commit
+     window: concurrent forces must share leaders' syncs, visible as
+     absorbed followers — and nothing may be lost doing so. *)
+  let open Repdir_sim in
+  let open Repdir_harness in
+  let world =
+    Sim_world.create ~two_phase:true ~n_clients:2 ~group_commit:3.0 ~rpc_timeout:30.0
+      ~config:(Config.simple ~n:3 ~r:2 ~w:2) ()
+  in
+  let sim = Sim_world.sim world in
+  let suites =
+    Array.init 2 (fun c -> Sim_world.suite_for_client ~batching:true world c)
+  in
+  let done_count = ref 0 in
+  for c = 0 to 1 do
+    Sim.spawn sim (fun () ->
+        for i = 0 to 14 do
+          ignore
+            (Suite.with_retries ~sleep:(Sim.sleep sim) (fun () ->
+                 Suite.insert suites.(c) (Printf.sprintf "c%d-%d" c i) "v"))
+        done;
+        incr done_count)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "both clients finished" 2 !done_count;
+  let reps = Sim_world.reps world in
+  Array.iter (fun s -> Suite.flush_notices s) suites;
+  Sim.run sim;
+  let absorbed = Array.fold_left (fun n rep -> n + Rep.wal_group_absorbed rep) 0 reps in
+  Alcotest.(check bool) "some forces were absorbed into a group" true (absorbed > 0);
+  Array.iter
+    (fun rep ->
+      Alcotest.(check int) (Rep.name rep ^ " locks drained") 0 (Rep.locks_held rep);
+      Alcotest.(check int) (Rep.name rep ^ " unsynced tail empty") 0 (Rep.wal_unsynced rep))
+    reps;
+  (* Every acknowledged insert is durable and visible. *)
+  Sim.spawn sim (fun () ->
+      for c = 0 to 1 do
+        for i = 0 to 14 do
+          Alcotest.(check bool)
+            (Printf.sprintf "c%d-%d visible" c i)
+            true
+            (Suite.mem suites.(c) (Printf.sprintf "c%d-%d" c i))
+        done
+      done);
+  Sim.run sim
+
 (* --- the safety property ---------------------------------------------------------------- *)
 
 (* A representative must never both commit and abort the same transaction,
@@ -636,6 +750,15 @@ let () =
           Alcotest.test_case "sim world end to end" `Quick test_sim_world_two_phase_end_to_end;
           Alcotest.test_case "in-doubt resolves by rpc" `Quick
             test_sim_world_in_doubt_resolves_by_rpc;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "deferred commits flush and drain" `Quick
+            test_sim_batched_commit_flush_drains;
+          Alcotest.test_case "lease backstops a lost commit notice" `Quick
+            test_sim_batched_commit_lease_backstop;
+          Alcotest.test_case "group commit coalesces syncs" `Quick
+            test_sim_group_commit_coalesces_syncs;
         ] );
       ( "property",
         [ QCheck_alcotest.to_alcotest qcheck_never_commit_and_abort ] );
