@@ -151,7 +151,7 @@ let bench_rep_insert_coalesce_leased () =
 
 (* --- whole-suite operations --------------------------------------------------------- *)
 
-let make_suite ?two_phase ?batching ?group_commit ~config ~entries () =
+let make_suite ?two_phase ?batching ?group_commit ?recorder ~config ~entries () =
   let open Repdir_rep in
   let open Repdir_core in
   let n = Config.n_reps config in
@@ -168,7 +168,7 @@ let make_suite ?two_phase ?batching ?group_commit ~config ~entries () =
             Rep.create ~timers ~group_commit:w ~name ())
   in
   let suite =
-    Suite.create ?two_phase ?batching ~config ~transport:(Transport.local reps)
+    Suite.create ?two_phase ?batching ?recorder ~config ~transport:(Transport.local reps)
       ~txns:(Repdir_txn.Txn.Manager.create ())
       ()
   in
@@ -188,9 +188,10 @@ let bench_suite_lookup ~config =
     (Staged.stage (fun () ->
          ignore (Suite.lookup suite (Key.of_int (Repdir_util.Rng.int rng 100)))))
 
-let bench_suite_insert_delete ?two_phase ?batching ?group_commit ?(tag = "") ~config () =
+let bench_suite_insert_delete ?two_phase ?batching ?group_commit ?recorder ?(tag = "")
+    ~config () =
   let open Repdir_core in
-  let suite = make_suite ?two_phase ?batching ?group_commit ~config ~entries:100 () in
+  let suite = make_suite ?two_phase ?batching ?group_commit ?recorder ~config ~entries:100 () in
   let i = ref 0 in
   Test.make
     ~name:(Printf.sprintf "suite(%s)/insert+delete%s" (Config.to_string config) tag)
@@ -199,6 +200,24 @@ let bench_suite_insert_delete ?two_phase ?batching ?group_commit ?(tag = "") ~co
          let k = Key.of_int (1000 + (!i mod 100)) in
          (match Suite.insert suite k "v" with Ok () -> () | Error `Already_present -> ());
          ignore (Suite.delete suite k)))
+
+(* The auditor-overhead A/B: the same two-phase insert+delete churn with a
+   history recorder attached. Recording must stay cheap enough to leave on
+   for every nemesis campaign — the smoke gate holds it under 10%. The
+   recorder keeps its bounded window and feeds a sink, like an audited run;
+   the virtual clock is a monotone counter so interval stamps cost what they
+   cost in the simulator (a closure call), not a syscall. *)
+let bench_suite_insert_delete_audited ~config () =
+  let clock = ref 0.0 in
+  let recorder =
+    Repdir_audit.History.recorder ~client:0
+      ~now:(fun () ->
+        clock := !clock +. 1.0;
+        !clock)
+      ()
+  in
+  Repdir_audit.History.set_sink recorder ignore;
+  bench_suite_insert_delete ~two_phase:true ~recorder ~tag:"+2pc+audit" ~config ()
 
 (* --- baselines ------------------------------------------------------------------------ *)
 
@@ -397,8 +416,10 @@ let print_counters counters =
 (* --- CI smoke -------------------------------------------------------------------- *)
 
 (* Fast regression gate: the batched two-phase path must not be slower than
-   the unbatched one, and batching must cut true messages per insert and per
-   delete at 3-2-2 by at least half. *)
+   the unbatched one, batching must cut true messages per insert and per
+   delete at 3-2-2 by at least half, and history recording (the consistency
+   auditor's hook in every suite operation) must cost under 10%. The timing
+   rows and counters land in BENCH_pr6.json. *)
 let smoke () =
   section "Bench smoke";
   let rows =
@@ -407,6 +428,7 @@ let smoke () =
         bench_suite_insert_delete ~two_phase:true ~tag:"+2pc" ~config:cfg_322 ();
         bench_suite_insert_delete ~two_phase:true ~batching:true ~tag:"+2pc+batch"
           ~config:cfg_322 ();
+        bench_suite_insert_delete_audited ~config:cfg_322 ();
       ]
   in
   let ns name =
@@ -416,16 +438,22 @@ let smoke () =
   in
   let unbatched_ns = ns "suite(3-2-2)/insert+delete+2pc" in
   let batched_ns = ns "suite(3-2-2)/insert+delete+2pc+batch" in
+  let audited_ns = ns "suite(3-2-2)/insert+delete+2pc+audit" in
   let counters = message_counters () in
   let v name = List.assoc name counters in
   let ratio kind =
     v (Printf.sprintf "messages(3-2-2)/%s+2pc" kind)
     /. v (Printf.sprintf "messages(3-2-2)/%s+2pc+batch" kind)
   in
-  Printf.printf "\n2pc insert+delete ns/op: unbatched %.0f, batched %.0f\n" unbatched_ns
-    batched_ns;
-  Printf.printf "msgs/op reduction: insert %.2fx, delete %.2fx\n%!" (ratio "insert")
+  let audit_overhead = (audited_ns /. unbatched_ns -. 1.0) *. 100.0 in
+  Printf.printf "\n2pc insert+delete ns/op: unbatched %.0f, batched %.0f, audited %.0f\n"
+    unbatched_ns batched_ns audited_ns;
+  Printf.printf "msgs/op reduction: insert %.2fx, delete %.2fx\n" (ratio "insert")
     (ratio "delete");
+  Printf.printf "auditor recording overhead: %+.1f%%\n%!" audit_overhead;
+  write_bench_json ~path:"BENCH_pr6.json"
+    ~counters:(counters @ [ ("audit/recording-overhead-pct", audit_overhead) ])
+    rows;
   let failures = ref [] in
   let check cond msg = if not cond then failures := msg :: !failures in
   check
@@ -438,6 +466,10 @@ let smoke () =
     (Printf.sprintf "insert msgs/op reduction %.2fx < 2x" (ratio "insert"));
   check (ratio "delete" >= 2.0)
     (Printf.sprintf "delete msgs/op reduction %.2fx < 2x" (ratio "delete"));
+  check
+    ((not (Float.is_nan audited_ns)) && audited_ns <= unbatched_ns *. 1.10)
+    (Printf.sprintf "history recording overhead over 10%%: %.0f ns vs %.0f ns" audited_ns
+       unbatched_ns);
   match !failures with
   | [] -> Printf.printf "smoke OK\n%!"
   | fs ->

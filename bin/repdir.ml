@@ -156,6 +156,56 @@ let faults_cmd =
     (Cmd.info "faults" ~doc:"Availability and consistency under crash/recovery")
     Term.(const run $ seed_t $ ops_per_phase_t $ retries_t $ n_t $ r_t $ w_t)
 
+(* A failing campaign must leave everything a human needs to chase it: the
+   per-plan findings, the retained history window on disk, and a one-line
+   command that reproduces the exact world (the plan schedule derives from
+   the campaign seed; the world seed is a fixed function of the campaign
+   seed and the plan's index, so `audit --plan NAME --seed SEED` replays the
+   identical run). Returns the failing outcomes. *)
+let report_campaign_failures ~seed ~duration ~keys ~clients ~n ~r ~w outcomes =
+  let failing o =
+    Nemesis.total_violations o > 0 || o.Nemesis.orphan_locks > 0
+    || o.Nemesis.indoubt_open > 0
+  in
+  let failed = List.filter failing outcomes in
+  List.iter
+    (fun o ->
+      Printf.printf "\nFAILURES in plan %S (world seed %Ld):\n" o.Nemesis.plan
+        o.Nemesis.world_seed;
+      if o.Nemesis.violations > 0 then
+        Printf.printf "  %d sequential-model violations\n" o.Nemesis.violations;
+      if o.Nemesis.orphan_locks > 0 then
+        Printf.printf "  %d orphaned locks at quiesce\n" o.Nemesis.orphan_locks;
+      if o.Nemesis.indoubt_open > 0 then
+        Printf.printf "  %d in-doubt transactions never resolved\n" o.Nemesis.indoubt_open;
+      (match o.Nemesis.audit with
+      | None -> ()
+      | Some a ->
+          List.iter (Printf.printf "  checker: %s\n") a.Nemesis.checker_violations;
+          List.iter (Printf.printf "  scrub: %s\n") a.Nemesis.scrub_violations;
+          let slug = String.map (fun c -> if c = ' ' then '-' else c) o.Nemesis.plan in
+          let path = Printf.sprintf "audit-history-%s-%Ld.txt" slug seed in
+          a.Nemesis.dump path;
+          Printf.printf "  history window dumped to %s\n" path);
+      Printf.printf
+        "  reproduce: dune exec bin/repdir.exe -- audit --plan %S --seed %Ld --duration %g \
+         --keys %d --clients %d -n %d -r %d -w %d\n"
+        o.Nemesis.plan seed duration keys clients n r w)
+    failed;
+  failed
+
+let warn_unchecked_keys outcomes =
+  List.iter
+    (fun o ->
+      match o.Nemesis.audit with
+      | Some a when a.Nemesis.keys_given_up > 0 ->
+          Printf.printf
+            "WARNING: plan %S: checker gave up on %d key(s) (state-space caps) — those \
+             keys are unverified, not passed\n"
+            o.Nemesis.plan a.Nemesis.keys_given_up
+      | _ -> ())
+    outcomes
+
 let nemesis_cmd =
   let duration_t =
     Arg.(value & opt float 1000.0 & info [ "duration" ] ~docv:"T"
@@ -173,27 +223,17 @@ let nemesis_cmd =
       "Nemesis campaign (%s suite): crash storm, rolling partition, flaky links, torn-WAL \
        crashes, coordinator crashes\n\
        Hardened transport: at-most-once RPC (request-id dedup), bounded retries with \
-       backoff+jitter, 2PC; every response checked against a sequential model.\n\
+       backoff+jitter, 2PC; every response checked against a sequential model and the \
+       recorded history against the strict-serializability checker.\n\
        Quiesce audit (no power cycle): zero violations, zero orphaned locks, zero open \
        in-doubt transactions.\n"
       (Repdir_quorum.Config.to_string config);
-    let outcomes = Nemesis.run_all ~seed ~config ~duration ~key_space:keys () in
+    let outcomes = Nemesis.run_all ~seed ~config ~duration ~key_space:keys ~audit:true () in
     print_table (Nemesis.table_of_outcomes outcomes);
-    let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
-    let violations = sum (fun o -> o.Nemesis.violations) in
-    let orphans = sum (fun o -> o.Nemesis.orphan_locks) in
-    let indoubt = sum (fun o -> o.Nemesis.indoubt_open) in
-    if violations > 0 then begin
-      Printf.printf "FAILED: %d sequential-model violations\n" violations;
-      exit 1
-    end;
-    if orphans > 0 then begin
-      Printf.printf
-        "FAILED: %d orphaned locks at quiesce (termination protocol left residue)\n" orphans;
-      exit 1
-    end;
-    if indoubt > 0 then begin
-      Printf.printf "FAILED: %d in-doubt transactions never resolved\n" indoubt;
+    warn_unchecked_keys outcomes;
+    let failed = report_campaign_failures ~seed ~duration ~keys ~clients:1 ~n ~r ~w outcomes in
+    if failed <> [] then begin
+      Printf.printf "\nFAILED: %d of %d plans\n" (List.length failed) (List.length outcomes);
       exit 1
     end
   in
@@ -201,6 +241,81 @@ let nemesis_cmd =
     (Cmd.info "nemesis"
        ~doc:"Adversarial fault campaign: the suite must stay consistent through all of it")
     Term.(const run $ seed_t $ duration_t $ keys_t $ n_t $ r_t $ w_t)
+
+let audit_cmd =
+  let duration_t =
+    Arg.(value & opt float 1000.0 & info [ "duration" ] ~docv:"T"
+           ~doc:"Virtual time each fault plan runs for.")
+  in
+  let keys_t =
+    Arg.(value & opt int 30 & info [ "keys" ] ~docv:"N" ~doc:"Size of the key space.")
+  in
+  let clients_t =
+    Arg.(value & opt int 1 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent clients. With more than one, the inline sequential model is \
+                 off and the strict-serializability checker is the oracle.")
+  in
+  let plan_t =
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"NAME"
+           ~doc:"Run only the named plan (default: all seven).")
+  in
+  let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
+  let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
+  let w_t = Arg.(value & opt int 2 & info [ "w" ] ~docv:"W" ~doc:"Write quorum.") in
+  let run seed duration keys clients plan_filter n r w =
+    let config = Repdir_quorum.Config.simple ~n ~r ~w in
+    let plans = Nemesis.all_plans ~duration ~n ~seed () in
+    let indexed = List.mapi (fun i p -> (i, p)) plans in
+    let selected =
+      match plan_filter with
+      | None -> indexed
+      | Some name ->
+          List.filter (fun (_, p) -> String.equal p.Nemesis.plan_name name) indexed
+    in
+    if selected = [] then begin
+      Printf.printf "unknown plan %S; available plans:\n"
+        (Option.value plan_filter ~default:"");
+      List.iter (fun (_, p) -> Printf.printf "  %s\n" p.Nemesis.plan_name) indexed;
+      exit 2
+    end;
+    Printf.printf
+      "Audited campaign (%s suite, %d client%s): every client-observed history checked \
+       for strict serializability against the sequential directory spec, every replica \
+       scrubbed at quiesce (tiling, WAL agreement, orphan residue, quorum \
+       intersection).\n"
+      (Repdir_quorum.Config.to_string config)
+      clients
+      (if clients = 1 then "" else "s");
+    let outcomes =
+      List.map
+        (fun (i, p) ->
+          (* The same world-seed schedule as the full campaign, so a single
+             --plan run replays its plan bit-for-bit. *)
+          let world_seed = Int64.add seed (Int64.mul 1000003L (Int64.of_int i)) in
+          Nemesis.run_plan ~seed:world_seed ~config ~key_space:keys ~audit:true ~clients p)
+        selected
+    in
+    print_table (Nemesis.table_of_outcomes outcomes);
+    warn_unchecked_keys outcomes;
+    let failed = report_campaign_failures ~seed ~duration ~keys ~clients ~n ~r ~w outcomes in
+    if failed <> [] then begin
+      Printf.printf "\nFAILED: %d of %d plans\n" (List.length failed) (List.length outcomes);
+      exit 1
+    end;
+    let checked =
+      List.fold_left
+        (fun a o ->
+          match o.Nemesis.audit with Some x -> a + x.Nemesis.checked_ops | None -> a)
+        0 outcomes
+    in
+    Printf.printf "All %d plans clean: %d operations proven strictly serializable.\n"
+      (List.length outcomes) checked
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Consistency auditor: audited fault campaigns with strict-serializability \
+             checking and replica scrubbing")
+    Term.(const run $ seed_t $ duration_t $ keys_t $ clients_t $ plan_t $ n_t $ r_t $ w_t)
 
 let latency_cmd =
   let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
@@ -368,6 +483,7 @@ let () =
             locality_cmd;
             faults_cmd;
             nemesis_cmd;
+            audit_cmd;
             sync_cmd;
             latency_cmd;
             space_cmd;

@@ -1,0 +1,302 @@
+open Repdir_key
+
+(* Online strict-serializability checker for single-key directory histories.
+
+   The paper's structure keeps this tractable: lookup/insert/update/delete
+   commute across distinct keys, so the concurrent history partitions into
+   independent per-key sub-histories and each is checked alone (a
+   Wing-Gong-style search, as Jepsen's checkers do). The per-key projection
+   of a transaction uses the interval [first invocation on that key,
+   transaction finish]: under strict two-phase locking the key is frozen
+   from that first (locked) touch until commit, so a correct execution
+   always admits a serialization point inside it — narrowing the interval
+   this way never produces a false violation and sharpens real-time
+   precedence.
+
+   Events are fed in completion order (the sink of each client's recorder
+   fires at finish time, and simulated time is monotone). Closure of a
+   buffered chunk cannot rely on that alone — a transaction finishing late
+   may have *started* before everything buffered — so the checker keeps a
+   per-client watermark: clients are sequential, hence every future
+   operation of client [c] starts at or after the last finish [c] fed us.
+   Once the minimum watermark over all clients passes a chunk's largest
+   finish, nothing fed later can be ordered before the chunk, and it is
+   solved and garbage-collected: only the set of reachable states (not the
+   operations) crosses the boundary, which is what bounds memory on long
+   campaigns.
+
+   Ambiguous operations (the client timed out; the write may land at any
+   later time) are modelled with finish = +inf. They never gate chunk
+   closure: they live in a per-key pending set and every chunk solve may
+   interleave each not-yet-applied one at any point that respects its start
+   time, tracked per-state as an applied-id set. A pending ambiguous
+   operation is dropped once every surviving state has applied it. *)
+
+type op = {
+  o_txn : Repdir_txn.Txn.id;
+  o_client : int;
+  o_start : float;
+  o_finish : float;  (* +inf for ambiguous *)
+  o_prims : History.prim list;  (* this transaction's prims on this key, in order *)
+}
+
+let pp_op ppf o =
+  Format.fprintf ppf "@[<h>c%d t%d [%.3f, %s]" o.o_client o.o_txn o.o_start
+    (if o.o_finish = infinity then "?" else Printf.sprintf "%.3f" o.o_finish);
+  List.iter (fun p -> Format.fprintf ppf " {%a}" History.pp_prim p) o.o_prims;
+  Format.fprintf ppf "@]"
+
+(* Sequential single-key directory spec: a key is absent or holds a value. *)
+let apply_prim (state : string option) (p : History.prim) : string option option =
+  match (p, state) with
+  | History.Lookup (_, observed), v -> if observed = v then Some v else None
+  | History.Insert (_, value, true), None -> Some (Some value)
+  | History.Insert (_, _, false), (Some _ as v) -> Some v
+  | History.Insert _, _ -> None
+  | History.Update (_, value, true), Some _ -> Some (Some value)
+  | History.Update (_, _, false), None -> Some None
+  | History.Update _, _ -> None
+  | History.Delete (_, true), Some _ -> Some None
+  | History.Delete (_, false), None -> Some None
+  | History.Delete _, _ -> None
+
+let apply_op state o =
+  List.fold_left
+    (fun acc p -> match acc with None -> None | Some s -> apply_prim s p)
+    (Some state) o.o_prims
+
+(* A possible key state at the checking frontier: the value plus which
+   pending ambiguous transactions have (in this possibility) applied. *)
+type frontier = string option * Repdir_txn.Txn.id list (* applied ids, sorted *)
+
+type kstate = {
+  mutable buf : op list; (* definite ops awaiting closure, unordered *)
+  mutable buf_max_finish : float;
+  mutable pending : op list; (* ambiguous ops, applied per-frontier *)
+  mutable states : frontier list;
+  mutable dead : string option; (* verdict or give-up reason; checking stopped *)
+}
+
+type violation = { v_key : Key.t; v_detail : string }
+
+type stats = {
+  mutable events_seen : int;
+  mutable ops_checked : int;
+  mutable ambiguous_ops : int;
+  mutable chunks_closed : int;
+  mutable given_up : (Key.t * string) list;
+}
+
+type t = {
+  initial : Key.t -> string option;
+  n_clients : int;
+  last_finish : float array; (* per-client watermark *)
+  keys : (Key.t, kstate) Hashtbl.t;
+  mutable violations : violation list;
+  stats : stats;
+}
+
+(* Past these sizes the search space says the workload, not the checker, is
+   the problem; the key is reported unchecked rather than stalling the run. *)
+let max_chunk = 64
+let max_pending = 8
+
+let create ?(initial = fun _ -> None) ~clients () =
+  if clients < 1 then invalid_arg "Checker.create: need at least one client";
+  {
+    initial;
+    n_clients = clients;
+    last_finish = Array.make clients 0.0;
+    keys = Hashtbl.create 64;
+    violations = [];
+    stats =
+      { events_seen = 0; ops_checked = 0; ambiguous_ops = 0; chunks_closed = 0; given_up = [] };
+  }
+
+let kstate_of t key =
+  match Hashtbl.find_opt t.keys key with
+  | Some ks -> ks
+  | None ->
+      let ks =
+        {
+          buf = [];
+          buf_max_finish = neg_infinity;
+          pending = [];
+          states = [ (t.initial key, []) ];
+          dead = None;
+        }
+      in
+      Hashtbl.replace t.keys key ks;
+      ks
+
+(* Exhaustive search for linearizations consuming every op of [definite],
+   interleaved with any eligible subset of [pending]; returns the reachable
+   frontier states (empty = no linearization exists). An op may be placed
+   next iff no other remaining definite op finished strictly before it
+   started (Wing-Gong minimality); each step removes a definite op or marks
+   an ambiguous one applied, so the memoized search terminates. *)
+let solve ~definite ~pending states =
+  let results = ref [] in
+  let seen_result = Hashtbl.create 16 in
+  let memo = Hashtbl.create 64 in
+  let rec go remaining (value : string option) applied =
+    let memo_key = (List.map (fun o -> o.o_txn) remaining, value, applied) in
+    if not (Hashtbl.mem memo memo_key) then begin
+      Hashtbl.replace memo memo_key ();
+      if remaining = [] then begin
+        if not (Hashtbl.mem seen_result (value, applied)) then begin
+          Hashtbl.replace seen_result (value, applied) ();
+          results := (value, applied) :: !results
+        end
+      end
+      else
+        let eligible o =
+          List.for_all (fun p -> p == o || not (p.o_finish < o.o_start)) remaining
+        in
+        List.iter
+          (fun o ->
+            if eligible o then
+              match apply_op value o with
+              | Some value' -> go (List.filter (fun p -> p != o) remaining) value' applied
+              | None -> ())
+          remaining;
+        List.iter
+          (fun a ->
+            if
+              (not (List.mem a.o_txn applied))
+              && List.for_all (fun p -> not (p.o_finish < a.o_start)) remaining
+            then
+              match apply_op value a with
+              | Some value' ->
+                  go remaining value' (List.sort_uniq compare (a.o_txn :: applied))
+              | None -> ())
+          pending
+    end
+  in
+  List.iter (fun (value, applied) -> go definite value applied) states;
+  (* Ambiguous ops may also fire *after* every definite op of this chunk, in
+     any eligible combination — already explored: [go] keeps recursing on
+     pending ops once [remaining] is empty. *)
+  !results
+
+let give_up t key ks reason =
+  ks.dead <- Some reason;
+  ks.buf <- [];
+  ks.pending <- [];
+  t.stats.given_up <- (key, reason) :: t.stats.given_up
+
+let close_chunk t key ks =
+  let definite = List.sort (fun a b -> compare a.o_start b.o_start) ks.buf in
+  let states' = solve ~definite ~pending:ks.pending ks.states in
+  t.stats.chunks_closed <- t.stats.chunks_closed + 1;
+  if states' = [] then begin
+    let detail =
+      Format.asprintf "@[<v>key %a: no strict-serializable order for chunk:@,%a@,(%d pending ambiguous, %d prior states)@]"
+        Key.pp key
+        (Format.pp_print_list pp_op)
+        definite (List.length ks.pending) (List.length ks.states)
+    in
+    t.violations <- { v_key = key; v_detail = detail } :: t.violations;
+    ks.dead <- Some "violation found"
+  end
+  else begin
+    ks.states <- states';
+    ks.buf <- [];
+    ks.buf_max_finish <- neg_infinity;
+    (* Drop pending ambiguous ops that every surviving state has applied. *)
+    let settled a = List.for_all (fun (_, applied) -> List.mem a.o_txn applied) states' in
+    let done_, still = List.partition settled ks.pending in
+    ks.pending <- still;
+    if done_ <> [] then begin
+      let gone = List.map (fun a -> a.o_txn) done_ in
+      ks.states <-
+        List.sort_uniq compare
+          (List.map
+             (fun (v, applied) -> (v, List.filter (fun id -> not (List.mem id gone)) applied))
+             ks.states)
+    end
+  end
+
+let watermark t = Array.fold_left Float.min infinity t.last_finish
+
+let maybe_close t =
+  let w = watermark t in
+  Hashtbl.iter
+    (fun key ks ->
+      if ks.dead = None then
+        if List.length ks.buf > max_chunk then
+          give_up t key ks
+            (Printf.sprintf "chunk exceeded %d concurrent ops; key left unchecked" max_chunk)
+        else if ks.buf <> [] && w > ks.buf_max_finish then close_chunk t key ks)
+    t.keys
+
+let feed t (e : History.event) =
+  t.stats.events_seen <- t.stats.events_seen + 1;
+  if e.client < 0 || e.client >= t.n_clients then
+    invalid_arg "Checker.feed: client id out of range";
+  (* Even failed and ambiguous transactions advance the watermark: the
+     client observed the outcome (or gave up) at [finish] and will not start
+     anything earlier. *)
+  t.last_finish.(e.client) <- Float.max t.last_finish.(e.client) e.finish;
+  (if e.status <> `Failed then begin
+     (* Project the transaction onto each key it touched. *)
+     let by_key : (Key.t * (float * History.prim list ref)) list ref = ref [] in
+     List.iter
+       (fun (inv, p) ->
+         let k = History.key_of_prim p in
+         match List.assoc_opt k !by_key with
+         | Some (_, prims) -> prims := p :: !prims
+         | None -> by_key := (k, (inv, ref [ p ])) :: !by_key)
+       e.prims;
+     List.iter
+       (fun (key, (start_, prims)) ->
+         let prims = List.rev !prims in
+         let ks = kstate_of t key in
+         if ks.dead = None then
+           match e.status with
+           | `Ok ->
+               let o =
+                 {
+                   o_txn = e.txn;
+                   o_client = e.client;
+                   o_start = start_;
+                   o_finish = e.finish;
+                   o_prims = prims;
+                 }
+               in
+               t.stats.ops_checked <- t.stats.ops_checked + 1;
+               ks.buf <- o :: ks.buf;
+               ks.buf_max_finish <- Float.max ks.buf_max_finish e.finish
+           | `Ambiguous ->
+               (* A timed-out transaction with no writes on this key
+                  constrains nothing; with writes, it may apply at any later
+                  point (or never). *)
+               if List.exists History.prim_is_write prims then begin
+                 let o =
+                   {
+                     o_txn = e.txn;
+                     o_client = e.client;
+                     o_start = start_;
+                     o_finish = infinity;
+                     o_prims = prims;
+                   }
+                 in
+                 t.stats.ambiguous_ops <- t.stats.ambiguous_ops + 1;
+                 if List.length ks.pending >= max_pending then
+                   give_up t key ks
+                     (Printf.sprintf "more than %d unresolved ambiguous writes; key left unchecked"
+                        max_pending)
+                 else ks.pending <- o :: ks.pending
+               end
+           | `Failed -> assert false)
+       !by_key
+   end);
+  maybe_close t
+
+let finalize t =
+  Hashtbl.iter (fun key ks -> if ks.dead = None && ks.buf <> [] then close_chunk t key ks) t.keys
+
+let violations t = List.rev t.violations
+let stats t = t.stats
+
+let pp_violation ppf v = Format.fprintf ppf "%s" v.v_detail

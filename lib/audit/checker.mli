@@ -1,0 +1,45 @@
+(** Online strict-serializability checker for directory histories.
+
+    The concurrent history is partitioned into independent per-key
+    sub-histories (single-key directory operations commute across distinct
+    keys), each checked by exhaustive linearization search against the
+    sequential spec, with response real-time order as the precedence
+    relation. Chunks proven linearizable are garbage-collected — only the
+    set of reachable key states survives the chunk boundary — using
+    per-client watermarks for sound closure (clients are sequential, so a
+    client's future operations start no earlier than its last reported
+    finish). Ambiguous (timed-out) writes are carried as optional
+    operations that may interleave at any point after their invocation, or
+    never. *)
+
+open Repdir_key
+
+type t
+
+type violation = { v_key : Key.t; v_detail : string }
+
+type stats = {
+  mutable events_seen : int;
+  mutable ops_checked : int;  (** definite per-key transaction projections *)
+  mutable ambiguous_ops : int;  (** timed-out writes tracked as optional *)
+  mutable chunks_closed : int;
+  mutable given_up : (Key.t * string) list;
+      (** keys left unchecked (state-space caps), with reasons — reported,
+          never counted as passes *)
+}
+
+val create : ?initial:(Key.t -> string option) -> clients:int -> unit -> t
+(** [initial] is the directory state before the recorded history began
+    (default: every key absent). [clients] must cover every client id that
+    will ever feed an event: the watermark is the minimum over all of them. *)
+
+val feed : t -> History.event -> unit
+(** Feed one completed event. Events must arrive in non-decreasing finish
+    order (recorder sinks fire at finish time under a monotone clock). *)
+
+val finalize : t -> unit
+(** Force-close every open chunk; call once after the workload has ended. *)
+
+val violations : t -> violation list
+val stats : t -> stats
+val pp_violation : Format.formatter -> violation -> unit

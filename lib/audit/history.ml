@@ -1,0 +1,137 @@
+open Repdir_key
+
+(* A client-observed primitive directory operation: what was asked and what
+   came back. Result flags are the client's observations (a lookup's value,
+   whether an insert found the key already present); for an ambiguous
+   transaction they bind only on the committed branch. *)
+type prim =
+  | Lookup of Key.t * string option
+  | Insert of Key.t * string * bool  (** value, whether it inserted (false: already present) *)
+  | Update of Key.t * string * bool  (** value, whether it updated (false: key absent) *)
+  | Delete of Key.t * bool  (** whether the key was present *)
+
+let key_of_prim = function
+  | Lookup (k, _) | Insert (k, _, _) | Update (k, _, _) | Delete (k, _) -> k
+
+let prim_is_write = function
+  | Lookup _ -> false
+  | Insert (_, _, applied) | Update (_, _, applied) | Delete (_, applied) -> applied
+
+let pp_prim ppf = function
+  | Lookup (k, None) -> Format.fprintf ppf "lookup %a -> absent" Key.pp k
+  | Lookup (k, Some v) -> Format.fprintf ppf "lookup %a -> %s" Key.pp k v
+  | Insert (k, v, ok) ->
+      Format.fprintf ppf "insert %a=%s -> %s" Key.pp k v (if ok then "ok" else "already-present")
+  | Update (k, v, ok) ->
+      Format.fprintf ppf "update %a=%s -> %s" Key.pp k v (if ok then "ok" else "not-present")
+  | Delete (k, present) ->
+      Format.fprintf ppf "delete %a -> %s" Key.pp k (if present then "ok" else "absent")
+
+type status = [ `Ok | `Failed | `Ambiguous ]
+
+let pp_status ppf = function
+  | `Ok -> Format.pp_print_string ppf "ok"
+  | `Failed -> Format.pp_print_string ppf "failed"
+  | `Ambiguous -> Format.pp_print_string ppf "ambiguous"
+
+(* One completed transaction as the client experienced it. [start_] is the
+   invocation time of its first primitive, [finish] the real time at which
+   the client learned the outcome (for [`Ambiguous]: gave up waiting — the
+   transaction's effect, if any, may land later). Prims carry their own
+   invocation times, oldest first. *)
+type event = {
+  client : int;
+  txn : Repdir_txn.Txn.id;
+  start_ : float;
+  finish : float;
+  status : status;
+  prims : (float * prim) list;
+}
+
+let pp_event ppf e =
+  Format.fprintf ppf "@[<h>c%d t%d [%.3f, %.3f] %a:" e.client e.txn e.start_ e.finish pp_status
+    e.status;
+  List.iter (fun (_, p) -> Format.fprintf ppf " {%a}" pp_prim p) e.prims;
+  Format.fprintf ppf "@]"
+
+(* --- per-client recorder -------------------------------------------------------- *)
+
+(* Clients are sequential, so a recorder accumulates the prims of exactly one
+   open transaction at a time; keying the accumulator by transaction id makes
+   a stray out-of-order hook call harmless rather than corrupting. The
+   retained window is a bounded ring (oldest events dropped first) so long
+   campaigns keep a recent-history dump without unbounded memory; the
+   optional [sink] sees every event as it completes, which is how the online
+   checker is fed. *)
+type recorder = {
+  r_client : int;
+  r_now : unit -> float;
+  r_cap : int;
+  open_txns : (Repdir_txn.Txn.id, float * (float * prim) list ref) Hashtbl.t;
+  window : event Queue.t;
+  mutable emitted : int;
+  mutable dropped : int;
+  mutable sink : (event -> unit) option;
+}
+
+let recorder ?(cap = 4096) ~client ~now () =
+  if cap < 1 then invalid_arg "History.recorder: cap must be positive";
+  {
+    r_client = client;
+    r_now = now;
+    r_cap = cap;
+    open_txns = Hashtbl.create 4;
+    window = Queue.create ();
+    emitted = 0;
+    dropped = 0;
+    sink = None;
+  }
+
+let set_sink r sink = r.sink <- Some sink
+let client r = r.r_client
+let now r = r.r_now ()
+
+let record r ~txn prim =
+  let t = r.r_now () in
+  match Hashtbl.find_opt r.open_txns txn with
+  | Some (_, prims) -> prims := (t, prim) :: !prims
+  | None -> Hashtbl.replace r.open_txns txn (t, ref [ (t, prim) ])
+
+let finish r ~txn status =
+  match Hashtbl.find_opt r.open_txns txn with
+  | None -> () (* transaction recorded nothing: no constraints to check *)
+  | Some (start_, prims) ->
+      Hashtbl.remove r.open_txns txn;
+      let e =
+        {
+          client = r.r_client;
+          txn;
+          start_;
+          finish = r.r_now ();
+          status;
+          prims = List.rev !prims;
+        }
+      in
+      r.emitted <- r.emitted + 1;
+      Queue.push e r.window;
+      if Queue.length r.window > r.r_cap then begin
+        ignore (Queue.pop r.window);
+        r.dropped <- r.dropped + 1
+      end;
+      match r.sink with None -> () | Some f -> f e
+
+let events r = List.of_seq (Queue.to_seq r.window)
+let emitted r = r.emitted
+let dropped r = r.dropped
+
+let dump_to_file ~path recorders =
+  let all = List.concat_map events recorders in
+  let all = List.sort (fun a b -> compare a.finish b.finish) all in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Format.fprintf ppf "# history window: %d events (%d more dropped from bounded ring)@."
+    (List.length all)
+    (List.fold_left (fun acc r -> acc + dropped r) 0 recorders);
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) all;
+  Format.pp_print_flush ppf ();
+  close_out oc

@@ -1,0 +1,12 @@
+(** Quiesce-time replica scrubber.
+
+    Global invariants over a settled suite of representatives: per-replica
+    structure (entry+gap tiling of [LOW, HIGH]; live map equals a
+    committed-only WAL replay — see {!Repdir_rep.Rep.scrub}), zero orphan
+    locks/waiters/leases/in-doubt transactions, same-version-same-value
+    agreement across replicas, and the quorum-intersection property — the
+    highest-versioned answer of {e every} vote set reaching the read quorum
+    equals the global highest-versioned answer for every key known
+    anywhere. Returns human-readable violations; empty means clean. *)
+
+val run : config:Repdir_quorum.Config.t -> Repdir_rep.Rep.t array -> string list

@@ -4,6 +4,7 @@ open Repdir_quorum
 open Repdir_txn
 open Repdir_rep
 module Gi = Repdir_gapmap.Gapmap_intf
+module History = Repdir_audit.History
 
 type value = string
 
@@ -47,11 +48,12 @@ type t = {
      lease/termination protocol is the backstop if even that is lost. *)
   pending : (int, Rep.notice list ref) Hashtbl.t;
   mutable flush_armed : bool;
+  recorder : Repdir_audit.History.recorder option;
 }
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     ?coordinator ?(batch_depth = 1) ?sync ?(batching = false) ?timers
-    ?(notice_window = 5.0) ~config ~transport ~txns () =
+    ?(notice_window = 5.0) ?recorder ~config ~transport ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
@@ -74,7 +76,37 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     notice_window;
     pending = Hashtbl.create 8;
     flush_armed = false;
+    recorder;
   }
+
+(* --- history recording ---------------------------------------------------------- *)
+
+(* The attached recorder (if any) sees every single-key operation with its
+   observed result, stamped at operation completion. Completion lies inside
+   the strict-2PL window for the touched key — after its lock was granted,
+   before commit releases it — so the [prim-completion, transaction-finish]
+   interval always contains a valid serialization point and the checker's
+   real-time precedence stays sound. *)
+let record_prim t ~txn prim =
+  match t.recorder with None -> () | Some r -> History.record r ~txn prim
+
+(* Outcome classification when the commit path raised. Under two-phase
+   commit the client is the coordinator, so its own decision log is
+   authoritative: no decision or an abort decision means presumed abort
+   (clean failure, no effects anywhere); a commit decision with a
+   client-visible failure means the effects land through the termination
+   protocol at some unknown later time — ambiguous. Without two-phase
+   commit the best-effort commit round makes every unclear outcome
+   ambiguous. *)
+let failed_commit_status t txn =
+  if t.two_phase then
+    match Coordinator.decision t.coordinator txn with
+    | Some Coordinator.Committed -> `Ambiguous
+    | Some Coordinator.Aborted | None -> `Failed
+  else `Ambiguous
+
+let record_finish t ~txn status =
+  match t.recorder with None -> () | Some r -> History.finish r ~txn status
 
 let config t = t.config
 let transport t = t.transport
@@ -894,14 +926,17 @@ let with_txn t f =
       match commit_touched t txn with
       | () ->
           Txn.Manager.commit t.txns txn;
+          record_finish t ~txn `Ok;
           result
       | exception e ->
           (* Two-phase commit already aborted the participants. *)
           Txn.Manager.abort t.txns txn;
+          record_finish t ~txn (failed_commit_status t txn);
           raise e)
   | exception e ->
       abort_touched t txn;
       Txn.Manager.abort t.txns txn;
+      record_finish t ~txn `Failed;
       raise e
 
 (* Bounded client-level retry: transient failures (no quorum right now, a
@@ -947,24 +982,43 @@ let run_op t ?txn body =
 
 (* --- public operations --------------------------------------------------------------- *)
 
-let lookup ?txn t key = run_op t ?txn (fun ctx -> do_lookup ctx key)
+let lookup ?txn t key =
+  run_op t ?txn (fun ctx ->
+      let r = do_lookup ctx key in
+      record_prim t ~txn:ctx.txn (History.Lookup (key, Option.map snd r));
+      r)
+
 let mem ?txn t key = Option.is_some (lookup ?txn t key)
 
 let insert ?txn t key value =
   let memo = ref None in
-  match run_op t ?txn (fun ctx -> do_write ctx memo key value ~must_exist:false) with
+  match
+    run_op t ?txn (fun ctx ->
+        let r = do_write ctx memo key value ~must_exist:false in
+        record_prim t ~txn:ctx.txn (History.Insert (key, value, r = Ok ()));
+        r)
+  with
   | Ok () -> Ok ()
   | Error `Already_present -> Error `Already_present
   | Error `Not_present -> assert false
 
 let update ?txn t key value =
   let memo = ref None in
-  match run_op t ?txn (fun ctx -> do_write ctx memo key value ~must_exist:true) with
+  match
+    run_op t ?txn (fun ctx ->
+        let r = do_write ctx memo key value ~must_exist:true in
+        record_prim t ~txn:ctx.txn (History.Update (key, value, r = Ok ()));
+        r)
+  with
   | Ok () -> Ok ()
   | Error `Not_present -> Error `Not_present
   | Error `Already_present -> assert false
 
-let delete ?txn t key = run_op t ?txn (fun ctx -> do_delete ctx key)
+let delete ?txn t key =
+  run_op t ?txn (fun ctx ->
+      let r = do_delete ctx key in
+      record_prim t ~txn:ctx.txn (History.Delete (key, r.was_present));
+      r)
 
 (* --- ordered traversal --------------------------------------------------------------- *)
 

@@ -43,6 +43,7 @@ val create :
   ?batching:bool ->
   ?timers:Repdir_rep.Rep.timers ->
   ?notice_window:float ->
+  ?recorder:Repdir_audit.History.recorder ->
   config:Config.t ->
   transport:Transport.t ->
   txns:Txn.Manager.t ->
@@ -88,7 +89,18 @@ val create :
     Deferred commit notices rely on the representatives' lease/termination
     protocol as a backstop, so long-lived deployments should run with leases
     on; [notice_window] (default 5.0 time units, needs [timers]) bounds how
-    long a notice may wait before a dedicated flush message carries it. *)
+    long a notice may wait before a dedicated flush message carries it.
+
+    [recorder] attaches a consistency-audit history recorder
+    ({!Repdir_audit.History}): every single-key operation
+    (lookup/insert/update/delete) is recorded with its observed result, and
+    each transaction's completion is stamped [`Ok] (committed), [`Failed]
+    (cleanly aborted — under two-phase commit the client's own decision log
+    is authoritative, so a failure with no commit decision is a presumed
+    abort), or [`Ambiguous] (the outcome could not be pinned down; with
+    single-phase commit every unclear outcome is ambiguous). Range
+    traversals ([next]/[prev]/[first]/[last]/[fold_range]) are not
+    recorded. *)
 
 val config : t -> Config.t
 val transport : t -> Transport.t

@@ -15,6 +15,11 @@ type action =
   | Flaky of Net.faults
   | Flaky_link of int * int * Net.faults
   | Steady
+  | Clock_skew of int * float * float
+      (* rep, offset, rate: its virtual clock reads offset + rate * now;
+         (0, 1) restores the true clock *)
+  | Disk_full of int * Wal.io_fault option
+      (* arm (Some fault) or heal (None) the rep's WAL write failure *)
 
 type step = { at : float; action : action }
 
@@ -36,6 +41,11 @@ let pp_action ppf = function
   | Flaky _ -> Format.pp_print_string ppf "flaky links (all)"
   | Flaky_link (a, b, _) -> Format.fprintf ppf "flaky link %d-%d" a b
   | Steady -> Format.pp_print_string ppf "steady network"
+  | Clock_skew (i, 0.0, 1.0) -> Format.fprintf ppf "restore rep%d clock" i
+  | Clock_skew (i, offset, rate) ->
+      Format.fprintf ppf "skew rep%d clock (offset %+.1f, rate %.2fx)" i offset rate
+  | Disk_full (i, Some f) -> Format.fprintf ppf "arm %a at rep%d" Wal.pp_io_fault f i
+  | Disk_full (i, None) -> Format.fprintf ppf "heal disk at rep%d" i
 
 (* --- standard plans ----------------------------------------------------------------- *)
 
@@ -172,6 +182,54 @@ let coordinator_crash ~n ~duration ~seed =
   done;
   { plan_name = "coordinator crash"; duration; steps = List.rev !steps }
 
+(* Skew and drift representative virtual clocks: a fast clock (rate > 1)
+   fires lease timers early — spurious unilateral aborts and in-doubt
+   resolutions the termination protocol must absorb without losing committed
+   work — while a slow one holds leases long past their true deadline, so
+   stranded locks linger and other fault windows pile on top. Offsets are
+   lease-scale, making absolute deadlines disagree across nodes. The network
+   and the client keep the true clock throughout. *)
+let clock_skew ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let steps = ref [] in
+  let t = ref 25.0 in
+  while !t < duration -. 80.0 do
+    let victim = Rng.int rng n in
+    let offset = Rng.float rng 80.0 -. 40.0 in
+    let rate = 0.25 +. Rng.float rng 3.75 in
+    let hold = 40.0 +. Rng.float rng 40.0 in
+    steps := { at = !t; action = Clock_skew (victim, offset, rate) } :: !steps;
+    steps := { at = !t +. hold; action = Clock_skew (victim, 0.0, 1.0) } :: !steps;
+    t := !t +. hold +. 15.0 +. Rng.float rng 15.0
+  done;
+  { plan_name = "clock skew"; duration; steps = List.rev !steps }
+
+(* Fill the disk under a running representative: every WAL append fails
+   (typed error) until the heal, so mutating transactions must abort cleanly
+   while the representative stays up and keeps answering reads. Occasionally
+   bounce the victim shortly after the heal — the log it replays must be
+   exactly the prefix it acknowledged before the disk filled. *)
+let disk_full ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let steps = ref [] in
+  let t = ref 25.0 in
+  let k = ref 0 in
+  while !t < duration -. 70.0 do
+    let victim = Rng.int rng n in
+    let fault = if !k mod 3 = 2 then Wal.Io_error else Wal.Disk_full in
+    let hold = 20.0 +. Rng.float rng 25.0 in
+    steps := { at = !t; action = Disk_full (victim, Some fault) } :: !steps;
+    steps := { at = !t +. hold; action = Disk_full (victim, None) } :: !steps;
+    if Rng.float rng 1.0 < 0.35 then begin
+      let at = !t +. hold +. 2.0 +. Rng.float rng 4.0 in
+      steps := { at; action = Crash victim } :: !steps;
+      steps := { at = at +. 10.0 +. Rng.float rng 8.0; action = Recover victim } :: !steps
+    end;
+    incr k;
+    t := !t +. hold +. 20.0 +. Rng.float rng 15.0
+  done;
+  { plan_name = "disk full"; duration; steps = List.rev !steps }
+
 let standard_plans ?(duration = 1000.0) ~n ~seed () =
   let mix k = Int64.add seed (Int64.mul 7919L (Int64.of_int k)) in
   [
@@ -182,10 +240,28 @@ let standard_plans ?(duration = 1000.0) ~n ~seed () =
     coordinator_crash ~n ~duration ~seed:(mix 5);
   ]
 
+let all_plans ?(duration = 1000.0) ~n ~seed () =
+  let mix k = Int64.add seed (Int64.mul 7919L (Int64.of_int k)) in
+  standard_plans ~duration ~n ~seed ()
+  @ [ clock_skew ~n ~duration ~seed:(mix 6); disk_full ~n ~duration ~seed:(mix 7) ]
+
 (* --- running a plan ------------------------------------------------------------------- *)
+
+(* What the consistency auditor saw, when a plan runs with [~audit:true]. *)
+type audit = {
+  checker_violations : string list;
+  scrub_violations : string list;
+  checked_ops : int;
+  ambiguous_ops : int;
+  chunks_closed : int;
+  keys_given_up : int;
+  dump : string -> unit;
+      (* write the retained history window to a file, post mortem *)
+}
 
 type outcome = {
   plan : string;
+  world_seed : int64;
   attempted : int;
   succeeded : int;
   unavailable : int;
@@ -204,19 +280,52 @@ type outcome = {
   indoubt_recovered : int;
   orphan_locks : int;
   indoubt_open : int;
+  audit : audit option;
 }
 
+let audit_violations o =
+  match o.audit with
+  | None -> 0
+  | Some a -> List.length a.checker_violations + List.length a.scrub_violations
+
+let total_violations o = o.violations + audit_violations o
+
 let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
-    ?(key_space = 30) ?(op_gap = 2.0) ?(lease = 60.0) ?(power_cycle = false) plan =
+    ?(key_space = 30) ?(op_gap = 2.0) ?(lease = 60.0) ?(power_cycle = false)
+    ?(audit = false) ?(clients = 1) plan =
+  if clients < 1 then invalid_arg "Nemesis.run_plan: need at least one client";
   let n = Repdir_quorum.Config.n_reps config in
   let world =
     Sim_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:4 ~rpc_backoff:2.0
-      ~two_phase:true ~n_clients:1 ~lease ~config ()
+      ~two_phase:true ~n_clients:clients ~lease ~config ()
   in
   let sim = Sim_world.sim world in
   let net = Sim_world.net world in
   Net.seed_faults net (Int64.add seed 77L);
-  let suite = Sim_world.suite_for_client world 0 in
+  (* Recording and checking are pure observation: recorders draw no
+     randomness and schedule no events, so an audited run replays the exact
+     event stream of an unaudited one. *)
+  let recorders =
+    if audit then Array.init clients (fun c -> Sim_world.recorder_for_client world c)
+    else [||]
+  in
+  let checker =
+    if audit then begin
+      let ch = Repdir_audit.Checker.create ~clients () in
+      Array.iter
+        (fun r -> Repdir_audit.History.set_sink r (Repdir_audit.Checker.feed ch))
+        recorders;
+      Some ch
+    end
+    else None
+  in
+  let suites =
+    Array.init clients (fun c ->
+        Sim_world.suite_for_client
+          ?recorder:(if audit then Some recorders.(c) else None)
+          world c)
+  in
+  let suite = suites.(0) in
   let rng = Rng.create (Int64.add seed 1L) in
   let retry_rng = Rng.create (Int64.add seed 2L) in
   let model : (string, string) Hashtbl.t = Hashtbl.create 64 in
@@ -248,12 +357,20 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
                 end
               in
               stalk ())
-    | Recover i -> if crashed i then Sim_world.recover_rep world i
+    | Recover i ->
+        if crashed i then begin
+          (* An armed WAL fault would refuse the recovery marker: the
+             operator frees disk space before restarting the node. *)
+          Sim_world.set_io_fault world i None;
+          Sim_world.recover_rep world i
+        end
     | Partition (a, b) -> Net.partition net a b
     | Heal -> Net.heal_partition net
     | Flaky f -> Net.set_default_faults net f
     | Flaky_link (a, b, f) -> Net.set_link_faults net a b f
     | Steady -> Net.clear_faults net
+    | Clock_skew (i, offset, rate) -> Sim_world.set_clock_skew world i ~offset ~rate
+    | Disk_full (i, fault) -> if not (crashed i) then Sim_world.set_io_fault world i fault
   in
   List.iter
     (fun s -> if s.at < plan.duration then Sim.at sim s.at (fun () -> apply s.action))
@@ -288,17 +405,43 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
               if report.Suite.was_present <> Hashtbl.mem model key then incr violations;
               Hashtbl.remove model key);
       incr succeeded
-    with Suite.Unavailable _ -> incr unavailable
+    with
+    | Suite.Unavailable _ -> incr unavailable
+    | Repdir_txn.Txn.Abort _ ->
+        (* Retries exhausted on a transient abort — e.g. a disk-full window
+           outlasting the backoff budget. The operation had no effect. *)
+        incr unavailable
   in
-  Sim.spawn sim (fun () ->
-      while Sim.now sim < plan.duration do
-        one_op ();
-        Sim.sleep sim (Rng.exponential rng ~mean:op_gap)
-      done;
+  (* With concurrent clients the inline sequential model is meaningless
+     (interleavings are exactly what the checker exists to judge), so extra
+     clients run an unchecked random workload and the history checker is the
+     oracle. *)
+  let one_op_free c suite_c rng_c retry_rng_c () =
+    incr attempted;
+    let key = Key.of_int (Rng.int rng_c key_space) in
+    let value = Printf.sprintf "c%d-v%d-%f" c !attempted (Sim.now sim) in
+    let kind = Rng.int rng_c 4 in
+    try
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim)
+        ~rng:retry_rng_c (fun () ->
+          match kind with
+          | 0 -> ignore (Suite.lookup suite_c key : (_ * string) option)
+          | 1 -> ignore (Suite.insert suite_c key value : (unit, _) result)
+          | 2 -> ignore (Suite.update suite_c key value : (unit, _) result)
+          | _ -> ignore (Suite.delete suite_c key : Suite.delete_report));
+      incr succeeded
+    with Suite.Unavailable _ | Repdir_txn.Txn.Abort _ -> incr unavailable
+  in
+  let quiesce () =
       (* The dust settles: faults off, everyone up, stragglers delivered. *)
       Net.clear_faults net;
       Net.heal_partition net;
       for i = 0 to n - 1 do
+        (* Heal injected io faults and clock skew first: a representative
+           cannot replay its log onto a full disk, and the final audit must
+           run on true clocks. *)
+        Sim_world.set_io_fault world i None;
+        Sim_world.set_clock_skew world i ~offset:0.0 ~rate:1.0;
         if crashed i then Sim_world.recover_rep world i
       done;
       Sim.sleep sim 200.0;
@@ -318,8 +461,10 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
         (* Give straggler termination work one more lease period to finish
            before the final audit. *)
         Sim.sleep sim (lease +. 30.0);
-      (* Every key the workload could have touched must now agree with the
-         sequential model. *)
+      (* Every key the workload could have touched must now be readable —
+         and, when a single client kept the sequential model, agree with
+         it. (The reads also land in the recorded history, so the checker
+         judges them against everything that came before.) *)
       for k = 0 to key_space - 1 do
         incr final_keys_checked;
         let key = Key.of_int k in
@@ -327,22 +472,66 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
           Suite.with_retries ~attempts:5 ~backoff:4.0 ~sleep:(Sim.sleep sim)
             ~rng:retry_rng (fun () -> Suite.lookup suite key)
         with
-        | result -> (
-            match (result, Hashtbl.find_opt model key) with
-            | Some (_, v), Some v' when String.equal v v' -> ()
-            | None, None -> ()
-            | _ -> incr violations)
+        | result ->
+            if clients = 1 then (
+              match (result, Hashtbl.find_opt model key) with
+              | Some (_, v), Some v' when String.equal v v' -> ()
+              | None, None -> ()
+              | _ -> incr violations)
         | exception Suite.Unavailable _ ->
             (* Everything is healed; failing to read here is itself a bug. *)
             incr violations
-      done);
+      done
+  in
+  (* The last client to finish its workload runs the quiesce sequence and
+     the final audit; with one client this is the seed's exact structure. *)
+  let live = ref clients in
+  for c = 0 to clients - 1 do
+    let rng_c =
+      if c = 0 then rng else Rng.create (Int64.add seed (Int64.of_int (100 + c)))
+    in
+    let retry_rng_c =
+      if c = 0 then retry_rng else Rng.create (Int64.add seed (Int64.of_int (200 + c)))
+    in
+    Sim.spawn sim (fun () ->
+        while Sim.now sim < plan.duration do
+          (if clients = 1 then one_op () else one_op_free c suites.(c) rng_c retry_rng_c ());
+          Sim.sleep sim (Rng.exponential rng_c ~mean:op_gap)
+        done;
+        decr live;
+        if !live = 0 then quiesce ())
+  done;
   Sim.run sim;
   let reps = Sim_world.reps world in
   let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
   let wal_repaired = sum Repdir_rep.Rep.wal_records_repaired in
   let sum_counter f = sum (fun r -> f (Repdir_rep.Rep.counters r)) in
+  let audit_report =
+    match checker with
+    | None -> None
+    | Some ch ->
+        Repdir_audit.Checker.finalize ch;
+        let scrub_violations = Repdir_audit.Scrub.run ~config reps in
+        let stats = Repdir_audit.Checker.stats ch in
+        Some
+          {
+            checker_violations =
+              List.map
+                (Format.asprintf "%a" Repdir_audit.Checker.pp_violation)
+                (Repdir_audit.Checker.violations ch);
+            scrub_violations;
+            checked_ops = stats.Repdir_audit.Checker.ops_checked;
+            ambiguous_ops = stats.Repdir_audit.Checker.ambiguous_ops;
+            chunks_closed = stats.Repdir_audit.Checker.chunks_closed;
+            keys_given_up = List.length stats.Repdir_audit.Checker.given_up;
+            dump =
+              (fun path ->
+                Repdir_audit.History.dump_to_file ~path (Array.to_list recorders));
+          }
+  in
   {
     plan = plan.plan_name;
+    world_seed = seed;
     attempted = !attempted;
     succeeded = !succeeded;
     unavailable = !unavailable;
@@ -363,16 +552,22 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
        or queued is an orphan the termination protocol failed to clean up. *)
     orphan_locks = sum Repdir_rep.Rep.locks_held + sum Repdir_rep.Rep.lock_waiters;
     indoubt_open = sum Repdir_rep.Rep.in_doubt_count;
+    audit = audit_report;
   }
 
 let run_all ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
-    ?(duration = 1000.0) ?key_space ?op_gap ?lease ?power_cycle () =
+    ?(duration = 1000.0) ?key_space ?op_gap ?lease ?power_cycle ?audit ?clients
+    ?(all = false) () =
   let n = Repdir_quorum.Config.n_reps config in
+  let plans =
+    if all then all_plans ~duration ~n ~seed () else standard_plans ~duration ~n ~seed ()
+  in
   List.mapi
     (fun i plan ->
       let world_seed = Int64.add seed (Int64.mul 1000003L (Int64.of_int i)) in
-      run_plan ~seed:world_seed ~config ?key_space ?op_gap ?lease ?power_cycle plan)
-    (standard_plans ~duration ~n ~seed ())
+      run_plan ~seed:world_seed ~config ?key_space ?op_gap ?lease ?power_cycle ?audit
+        ?clients plan)
+    plans
 
 let table_of_outcomes outcomes =
   let t =
@@ -396,6 +591,9 @@ let table_of_outcomes outcomes =
           "InDoubt";
           "Events";
           "Violations";
+          "Checked";
+          "Ambig";
+          "AuditViol";
         ]
       ()
   in
@@ -420,15 +618,21 @@ let table_of_outcomes outcomes =
           string_of_int o.indoubt_open;
           string_of_int o.sim_events;
           string_of_int o.violations;
+          (match o.audit with None -> "-" | Some a -> string_of_int a.checked_ops);
+          (match o.audit with None -> "-" | Some a -> string_of_int a.ambiguous_ops);
+          (match o.audit with None -> "-" | Some _ -> string_of_int (audit_violations o));
         ])
     outcomes;
   Table.add_separator t;
   Table.add_row t
     [
       "total violations";
-      string_of_int (List.fold_left (fun a o -> a + o.violations) 0 outcomes);
+      string_of_int (List.fold_left (fun a o -> a + total_violations o) 0 outcomes);
     ];
   t
 
-let table ?seed ?config ?duration ?key_space ?op_gap ?lease ?power_cycle () =
-  table_of_outcomes (run_all ?seed ?config ?duration ?key_space ?op_gap ?lease ?power_cycle ())
+let table ?seed ?config ?duration ?key_space ?op_gap ?lease ?power_cycle ?audit ?clients
+    ?all () =
+  table_of_outcomes
+    (run_all ?seed ?config ?duration ?key_space ?op_gap ?lease ?power_cycle ?audit
+       ?clients ?all ())

@@ -36,6 +36,13 @@ type action =
   | Flaky of Net.faults  (** network-wide probabilistic gremlins *)
   | Flaky_link of int * int * Net.faults  (** per-link override *)
   | Steady  (** clear all link gremlins *)
+  | Clock_skew of int * float * float
+      (** skew a representative's virtual clock: it reads
+          [offset + rate * now]; [(i, 0.0, 1.0)] restores the true clock *)
+  | Disk_full of int * Wal.io_fault option
+      (** arm ([Some fault]) or heal ([None]) the representative's WAL write
+          failure; while armed, mutating transactions abort cleanly and the
+          representative stays up *)
 
 type step = { at : float; action : action }
 
@@ -72,13 +79,47 @@ val coordinator_crash : n:int -> duration:float -> seed:int64 -> plan
     doubt and resolve by querying the coordinator after the heal, a peer, or
     via crash recovery. *)
 
+val clock_skew : n:int -> duration:float -> seed:int64 -> plan
+(** Windows of per-representative virtual-clock skew and drift: fast clocks
+    fire lease timers early (spurious unilateral aborts and in-doubt
+    resolutions), slow ones hold leases past their true deadline. The
+    network and the clients keep the true clock. *)
+
+val disk_full : n:int -> duration:float -> seed:int64 -> plan
+(** Windows in which one representative's WAL refuses every append
+    ([Disk_full] or [Io_error]): mutating transactions must abort cleanly
+    while reads keep flowing, and a post-heal bounce must replay exactly the
+    acknowledged prefix. *)
+
 val standard_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
-(** The five plans above, with seeds derived from [seed]. *)
+(** The five original plans (crash storm, rolling partition, flaky links,
+    torn-WAL crashes, coordinator crash), with seeds derived from [seed]. *)
+
+val all_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
+(** {!standard_plans} plus {!clock_skew} and {!disk_full} — seven plans. *)
 
 (* --- running -------------------------------------------------------------------- *)
 
+type audit = {
+  checker_violations : string list;
+      (** strict-serializability violations, pretty-printed *)
+  scrub_violations : string list;  (** replica-scrubber findings *)
+  checked_ops : int;  (** definite per-key projections the checker proved *)
+  ambiguous_ops : int;  (** timed-out writes carried as optional *)
+  chunks_closed : int;
+  keys_given_up : int;  (** keys left unchecked by state-space caps *)
+  dump : string -> unit;
+      (** write the retained history window to the given path — the
+          post-mortem artifact a failing campaign leaves behind *)
+}
+(** What the consistency auditor saw, when the plan ran with [~audit:true]:
+    the recorded multi-client history judged by the strict-serializability
+    checker ({!Repdir_audit.Checker}) and the quiesce-time replica scrubber
+    ({!Repdir_audit.Scrub}). *)
+
 type outcome = {
   plan : string;
+  world_seed : int64;  (** the seed this plan's world ran under — the repro handle *)
   attempted : int;
   succeeded : int;
   unavailable : int;  (** ops that failed even after client-level retries *)
@@ -98,7 +139,14 @@ type outcome = {
   orphan_locks : int;
       (** locks still granted or queued anywhere at quiesce — must be 0 *)
   indoubt_open : int;  (** transactions still in doubt at quiesce — must be 0 *)
+  audit : audit option;  (** present iff the plan ran with [~audit:true] *)
 }
+
+val audit_violations : outcome -> int
+(** Checker plus scrubber violations (0 when the plan was not audited). *)
+
+val total_violations : outcome -> int
+(** Sequential-model violations plus {!audit_violations}. *)
 
 val run_plan :
   ?seed:int64 ->
@@ -107,13 +155,28 @@ val run_plan :
   ?op_gap:float ->
   ?lease:float ->
   ?power_cycle:bool ->
+  ?audit:bool ->
+  ?clients:int ->
   plan ->
   outcome
 (** Defaults: the paper's 3-2-2 suite, 30 keys, exponential think time with
     mean 2.0 between operations, a 60-unit transaction lease. [power_cycle]
     (default false) restores the retired cleanup behaviour — restarting
     every representative before the final audit — for A/B comparison
-    against the termination protocol. *)
+    against the termination protocol.
+
+    [audit] (default false) attaches a history recorder to every client and
+    feeds the completed events to the online strict-serializability checker;
+    at quiesce the replica scrubber sweeps the settled representatives. The
+    findings land in the outcome's [audit] field. Recording is pure
+    observation: an audited run replays the exact event stream of an
+    unaudited one.
+
+    [clients] (default 1) runs that many concurrent clients. With one
+    client every response is checked against the inline sequential model
+    (the seed behaviour); with more, the interleavings make that model
+    meaningless, so the inline checks are skipped and the history checker
+    is the oracle (run with [~audit:true]). *)
 
 val run_all :
   ?seed:int64 ->
@@ -123,10 +186,14 @@ val run_all :
   ?op_gap:float ->
   ?lease:float ->
   ?power_cycle:bool ->
+  ?audit:bool ->
+  ?clients:int ->
+  ?all:bool ->
   unit ->
   outcome list
-(** Run the five standard plans, each in a fresh world with a seed derived
-    from [seed]. *)
+(** Run the standard plans — all seven (with {!clock_skew} and {!disk_full})
+    when [all] is true — each in a fresh world with a seed derived from
+    [seed]. *)
 
 val table_of_outcomes : outcome list -> Repdir_util.Table.t
 
@@ -138,6 +205,9 @@ val table :
   ?op_gap:float ->
   ?lease:float ->
   ?power_cycle:bool ->
+  ?audit:bool ->
+  ?clients:int ->
+  ?all:bool ->
   unit ->
   Repdir_util.Table.t
 (** {!run_all} rendered as one row per plan plus a violation total. *)

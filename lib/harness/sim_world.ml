@@ -19,6 +19,12 @@ type t = {
   parallel_rpc : bool;
   coordinators : Coordinator.t array;
   two_phase : bool;
+  (* Per-representative virtual-clock skew: representative [i] reads
+     [offset.(i) + rate.(i) * Sim.now] and schedules a delay [d] as
+     [d / rate.(i)] of simulated time. Defaults (0, 1) reproduce the shared
+     clock bit-for-bit, so pre-existing event streams are unchanged. *)
+  clock_offset : float array;
+  clock_rate : float array;
 }
 
 (* Fork/join over simulator processes: every branch runs concurrently; the
@@ -96,18 +102,24 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
   let net = Net.create sim ~n_nodes:(n + n_clients + 1) ?latency () in
   let waiter register = Sim.suspend sim register in
   let lock_group = Repdir_lock.Lock_manager.new_group () in
+  let clock_offset = Array.make n 0.0 in
+  let clock_rate = Array.make n 1.0 in
   (* Timer callbacks must run as full simulator processes ([Sim.spawn], not
      [Sim.at]): lease expiry and termination queries block on locks and
-     RPC. *)
-  let timers =
+     RPC. Each representative reads the virtual clock through its own skew
+     parameters — a node with a fast clock sees leases run out early, a slow
+     one holds them too long — which is exactly the fault family the
+     clock-skew nemesis plan injects. *)
+  let timers_for i =
     {
-      Rep.now = (fun () -> Sim.now sim);
-      after = (fun d k -> Sim.spawn sim ~at:(Sim.now sim +. d) k);
+      Rep.now = (fun () -> clock_offset.(i) +. (clock_rate.(i) *. Sim.now sim));
+      after =
+        (fun d k -> Sim.spawn sim ~at:(Sim.now sim +. (d /. clock_rate.(i))) k);
     }
   in
   let reps =
     Array.init n (fun i ->
-        Rep.create ~waiter ~lock_group ~timers ?lease ?group_commit
+        Rep.create ~waiter ~lock_group ~timers:(timers_for i) ?lease ?group_commit
           ~name:(Printf.sprintf "rep%d" i) ())
   in
   let t =
@@ -128,6 +140,8 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
          coordinator id is the client's network node. *)
       coordinators = Array.init n_clients (fun i -> Coordinator.create ~id:(n + i) ());
       two_phase;
+      clock_offset;
+      clock_rate;
     }
   in
   (* The resolver is always installed — in-doubt transactions can arise from
@@ -188,16 +202,20 @@ let coordinator t i =
   if i < 0 || i >= t.n_clients then invalid_arg "Sim_world: no such client";
   t.coordinators.(i)
 
-let suite_for_client ?picker ?seed ?sync ?batching ?notice_window t i =
+let suite_for_client ?picker ?seed ?sync ?batching ?notice_window ?recorder t i =
   let timers =
     {
       Rep.now = (fun () -> Sim.now t.sim);
       after = (fun d k -> Sim.spawn t.sim ~at:(Sim.now t.sim +. d) k);
     }
   in
-  Suite.create ?picker ?seed ?sync ?batching ?notice_window ~timers ~two_phase:t.two_phase
-    ~coordinator:t.coordinators.(i) ~config:t.config ~transport:(client_transport t i)
-    ~txns:t.txns ()
+  Suite.create ?picker ?seed ?sync ?batching ?notice_window ?recorder ~timers
+    ~two_phase:t.two_phase ~coordinator:t.coordinators.(i) ~config:t.config
+    ~transport:(client_transport t i) ~txns:t.txns ()
+
+let recorder_for_client ?cap t i =
+  ignore (client_node t i);
+  Repdir_audit.History.recorder ?cap ~client:i ~now:(fun () -> Sim.now t.sim) ()
 
 (* --- anti-entropy -------------------------------------------------------------- *)
 
@@ -233,6 +251,14 @@ let start_sync ?config ?seed ?until t =
   let s = make_sync ?config ?seed t in
   Repdir_sync.Sync.run ?until s t.sim;
   s
+
+let set_clock_skew t i ~offset ~rate =
+  if rate <= 0.0 then invalid_arg "Sim_world.set_clock_skew: rate must be positive";
+  t.clock_offset.(i) <- offset;
+  t.clock_rate.(i) <- rate
+
+let clock_skew t i = (t.clock_offset.(i), t.clock_rate.(i))
+let set_io_fault t i fault = Rep.set_io_fault t.reps.(i) fault
 
 let crash_rep ?wal_fault t i =
   Option.iter (Rep.inject_storage_fault t.reps.(i)) wal_fault;

@@ -77,13 +77,20 @@ val suite_for_client :
   ?sync:Repdir_sync.Sync.t ->
   ?batching:bool ->
   ?notice_window:float ->
+  ?recorder:Repdir_audit.History.recorder ->
   t ->
   int ->
   Suite.t
 (** [batching] (default false) turns on the suite's per-representative
     message batching (see {!Suite.create}); the suite's deferred-notice
     flush timer runs on this world's simulator clock, with [notice_window]
-    bounding how long a commit notice may ride unflushed. *)
+    bounding how long a commit notice may ride unflushed. [recorder]
+    attaches a consistency-audit history recorder to the suite (see
+    {!Suite.create}); build one with {!recorder_for_client}. *)
+
+val recorder_for_client : ?cap:int -> t -> int -> Repdir_audit.History.recorder
+(** A history recorder for client [i], stamping events with this world's
+    (unskewed) simulator clock. *)
 
 (* --- anti-entropy ----------------------------------------------------------- *)
 
@@ -105,6 +112,24 @@ val start_sync :
   Repdir_sync.Sync.t
 (** {!make_sync} plus {!Repdir_sync.Sync.run}: the periodic background actor
     is spawned on the simulator before [run] is next called. *)
+
+val set_clock_skew : t -> int -> offset:float -> rate:float -> unit
+(** Skew representative [i]'s virtual clock: it reads
+    [offset + rate * Sim.now] and sees scheduled delays divided by [rate]
+    (a fast clock, [rate > 1], fires lease timers early). The defaults
+    [(0, 1)] reproduce the shared clock exactly. Affects everything driven
+    by the representative's own timers — leases, termination retries,
+    group-commit windows — while the network and the clients keep the true
+    clock. Raises [Invalid_argument] if [rate] is not positive. *)
+
+val clock_skew : t -> int -> float * float
+(** Current [(offset, rate)] of representative [i]'s clock. *)
+
+val set_io_fault : t -> int -> Repdir_txn.Wal.io_fault option -> unit
+(** Arm or heal a WAL write failure at representative [i] (see
+    {!Repdir_rep.Rep.set_io_fault}): while armed, operations needing a log
+    record abort their transaction cleanly and the representative stays
+    up. *)
 
 val crash_rep : ?wal_fault:Repdir_txn.Wal.storage_fault -> t -> int -> unit
 (** Crash both the node (messages drop) and the representative (volatile

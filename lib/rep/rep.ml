@@ -172,6 +172,20 @@ let force_wal t =
       Wal.sync t.wal;
       Wal.Group.count_force t.group
 
+(* Append a record on a representative write path, translating an injected
+   storage failure (disk full, io error) into a clean transaction abort: the
+   exception unwinds to the transaction boundary, the client aborts or
+   retries, and the representative itself stays up and keeps serving other
+   transactions — degrade, don't wedge. *)
+let wal_append_or_abort t r =
+  match Wal.try_append t.wal r with
+  | Ok () -> ()
+  | Error f ->
+      raise
+        (Txn.Abort
+           (Txn.Unavailable
+              (Format.asprintf "%s: wal append failed (%a)" t.name Wal.pp_io_fault f)))
+
 (* --- transaction termination -------------------------------------------------- *)
 
 (* Retry period for termination queries when no lease interval is configured
@@ -190,19 +204,35 @@ let resolve_in_doubt t ~txn verdict =
   match Hashtbl.find_opt t.indoubt txn with
   | None -> ()
   | Some info ->
-      Hashtbl.remove t.indoubt txn;
-      Hashtbl.remove t.actives txn;
-      Hashtbl.replace t.outcomes txn verdict;
-      (match verdict with
-      | `Committed ->
-          Wal.append t.wal (Wal.Commit txn);
-          force_wal t;
-          if info.id_recovered then Wal_replay.redo t.wal txn t.map
-          else Undo.forget t.undo ~txn
-      | `Aborted ->
-          Wal.append t.wal (Wal.Abort txn);
-          if not info.id_recovered then Undo_apply.rollback t.undo ~txn t.map);
-      Lock_manager.release_all t.locks ~txn
+      let writable =
+        match verdict with
+        | `Committed -> (
+            (* The commit record must be durable before the effects become
+               visible. If the disk refuses the write, stay in doubt: the
+               resolution loop re-asks later, when storage may have healed. *)
+            match Wal.try_append t.wal (Wal.Commit txn) with
+            | Ok () ->
+                force_wal t;
+                true
+            | Error _ -> false)
+        | `Aborted ->
+            (* Abort records are an optimization under presumed abort — a
+               transaction with no commit record never replays — so a failed
+               append loses nothing. *)
+            ignore (Wal.try_append t.wal (Wal.Abort txn) : (unit, Wal.io_fault) result);
+            true
+      in
+      if writable then begin
+        Hashtbl.remove t.indoubt txn;
+        Hashtbl.remove t.actives txn;
+        Hashtbl.replace t.outcomes txn verdict;
+        (match verdict with
+        | `Committed ->
+            if info.id_recovered then Wal_replay.redo t.wal txn t.map
+            else Undo.forget t.undo ~txn
+        | `Aborted -> if not info.id_recovered then Undo_apply.rollback t.undo ~txn t.map);
+        Lock_manager.release_all t.locks ~txn
+      end
 
 (* Lease bookkeeping and the termination protocol proper. The timer chain
    re-arms itself while the lease keeps being renewed; both the chain and the
@@ -240,7 +270,9 @@ and expire t ~txn (a : active) =
        transaction afterwards, because any later prepare here is refused. *)
     t.counters.unilateral_aborts <- t.counters.unilateral_aborts + 1;
     Hashtbl.replace t.outcomes txn `Aborted;
-    Wal.append t.wal (Wal.Abort txn);
+    (* Presumed abort: the abort record is an optimization, so an injected
+       storage failure must not block the unilateral abort itself. *)
+    ignore (Wal.try_append t.wal (Wal.Abort txn) : (unit, Wal.io_fault) result);
     Undo_apply.rollback t.undo ~txn t.map;
     Lock_manager.release_all t.locks ~txn
   end
@@ -272,7 +304,11 @@ and start_resolution t ~txn =
                     | By_peer -> t.counters.indoubt_by_peer <- t.counters.indoubt_by_peer + 1);
                     if info.id_recovered then
                       t.counters.indoubt_recovered <- t.counters.indoubt_recovered + 1;
-                    resolve_in_doubt t ~txn verdict
+                    resolve_in_doubt t ~txn verdict;
+                    (* Still in doubt means the commit record could not be
+                       written (injected disk fault); retry once storage may
+                       have healed. *)
+                    if Hashtbl.mem t.indoubt txn then timers.after (retry_period t) step
                 | None -> timers.after (retry_period t) step)
       in
       timers.after 0. step
@@ -418,12 +454,13 @@ let insert t ~txn key version value =
   check_txn_open t ~txn;
   t.counters.inserts <- t.counters.inserts + 1;
   lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.point (Bound.Key key));
-  (* Undo first: inverse depends on whether the entry already exists. *)
+  (* Log first: a refused append (injected disk fault) must abort before the
+     undo log or the map record any trace of this operation. *)
+  wal_append_or_abort t (Wal.Insert (txn, key, version, value));
   (match Btree.lookup t.map (Bound.Key key) with
   | Present { version = old_version; value = old_value } ->
       Undo.record t.undo ~txn (Undo.Restore_entry (key, old_version, old_value))
   | Absent _ -> Undo.record t.undo ~txn (Undo.Remove_entry key));
-  Wal.append t.wal (Wal.Insert (txn, key, version, value));
   Btree.insert t.map key version value
 
 let gap_after t bound =
@@ -445,6 +482,7 @@ let coalesce t ~txn ~lo ~hi version =
      leave both the undo log and the write-ahead log untouched. *)
   if not (endpoint_exists t lo) then raise (Repdir_gapmap.Gapmap_intf.Missing_endpoint lo);
   if not (endpoint_exists t hi) then raise (Repdir_gapmap.Gapmap_intf.Missing_endpoint hi);
+  wal_append_or_abort t (Wal.Coalesce (txn, lo, hi, version));
   (* Record the inverse before destroying anything. Application order on
      rollback (most-recent-first) must be: re-insert every removed entry,
      then restore every gap version (including lo's). So record gap
@@ -458,7 +496,6 @@ let coalesce t ~txn ~lo ~hi version =
   List.iter
     (fun (k, v, value, _) -> Undo.record t.undo ~txn (Undo.Restore_entry (k, v, value)))
     doomed;
-  Wal.append t.wal (Wal.Coalesce (txn, lo, hi, version));
   Btree.coalesce t.map ~lo ~hi version
 
 (* --- anti-entropy endpoints -------------------------------------------------- *)
@@ -491,7 +528,7 @@ let apply_range t ~txn (tr : Gm.transfer) =
   else begin
     (* One redo record for the whole plan; it replays by re-running the ops
        in order, so it must be logged before any of them mutates the map. *)
-    Wal.append t.wal (Wal.Sync_apply (txn, plan.ops));
+    wal_append_or_abort t (Wal.Sync_apply (txn, plan.ops));
     let applied = ref { Gm.empty_applied with ghosts_kept = plan.ghosts_kept } in
     List.iter
       (fun op ->
@@ -548,7 +585,10 @@ let prepare t ~txn ~coord =
         if Wal.ops_before_last_recovery t.wal txn then
           raise
             (Txn.Abort (Txn.Unavailable (t.name ^ " lost the transaction's effects in a crash")));
-        Wal.append t.wal (Wal.Prepare (txn, coord));
+        (* A refused append is a no vote: raising here makes the coordinator
+           decide abort, which is exactly what a disk-full participant
+           wants. *)
+        wal_append_or_abort t (Wal.Prepare (txn, coord));
         (* Force the log before voting yes: a prepared transaction's effects
            must survive any crash, since the coordinator may decide to
            commit. *)
@@ -574,11 +614,18 @@ let commit t ~txn =
   | Some `Aborted ->
       raise (Txn.Abort (Txn.Unavailable (t.name ^ " already aborted the transaction")))
   | None ->
-      Hashtbl.remove t.actives txn;
-      if Hashtbl.mem t.indoubt txn then resolve_in_doubt t ~txn `Committed
+      if Hashtbl.mem t.indoubt txn then begin
+        Hashtbl.remove t.actives txn;
+        resolve_in_doubt t ~txn `Committed
+      end
       else begin
+        (* The commit record must be durable before anything is released; a
+           refused append (injected disk fault) leaves the transaction open —
+           prepared votes stay binding and a retry or the termination
+           protocol commits it once storage heals. *)
+        wal_append_or_abort t (Wal.Commit txn);
+        Hashtbl.remove t.actives txn;
         Hashtbl.replace t.outcomes txn `Committed;
-        Wal.append t.wal (Wal.Commit txn);
         (* Force the commit record before acknowledging — an acknowledged
            commit can never be lost to a torn tail. *)
         force_wal t;
@@ -597,7 +644,9 @@ let abort t ~txn =
       if Hashtbl.mem t.indoubt txn then resolve_in_doubt t ~txn `Aborted
       else begin
         Hashtbl.replace t.outcomes txn `Aborted;
-        Wal.append t.wal (Wal.Abort txn);
+        (* Presumed abort: losing the abort record to an injected storage
+           failure is harmless, so the rollback proceeds regardless. *)
+        ignore (Wal.try_append t.wal (Wal.Abort txn) : (unit, Wal.io_fault) result);
         Undo_apply.rollback t.undo ~txn t.map;
         Lock_manager.release_all t.locks ~txn
       end
@@ -614,8 +663,8 @@ let insert_if_absent t ~txn key version value =
   | Gm.Present _ -> false
   | Gm.Absent _ ->
       t.counters.inserts <- t.counters.inserts + 1;
+      wal_append_or_abort t (Wal.Insert (txn, key, version, value));
       Undo.record t.undo ~txn (Undo.Remove_entry key);
-      Wal.append t.wal (Wal.Insert (txn, key, version, value));
       Btree.insert t.map key version value;
       true
 
@@ -752,6 +801,8 @@ let is_crashed t = t.crashed
 let incarnation t = t.incarnation
 
 let inject_storage_fault t fault = Wal.inject t.wal fault
+let set_io_fault t f = Wal.set_io_fault t.wal f
+let io_fault t = Wal.io_fault t.wal
 
 let wal_records_repaired t = t.wal_records_repaired
 
@@ -812,5 +863,33 @@ let wal_unsynced t = Wal.length t.wal - Wal.synced_length t.wal
 let entries t = Btree.entries t.map
 let gaps t = Btree.gaps t.map
 let check_invariants t = Btree.check_invariants t.map
+let active_txn_count t = Hashtbl.length t.actives
+
+(* Quiesce-time deep self-check, for the replica scrubber: the gap map's
+   structural invariants (entries and gaps exactly tile [LOW, HIGH] with the
+   B+tree shape intact), and — when no transaction is active or in doubt —
+   the live map must equal a fresh committed-only replay of the write-ahead
+   log. Replay equality subsumes version monotonicity with respect to the
+   WAL: any version the log never justified, or any committed effect the map
+   lost, shows up as a divergence. *)
+let scrub t =
+  check_alive t;
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  (match Btree.check_invariants t.map with
+  | Ok () -> ()
+  | Error e -> add "%s: gap-map invariant: %s" t.name e);
+  if Hashtbl.length t.actives = 0 && Hashtbl.length t.indoubt = 0 && Undo.active_txns t.undo = []
+  then begin
+    let replayed = Wal_replay.replay t.wal in
+    let live_entries = Btree.entries t.map and wal_entries = Btree.entries replayed in
+    if live_entries <> wal_entries then
+      add "%s: live entries diverge from WAL replay (%d live, %d replayed)" t.name
+        (List.length live_entries) (List.length wal_entries);
+    let live_gaps = Btree.gaps t.map and wal_gaps = Btree.gaps replayed in
+    if live_gaps <> wal_gaps then
+      add "%s: live gap versions diverge from WAL replay" t.name
+  end;
+  List.rev !problems
 
 let pp ppf t = Format.fprintf ppf "%s: %a" t.name Btree.pp t.map

@@ -298,6 +298,15 @@ val inject_storage_fault : t -> Repdir_txn.Wal.storage_fault -> unit
     tail), as a crash can; meaningful when followed by {!crash} and
     {!recover}, which scrubs the damage back to the committed prefix. *)
 
+val set_io_fault : t -> Repdir_txn.Wal.io_fault option -> unit
+(** Arm or heal an injected WAL write failure (disk full, io error). While
+    armed, every operation that must log a record aborts its transaction
+    cleanly — [Txn.Abort (Unavailable _)], locks released at the boundary —
+    and the representative stays up; presumed-abort outcome records are
+    simply skipped. Heal before {!recover}: recovery must write its marker. *)
+
+val io_fault : t -> Repdir_txn.Wal.io_fault option
+
 val wal_records_repaired : t -> int
 (** Total log records discarded by recovery-time scrubbing across all
     recoveries (0 when no storage fault was ever injected). *)
@@ -336,4 +345,16 @@ val wal_group_absorbed : t -> int
 val entries : t -> (Key.t * Version.t * Gapmap_intf.value) list
 val gaps : t -> (Bound.t * Bound.t * Version.t) list
 val check_invariants : t -> (unit, string) result
+
+val active_txn_count : t -> int
+(** Transactions with live lease records here; zero at quiesce. *)
+
+val scrub : t -> string list
+(** Quiesce-time deep self-check: gap-map structural invariants (entries and
+    gaps exactly tile [LOW, HIGH]) and, when no transaction is active or in
+    doubt, equality of the live map with a committed-only replay of the
+    write-ahead log (which subsumes version monotonicity with respect to the
+    WAL). Returns human-readable violation descriptions; empty means
+    clean. *)
+
 val pp : Format.formatter -> t -> unit

@@ -49,10 +49,21 @@ let record_of_frame f : record = Marshal.from_string f.payload 0
 
 type entry = { rec_ : record; frame : frame }
 
+(* Injected storage failure modes for the *write* path: while armed, every
+   append is refused. Unlike {!storage_fault} (damage discovered at crash
+   time), an io fault is observed synchronously by the writer, which must
+   turn it into a clean transaction abort rather than wedging. *)
+type io_fault = Disk_full | Io_error
+
+let pp_io_fault ppf = function
+  | Disk_full -> Format.pp_print_string ppf "disk-full"
+  | Io_error -> Format.pp_print_string ppf "io-error"
+
 type t = {
   mutable log : entry list; (* newest first *)
   mutable len : int;
   mutable synced : int; (* oldest [synced] entries are forced to disk *)
+  mutable io_fault : io_fault option;
   (* Derived metadata, maintained incrementally so the per-prepare checks
      ([committed], [ops_before_last_recovery]) cost O(1) instead of scanning
      the whole log. [epoch] counts [Recovery_marker]s; [op_epochs] remembers
@@ -82,15 +93,33 @@ let create () =
     log = [];
     len = 0;
     synced = 0;
+    io_fault = None;
     epoch = 0;
     op_epochs = Hashtbl.create 64;
     committed_set = Hashtbl.create 64;
   }
 
-let append t r =
+let set_io_fault t f = t.io_fault <- f
+let io_fault t = t.io_fault
+
+let unchecked_append t r =
   t.log <- { rec_ = r; frame = frame_of_record r } :: t.log;
   t.len <- t.len + 1;
   index_record t r
+
+let try_append t r =
+  match t.io_fault with
+  | Some f -> Error f
+  | None ->
+      unchecked_append t r;
+      Ok ()
+
+let append t r =
+  (* Callers off the representative write paths (tests, replay fixtures) do
+     not expect storage failures; fail loudly rather than drop the record. *)
+  match try_append t r with
+  | Ok () -> ()
+  | Error f -> Format.kasprintf failwith "Wal.append under injected %a" pp_io_fault f
 
 let sync t = t.synced <- t.len
 let synced_length t = t.synced

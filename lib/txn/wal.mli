@@ -54,7 +54,27 @@ type t
 
 val create : unit -> t
 
+(** Injected write-path failure: while armed, appends are refused. Distinct
+    from {!storage_fault}, which damages already-written frames and is only
+    discovered at crash recovery — an io fault is observed synchronously by
+    the writer, which must abort the transaction cleanly and keep serving. *)
+type io_fault = Disk_full | Io_error
+
+val pp_io_fault : Format.formatter -> io_fault -> unit
+
+val set_io_fault : t -> io_fault option -> unit
+(** Arm ([Some f]) or heal ([None]) the injected write failure. *)
+
+val io_fault : t -> io_fault option
+
+val try_append : t -> record -> (unit, io_fault) result
+(** Append one record, or report the injected fault without writing
+    anything. The representative write paths use this and translate
+    [Error _] into a transaction abort. *)
+
 val append : t -> record -> unit
+(** Like {!try_append} but for callers with no storage-failure story
+    (tests, fixtures): raises [Failure _] if an io fault is armed. *)
 
 val sync : t -> unit
 (** Force every appended frame to disk. Records below this watermark are

@@ -302,6 +302,71 @@ let test_at_most_once_cache_stays_bounded () =
     (!max_entries <= 32 + 8);
   Alcotest.(check bool) "eviction actually ran" true (Rpc.server_entries server <= 32 + 8)
 
+let test_at_most_once_ttl_boundary () =
+  (* Pin the TTL eviction boundary exactly: a cached reply with finish time
+     [f] is dropped by a request arriving at [f +. ttl] — AT the boundary,
+     not strictly after it — and kept by one arriving any earlier. Fixed
+     latency 1.0 and no faults make every arrival time exact: a call sent at
+     [s] arrives (and its handler finishes) at [s +. 1]. *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~n_nodes:2 ~latency:(fixed_latency 1.0) () in
+  let server = Rpc.server ~cap:100 ~ttl:10.0 () in
+  let entries = ref [] in
+  let call () =
+    match
+      Rpc.call_at_most_once net ~src:0 ~dst:1 ~server ~timeout:5.0 (fun () -> ())
+    with
+    | Ok () -> entries := Rpc.server_entries server :: !entries
+    | Error Rpc.Timeout -> Alcotest.fail "no faults, yet a call timed out"
+  in
+  Sim.spawn sim (fun () ->
+      (* A finishes at 1, B at 6, C at 10.9. *)
+      call ();
+      Sim.sleep sim 3.0 (* now 5.0 *);
+      call ();
+      Sim.sleep sim 2.9 (* now 9.9 *);
+      (* C arrives at 10.9, a hair before A's boundary 1 + 10 = 11: nothing
+         may be evicted yet. *)
+      call ();
+      Sim.sleep sim 3.1 (* now 15.0 *);
+      (* D arrives at exactly B's boundary 6 + 10 = 16: A (long stale) and B
+         (stale AT the boundary) go; C (10.9 + 10 > 16) stays. Oldest-first:
+         a newest-first sweep would stop at C and keep all three. *)
+      call ());
+  Sim.run sim;
+  Alcotest.(check (list int))
+    "entries after each call (newest first)" [ 2; 3; 2; 1 ] !entries
+
+let test_at_most_once_cap_boundary () =
+  (* Pin the cap boundary: the completed-entry FIFO holds at most [cap]
+     entries plus the one the current arrival just pushed, and every call
+     still executes exactly once (eviction re-opens the re-execution window
+     but never corrupts live dedup state). *)
+  let sim = Sim.create () in
+  let net = Net.create sim ~n_nodes:2 ~latency:(fixed_latency 1.0) () in
+  let server = Rpc.server ~cap:2 ~ttl:1e6 () in
+  let execs = Array.make 5 0 in
+  let entries = ref [] in
+  Sim.spawn sim (fun () ->
+      for i = 0 to 4 do
+        (match
+           Rpc.call_at_most_once net ~src:0 ~dst:1 ~server ~timeout:5.0 (fun () ->
+               execs.(i) <- execs.(i) + 1)
+         with
+        | Ok () -> entries := Rpc.server_entries server :: !entries
+        | Error Rpc.Timeout -> Alcotest.fail "no faults, yet a call timed out");
+        Sim.sleep sim 3.0
+      done);
+  Sim.run sim;
+  (* Arrival k (k >= 3) first evicts down to the cap, then pushes itself:
+     the cache plateaus at cap + 1 and (with the oldest-first order proven
+     by the TTL test) the survivors are always the newest entries. *)
+  Alcotest.(check (list int))
+    "entries after each call (newest first)" [ 3; 3; 3; 2; 1 ] !entries;
+  Array.iteri
+    (fun i n -> Alcotest.(check int) (Printf.sprintf "call %d ran once" i) 1 n)
+    execs
+
 let () =
   Alcotest.run "sim"
     [
@@ -337,6 +402,10 @@ let () =
             test_rpc_server_exception_propagates;
           Alcotest.test_case "late reply dropped" `Quick test_rpc_late_reply_dropped;
           Alcotest.test_case "blocking server" `Quick test_rpc_blocking_server;
+          Alcotest.test_case "dedup TTL-expiry boundary" `Quick
+            test_at_most_once_ttl_boundary;
+          Alcotest.test_case "dedup capacity boundary" `Quick
+            test_at_most_once_cap_boundary;
           Alcotest.test_case "dedup cache stays bounded" `Quick
             test_at_most_once_cache_stays_bounded;
         ] );
