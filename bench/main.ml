@@ -420,7 +420,7 @@ let print_counters counters =
    delete at 3-2-2 by at least half, and history recording (the consistency
    auditor's hook in every suite operation) must cost under 10%. The timing
    rows and counters land in BENCH_pr6.json. *)
-let smoke () =
+let smoke ?(out = "BENCH_pr6.json") () =
   section "Bench smoke";
   let rows =
     run_benchmarks ~quota:0.3
@@ -451,7 +451,7 @@ let smoke () =
   Printf.printf "msgs/op reduction: insert %.2fx, delete %.2fx\n" (ratio "insert")
     (ratio "delete");
   Printf.printf "auditor recording overhead: %+.1f%%\n%!" audit_overhead;
-  write_bench_json ~path:"BENCH_pr6.json"
+  write_bench_json ~path:out
     ~counters:(counters @ [ ("audit/recording-overhead-pct", audit_overhead) ])
     rows;
   let failures = ref [] in
@@ -476,7 +476,7 @@ let smoke () =
       List.iter (fun m -> Printf.eprintf "smoke FAIL: %s\n%!" m) fs;
       exit 1
 
-let full () =
+let full ?(out = "BENCH_pr4.json") () =
   section "Micro-benchmarks (bechamel, time per run)";
   let micro_rows =
     run_benchmarks ~quota:0.25
@@ -517,7 +517,7 @@ let full () =
   section "Messages per operation (3-2-2, 2pc, unbatched vs batched)";
   let counters = message_counters () in
   print_counters counters;
-  write_bench_json ~path:"BENCH_pr4.json" ~counters (micro_rows @ table_rows);
+  write_bench_json ~path:out ~counters (micro_rows @ table_rows);
 
   (* ---- full reproductions, paper parameters ---- *)
   let module F = Repdir_harness.Figures in
@@ -565,4 +565,60 @@ let full () =
 
   print_newline ()
 
-let () = if Array.exists (( = ) "--smoke") Sys.argv then smoke () else full ()
+(* --- membership: throughput during a live join ----------------------------------- *)
+
+(* Ops completed per unit of virtual time in steady state versus while a
+   live join is in flight, on the fault-free reconfiguration world (the
+   nemesis campaign measures safety under faults; this measures what the
+   join protocol itself costs bystander traffic). The joiner catches up
+   through pairwise anti-entropy sessions, so client operations only stall
+   for the short whole-directory converge session that gates the promotion
+   — the gate below holds the cost to at most half the steady-state
+   throughput at the default workload. *)
+let reconfig ?(out = "BENCH_pr7.json") () =
+  section "Membership: ops during a live join vs steady state (virtual time)";
+  let _outcome, r = Repdir_harness.Nemesis.run_reconfig ~faults:false ~join_at:400.0 () in
+  let per100 ops span = if span <= 0.0 then nan else 100.0 *. float_of_int ops /. span in
+  let steady = per100 r.Repdir_harness.Nemesis.steady_ops r.Repdir_harness.Nemesis.steady_span in
+  let during =
+    per100 r.Repdir_harness.Nemesis.during_join_ops r.Repdir_harness.Nemesis.during_join_span
+  in
+  let ratio = during /. steady in
+  Printf.printf
+    "steady-state:  %d ops / %.0fu  = %.2f ops/100u\nduring-join:   %d ops / %.0fu  = %.2f \
+     ops/100u\nratio: %.0f%% (join completed: %b)\n%!"
+    r.Repdir_harness.Nemesis.steady_ops r.Repdir_harness.Nemesis.steady_span steady
+    r.Repdir_harness.Nemesis.during_join_ops r.Repdir_harness.Nemesis.during_join_span during
+    (100.0 *. ratio)
+    (r.Repdir_harness.Nemesis.joined_at <> None);
+  write_bench_json ~path:out
+    ~counters:
+      [
+        ("reconfig/steady-state ops-per-100u", steady);
+        ("reconfig/during-join ops-per-100u", during);
+        ("reconfig/during-join-vs-steady pct", 100.0 *. ratio);
+      ]
+    [];
+  if r.Repdir_harness.Nemesis.joined_at = None then begin
+    Printf.eprintf "reconfig bench FAIL: the join did not complete\n%!";
+    exit 1
+  end;
+  if Float.is_nan ratio || ratio < 0.5 then begin
+    Printf.eprintf "reconfig bench FAIL: during-join throughput %.0f%% of steady < 50%%\n%!"
+      (100.0 *. ratio);
+    exit 1
+  end;
+  Printf.printf "reconfig bench OK\n%!"
+
+let arg_value flag argv =
+  let n = Array.length argv in
+  let rec go i =
+    if i >= n - 1 then None else if argv.(i) = flag then Some argv.(i + 1) else go (i + 1)
+  in
+  go 0
+
+let () =
+  let out = arg_value "--out" Sys.argv in
+  if Array.exists (( = ) "--smoke") Sys.argv then smoke ?out ()
+  else if Array.exists (( = ) "--reconfig") Sys.argv then reconfig ?out ()
+  else full ?out ()

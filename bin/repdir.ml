@@ -440,6 +440,91 @@ let sync_cmd =
     Term.(const run $ seeds_t $ size_t $ writes_t $ period_t $ deadline_t $ staleness_t
           $ power_cycle_t)
 
+(* --- dynamic membership ------------------------------------------------------------ *)
+
+let plans_cmd =
+  let run () =
+    Printf.printf "Registered nemesis fault plans (%d):\n" (List.length Nemesis.plan_catalog);
+    List.iter
+      (fun (name, family, desc) -> Printf.printf "  %-20s %-11s %s\n" name family desc)
+      Nemesis.plan_catalog;
+    print_endline
+      "\nStandard and extended plans run via `repdir nemesis` / `repdir audit` (extended \
+       ones under audit's --plan); the membership plan runs via `repdir reconfig`."
+  in
+  Cmd.v
+    (Cmd.info "plans" ~doc:"List every registered nemesis fault plan")
+    Term.(const run $ const ())
+
+let reconfig_cmd =
+  let duration_t =
+    Arg.(value & opt float 1500.0 & info [ "duration" ] ~docv:"T"
+           ~doc:"Virtual time the campaign runs for.")
+  in
+  let keys_t =
+    Arg.(value & opt int 24 & info [ "keys" ] ~docv:"N" ~doc:"Size of the key space.")
+  in
+  let clients_t =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent workload clients (the admin driver is separate).")
+  in
+  let run seed duration keys clients =
+    Printf.printf
+      "Dynamic membership campaign: online join to a 4-member suite and retire back to \
+       three, under partitions and bounces, with a live audited workload.\n\
+       Epoch-fenced stale quorums, joint-quorum transitions, converge-gated promotion; \
+       the strict-serializability checker and the replica scrubber must stay clean \
+       across every epoch change.\n";
+    let outcome, report = Nemesis.run_reconfig ~seed ~duration ~key_space:keys ~clients () in
+    print_table (Nemesis.table_of_outcomes [ outcome ]);
+    Format.printf "%a@." Nemesis.pp_reconfig_report report;
+    warn_unchecked_keys [ outcome ];
+    let unsafe =
+      Nemesis.total_violations outcome > 0
+      || outcome.Nemesis.orphan_locks > 0
+      || outcome.Nemesis.indoubt_open > 0
+    in
+    let incomplete =
+      report.Nemesis.joined_at = None
+      || report.Nemesis.retired_at = None
+      || (not report.Nemesis.digest_gate_ok)
+      || report.Nemesis.final_epoch <> 4
+    in
+    if unsafe then begin
+      (match outcome.Nemesis.audit with
+      | Some a ->
+          List.iter (Printf.printf "  checker: %s\n") a.Nemesis.checker_violations;
+          List.iter (Printf.printf "  scrub: %s\n") a.Nemesis.scrub_violations;
+          let path = Printf.sprintf "audit-history-reconfig-%Ld.txt" seed in
+          a.Nemesis.dump path;
+          Printf.printf "  history window dumped to %s\n" path
+      | None -> ());
+      Printf.printf "\nFAILED: consistency violations or residue under reconfiguration\n"
+    end;
+    if incomplete then
+      Printf.printf
+        "\nFAILED: the reconfiguration did not complete (join %s, retire %s, digest gate \
+         %s, final epoch %d)\n"
+        (if report.Nemesis.joined_at = None then "missing" else "done")
+        (if report.Nemesis.retired_at = None then "missing" else "done")
+        (if report.Nemesis.digest_gate_ok then "ok" else "failed")
+        report.Nemesis.final_epoch;
+    if unsafe || incomplete then begin
+      Printf.printf
+        "  reproduce: dune exec bin/repdir.exe -- reconfig --seed %Ld --duration %g --keys \
+         %d --clients %d\n"
+        seed duration keys clients;
+      exit 1
+    end;
+    Printf.printf
+      "Reconfiguration clean: join and retire completed under faults with zero \
+       strict-serializability violations.\n"
+  in
+  Cmd.v
+    (Cmd.info "reconfig"
+       ~doc:"Dynamic membership: audited online join/retire campaign under faults")
+    Term.(const run $ seed_t $ duration_t $ keys_t $ clients_t)
+
 (* --- one-off simulation ------------------------------------------------------------ *)
 
 let simulate_cmd =
@@ -484,6 +569,8 @@ let () =
             faults_cmd;
             nemesis_cmd;
             audit_cmd;
+            plans_cmd;
+            reconfig_cmd;
             sync_cmd;
             latency_cmd;
             space_cmd;

@@ -57,7 +57,7 @@ let pp_answer ppf = function
   | Some (v, None) -> Format.fprintf ppf "absent@%a" Version.pp v
   | None -> Format.pp_print_string ppf "no answer"
 
-let run ~(config : Config.t) (reps : Rep.t array) : string list =
+let run ?expected_epoch ~(config : Config.t) (reps : Rep.t array) : string list =
   let problems = ref [] in
   let add fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
   Array.iter
@@ -77,6 +77,26 @@ let run ~(config : Config.t) (reps : Rep.t array) : string list =
     reps;
   let alive = Array.for_all (fun r -> not (Rep.is_crashed r)) reps in
   if alive then begin
+    (* Single agreed membership epoch: a settled suite must not leave two
+       representatives fencing at different configurations (a reconfiguration
+       that half-finished). Campaigns without dynamic membership hold every
+       epoch at 0, which agrees trivially. *)
+    let epochs = Array.map Rep.epoch reps in
+    Array.iteri
+      (fun i e ->
+        if e <> epochs.(0) then
+          add "%s: membership epoch %d disagrees with %s's epoch %d at quiesce"
+            (Rep.name reps.(i)) e (Rep.name reps.(0)) epochs.(0))
+      epochs;
+    (match expected_epoch with
+    | Some expected ->
+        Array.iteri
+          (fun i e ->
+            if e <> expected then
+              add "%s: membership epoch %d at quiesce, expected %d" (Rep.name reps.(i)) e
+                expected)
+          epochs
+    | None -> ());
     (* Candidate keys: everything any representative has an entry for —
        this includes ghost copies whose committed fate was deletion. *)
     let keys =

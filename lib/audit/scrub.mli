@@ -7,6 +7,14 @@
     agreement across replicas, and the quorum-intersection property — the
     highest-versioned answer of {e every} vote set reaching the read quorum
     equals the global highest-versioned answer for every key known
-    anywhere. Returns human-readable violations; empty means clean. *)
+    anywhere. With dynamic membership, additionally: a single agreed
+    membership epoch across all representatives at quiesce (and equal to
+    [expected_epoch] when given — the epoch the reconfiguration driver says
+    the campaign finished at). Returns human-readable violations; empty
+    means clean. *)
 
-val run : config:Repdir_quorum.Config.t -> Repdir_rep.Rep.t array -> string list
+val run :
+  ?expected_epoch:int ->
+  config:Repdir_quorum.Config.t ->
+  Repdir_rep.Rep.t array ->
+  string list

@@ -5,6 +5,7 @@ open Repdir_txn
 open Repdir_rep
 module Gi = Repdir_gapmap.Gapmap_intf
 module History = Repdir_audit.History
+module Member = Repdir_member.Member
 
 type value = string
 
@@ -30,6 +31,13 @@ type session = {
 
 type t = {
   config : Config.t;
+  (* Dynamic membership: when set, quorums are collected from the record's
+     view(s) instead of [config], every representative call is stamped with
+     the record's epoch (and fenced server-side), and a [Rep.Stale_epoch]
+     rejection makes the suite adopt the newer record it carries. [None]
+     preserves the static seed behaviour exactly — no stamping, no fencing,
+     identical quorum selection and RNG consumption. *)
+  mutable membership : Member.record option;
   picker : Picker.strategy;
   transport : Transport.t;
   txns : Txn.Manager.t;
@@ -53,15 +61,21 @@ type t = {
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     ?coordinator ?(batch_depth = 1) ?sync ?(batching = false) ?timers
-    ?(notice_window = 5.0) ?recorder ~config ~transport ~txns () =
+    ?(notice_window = 5.0) ?recorder ?membership ~config ~transport ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
+  (match membership with
+  | Some m when Config.n_reps (Member.current m).Member.config <> transport.Transport.n_reps
+    ->
+      invalid_arg "Suite.create: membership record and transport disagree on slot count"
+  | _ -> ());
   let coordinator =
     match coordinator with Some c -> c | None -> Coordinator.create ()
   in
   {
     config;
+    membership;
     picker;
     transport;
     txns;
@@ -109,6 +123,24 @@ let record_finish t ~txn status =
   match t.recorder with None -> () | Some r -> History.finish r ~txn status
 
 let config t = t.config
+let membership t = t.membership
+let epoch t = match t.membership with None -> 0 | Some m -> Member.epoch_of m
+
+let set_membership t m =
+  if Config.n_reps (Member.current m).Member.config <> t.transport.Transport.n_reps then
+    invalid_arg "Suite.set_membership: record and transport disagree on slot count";
+  t.membership <- Some m
+
+(* Adopt the configuration a fencing representative handed back — but only
+   forward: a delayed rejection must never roll the suite's view back. *)
+let adopt t record =
+  match Member.decode record with
+  | Error _ -> ()
+  | Ok m -> (
+      match t.membership with
+      | Some cur when Member.epoch_of cur >= Member.epoch_of m -> ()
+      | Some _ | None -> t.membership <- Some m)
+
 let transport t = t.transport
 let coordinator t = t.coordinator
 let batching t = t.batching
@@ -222,6 +254,21 @@ let session_of ctx =
 
 let call ctx i f =
   let t = ctx.suite in
+  (* Epoch fencing: stamp the request with the suite's current membership
+     epoch, checked server-side before the operation runs. Only operation
+     work goes through [call]; the termination rounds (prepare, commit,
+     abort, outcome queries) use [Transport.send] directly and are
+     deliberately unfenced — a prepared transaction must be able to settle
+     across a configuration change. *)
+  let f =
+    match t.membership with
+    | None -> f
+    | Some m ->
+        let e = Member.epoch_of m in
+        fun rep ->
+          Rep.fence_check rep ~epoch:e;
+          f rep
+  in
   let s = session_of ctx in
   s.reps <- Int_set.add i s.reps;
   let seen = t.transport.Transport.incarnation i in
@@ -272,12 +319,31 @@ let exec ctx i ops = call ctx i (fun rep -> Rep.execute rep ~txn:ctx.txn ops)
 let available ctx i =
   ctx.suite.transport.Transport.is_up i && not (Int_set.mem i ctx.excluded)
 
+(* Which view failed, for debuggable nemesis logs during a transition: a
+   joint record has two views, and "cannot collect a write quorum" alone
+   does not say whether the old or the new epoch is starved. *)
+let quorum_failure m ~read k =
+  let v = List.nth (Member.views m) k in
+  Unavailable
+    (Format.asprintf "cannot collect a %s quorum in epoch %d (%a)"
+       (if read then "read" else "write")
+       v.Member.epoch Member.pp_view v)
+
 let collect_read_quorum ctx =
-  match
-    Picker.read_quorum ctx.suite.picker ctx.suite.rng ctx.suite.config ~available:(available ctx)
-  with
-  | Some q -> q
-  | None -> raise (Unavailable "cannot collect a read quorum")
+  let t = ctx.suite in
+  match t.membership with
+  | None -> (
+      match Picker.read_quorum t.picker t.rng t.config ~available:(available ctx) with
+      | Some q -> q
+      | None -> raise (Unavailable "cannot collect a read quorum"))
+  | Some m -> (
+      match
+        Picker.collect_joint t.picker t.rng
+          (Member.targets m ~read:true)
+          ~available:(available ctx)
+      with
+      | Ok q -> q
+      | Error k -> raise (quorum_failure m ~read:true k))
 
 let collect_write_quorum ctx =
   let t = ctx.suite in
@@ -291,11 +357,21 @@ let collect_write_quorum ctx =
       | None -> fun _ -> false
     else fun _ -> false
   in
-  match
-    Picker.write_quorum ~prefer t.picker t.rng t.config ~available:(available ctx)
-  with
-  | Some q -> q
-  | None -> raise (Unavailable "cannot collect a write quorum")
+  match t.membership with
+  | None -> (
+      match
+        Picker.write_quorum ~prefer t.picker t.rng t.config ~available:(available ctx)
+      with
+      | Some q -> q
+      | None -> raise (Unavailable "cannot collect a write quorum"))
+  | Some m -> (
+      match
+        Picker.collect_joint ~prefer t.picker t.rng
+          (Member.targets m ~read:false)
+          ~available:(available ctx)
+      with
+      | Ok q -> q
+      | Error k -> raise (quorum_failure m ~read:false k))
 
 (* --- DirSuiteLookup (Figure 8) ------------------------------------------------ *)
 
@@ -963,13 +1039,27 @@ let with_retries ?(attempts = 5) ?(backoff = 1.0) ?(sleep = fun _ -> ()) ?rng f 
    when the transport fails mid-flight. Representative operations are
    idempotent for fixed arguments, so a re-run only repeats work. *)
 let run_op t ?txn body =
-  let attempt ~final txn =
+  let attempt ~implicit ~final txn =
     let ctx = { txn; excluded = Int_set.empty; suite = t; final } in
     let rec go () =
-      try body ctx
-      with Transport.Rpc_failed (i, _) ->
-        ctx.excluded <- Int_set.add i ctx.excluded;
-        go ()
+      try body ctx with
+      | Transport.Rpc_failed (i, _) ->
+          ctx.excluded <- Int_set.add i ctx.excluded;
+          go ()
+      | Rep.Stale_epoch { record; _ } ->
+          (* A representative fenced us: adopt the newer configuration it
+             handed back. A single-operation implicit transaction simply
+             re-runs its body — fresh quorums, fresh reads — under the new
+             epoch (locks already taken stay held until termination, which
+             is merely conservative). An explicit multi-operation
+             transaction may have collected earlier quorums under a view
+             that is now more than one fence old, so it aborts and retries
+             wholesale. *)
+          adopt t record;
+          if implicit then go ()
+          else
+            raise
+              (Txn.Abort (Txn.Unavailable "membership epoch advanced mid-transaction"))
     in
     go ()
   in
@@ -977,8 +1067,8 @@ let run_op t ?txn body =
      inside an explicit [with_txn] the client may keep operating, so nothing
      can be piggybacked on this operation. *)
   match txn with
-  | Some txn -> attempt ~final:false txn
-  | None -> with_txn t (attempt ~final:true)
+  | Some txn -> attempt ~implicit:false ~final:false txn
+  | None -> with_txn t (attempt ~implicit:true ~final:true)
 
 (* --- public operations --------------------------------------------------------------- *)
 

@@ -44,6 +44,7 @@ val create :
   ?timers:Repdir_rep.Rep.timers ->
   ?notice_window:float ->
   ?recorder:Repdir_audit.History.recorder ->
+  ?membership:Repdir_member.Member.record ->
   config:Config.t ->
   transport:Transport.t ->
   txns:Txn.Manager.t ->
@@ -100,9 +101,37 @@ val create :
     abort), or [`Ambiguous] (the outcome could not be pinned down; with
     single-phase commit every unclear outcome is ambiguous). Range
     traversals ([next]/[prev]/[first]/[last]/[fold_range]) are not
-    recorded. *)
+    recorded.
+
+    [membership] arms dynamic membership: quorums are collected from the
+    record's view(s) instead of [config] — {i both} views of a joint record,
+    so quorums on either side of a transition intersect — and every
+    representative call is stamped with the record's epoch and fenced
+    server-side ({!Repdir_rep.Rep.fence_check}). Absent (the default), the
+    suite behaves exactly as before this subsystem existed: static
+    configuration, no stamping, identical quorum selection and RNG
+    consumption. *)
 
 val config : t -> Config.t
+
+val membership : t -> Repdir_member.Member.record option
+(** The membership record this suite currently stamps its calls with. It
+    advances when a fencing representative hands back a newer record
+    ({!Repdir_rep.Rep.Stale_epoch} adoption) or via {!set_membership}. *)
+
+val epoch : t -> int
+(** The current membership epoch (0 when membership is off). *)
+
+val set_membership : t -> Repdir_member.Member.record -> unit
+(** Replace the suite's membership record — the reconfiguration driver's
+    hook for advancing its own view after writing a new record. Client
+    suites instead learn by fencing: a stale-epoch rejection carries the
+    newer record and the operation retries under it (single-operation
+    transactions re-run in place; an explicit transaction aborts with
+    [Txn.Abort (Unavailable _)] and should be retried wholesale). When no
+    quorum can be collected during a transition, the {!Unavailable} message
+    names the epoch of the view that failed. *)
+
 val transport : t -> Transport.t
 
 val coordinator : t -> Coordinator.t

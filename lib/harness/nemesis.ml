@@ -3,6 +3,10 @@ open Repdir_key
 open Repdir_sim
 open Repdir_core
 module Wal = Repdir_txn.Wal
+module Rep = Repdir_rep.Rep
+module Member = Repdir_member.Member
+module Sync = Repdir_sync.Sync
+module Config = Repdir_quorum.Config
 
 (* --- fault-plan DSL ---------------------------------------------------------------- *)
 
@@ -245,6 +249,63 @@ let all_plans ?(duration = 1000.0) ~n ~seed () =
   standard_plans ~duration ~n ~seed ()
   @ [ clock_skew ~n ~duration ~seed:(mix 6); disk_full ~n ~duration ~seed:(mix 7) ]
 
+(* Faults aimed at the reconfiguration driver: brief single-representative
+   partitions (cutting the victim from every node — clients, admin and
+   syncer included, hence [n_nodes]) and occasional short bounces, separated
+   by calm windows long enough for the driver's retry loops to make
+   progress. The joiner and the retiree get no special treatment: the cycle
+   hits each slot in turn, so some windows land exactly on the
+   representative the driver is trying to catch up or drain. *)
+let reconfig_plan ~n ~n_nodes ~duration ~seed =
+  let rng = Rng.create seed in
+  let steps = ref [] in
+  let t = ref 50.0 in
+  let cycle = ref 0 in
+  while !t < duration -. 80.0 do
+    let window = 10.0 +. Rng.float rng 8.0 in
+    let victim = !cycle mod n in
+    let rest = List.filter (fun j -> j <> victim) (List.init n_nodes Fun.id) in
+    steps := { at = !t; action = Partition ([ victim ], rest) } :: !steps;
+    steps := { at = !t +. window; action = Heal } :: !steps;
+    if !cycle mod 3 = 1 then begin
+      let at = !t +. window +. 8.0 +. Rng.float rng 6.0 in
+      steps := { at; action = Crash victim } :: !steps;
+      steps := { at = at +. 8.0 +. Rng.float rng 6.0; action = Recover victim } :: !steps
+    end;
+    incr cycle;
+    (* The calm gap must fit a whole converge mega-session (a couple hundred
+       time units of digest walks and lease heartbeats across every
+       participant) or the driver can never make progress. *)
+    t := !t +. window +. 240.0 +. Rng.float rng 60.0
+  done;
+  { plan_name = "reconfig"; duration; steps = List.rev !steps }
+
+(* The registered campaigns — the single source of truth behind
+   [repdir plans]. The first seven run through {!run_plan} / {!run_all};
+   "reconfig" needs a membership-armed world and runs through
+   {!run_reconfig}. *)
+let plan_catalog =
+  [
+    ("crash storm", "standard", "waves of correlated representative crashes and recoveries");
+    ( "rolling partition",
+      "standard",
+      "each representative isolated in turn; every third cycle traps the client" );
+    ( "flaky links",
+      "standard",
+      "network-wide drop/duplicate/reorder gremlins and a lossy client link" );
+    ( "torn-WAL crashes",
+      "standard",
+      "crashes that tear, corrupt, or truncate the WAL tail at the worst instant" );
+    ( "coordinator crash",
+      "standard",
+      "the coordinator vanishes inside the two-phase-commit window" );
+    ("clock skew", "extended", "lease-scale virtual-clock skew and drift on representatives");
+    ("disk full", "extended", "WAL appends fail with typed errors until the disk heals");
+    ( "reconfig",
+      "membership",
+      "online join and retire under partitions and bounces (runs via `repdir reconfig`)" );
+  ]
+
 (* --- running a plan ------------------------------------------------------------------- *)
 
 (* What the consistency auditor saw, when a plan runs with [~audit:true]. *)
@@ -282,6 +343,52 @@ type outcome = {
   indoubt_open : int;
   audit : audit option;
 }
+
+(* Apply one fault action to a world — shared by every campaign runner.
+   [duration] bounds the torn-crash stalker (it gives up once the campaign
+   window has closed). *)
+let apply_step world ~duration action =
+  let sim = Sim_world.sim world in
+  let net = Sim_world.net world in
+  let crashed i = Repdir_rep.Rep.is_crashed (Sim_world.reps world).(i) in
+  match action with
+  | Crash i -> if not (crashed i) then Sim_world.crash_rep world i
+  | Torn_crash (i, f) ->
+      (* A torn write needs unforced log bytes to tear, and those exist
+         only while a transaction is running at the victim (its redo
+         records are forced at prepare/commit). Stalk the victim until it
+         holds unsynced records — the worst possible instant — then pull
+         the plug; give up and crash anyway after a bounded wait. *)
+      if not (crashed i) then
+        let rep = (Sim_world.reps world).(i) in
+        (* Strictly shorter than the plan's crash→recover hold, so the
+           victim is down before its scheduled recovery fires. *)
+        let deadline = Sim.now sim +. 10.0 in
+        Sim.spawn sim (fun () ->
+            let rec stalk () =
+              if crashed i || Sim.now sim >= duration then ()
+              else if Repdir_rep.Rep.wal_unsynced rep > 0 || Sim.now sim >= deadline
+              then Sim_world.crash_rep ~wal_fault:f world i
+              else begin
+                Sim.sleep sim 0.5;
+                stalk ()
+              end
+            in
+            stalk ())
+  | Recover i ->
+      if crashed i then begin
+        (* An armed WAL fault would refuse the recovery marker: the
+           operator frees disk space before restarting the node. *)
+        Sim_world.set_io_fault world i None;
+        Sim_world.recover_rep world i
+      end
+  | Partition (a, b) -> Net.partition net a b
+  | Heal -> Net.heal_partition net
+  | Flaky f -> Net.set_default_faults net f
+  | Flaky_link (a, b, f) -> Net.set_link_faults net a b f
+  | Steady -> Net.clear_faults net
+  | Clock_skew (i, offset, rate) -> Sim_world.set_clock_skew world i ~offset ~rate
+  | Disk_full (i, fault) -> if not (crashed i) then Sim_world.set_io_fault world i fault
 
 let audit_violations o =
   match o.audit with
@@ -333,45 +440,7 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
   let violations = ref 0 in
   let final_keys_checked = ref 0 in
   let crashed i = Repdir_rep.Rep.is_crashed (Sim_world.reps world).(i) in
-  let apply = function
-    | Crash i -> if not (crashed i) then Sim_world.crash_rep world i
-    | Torn_crash (i, f) ->
-        (* A torn write needs unforced log bytes to tear, and those exist
-           only while a transaction is running at the victim (its redo
-           records are forced at prepare/commit). Stalk the victim until it
-           holds unsynced records — the worst possible instant — then pull
-           the plug; give up and crash anyway after a bounded wait. *)
-        if not (crashed i) then
-          let rep = (Sim_world.reps world).(i) in
-          (* Strictly shorter than the plan's crash→recover hold, so the
-             victim is down before its scheduled recovery fires. *)
-          let deadline = Sim.now sim +. 10.0 in
-          Sim.spawn sim (fun () ->
-              let rec stalk () =
-                if crashed i || Sim.now sim >= plan.duration then ()
-                else if Repdir_rep.Rep.wal_unsynced rep > 0 || Sim.now sim >= deadline
-                then Sim_world.crash_rep ~wal_fault:f world i
-                else begin
-                  Sim.sleep sim 0.5;
-                  stalk ()
-                end
-              in
-              stalk ())
-    | Recover i ->
-        if crashed i then begin
-          (* An armed WAL fault would refuse the recovery marker: the
-             operator frees disk space before restarting the node. *)
-          Sim_world.set_io_fault world i None;
-          Sim_world.recover_rep world i
-        end
-    | Partition (a, b) -> Net.partition net a b
-    | Heal -> Net.heal_partition net
-    | Flaky f -> Net.set_default_faults net f
-    | Flaky_link (a, b, f) -> Net.set_link_faults net a b f
-    | Steady -> Net.clear_faults net
-    | Clock_skew (i, offset, rate) -> Sim_world.set_clock_skew world i ~offset ~rate
-    | Disk_full (i, fault) -> if not (crashed i) then Sim_world.set_io_fault world i fault
-  in
+  let apply = apply_step world ~duration:plan.duration in
   List.iter
     (fun s -> if s.at < plan.duration then Sim.at sim s.at (fun () -> apply s.action))
     plan.steps;
@@ -554,6 +623,511 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
     indoubt_open = sum Repdir_rep.Rep.in_doubt_count;
     audit = audit_report;
   }
+
+(* --- the reconfiguration campaign --------------------------------------------------- *)
+
+type reconfig_report = {
+  join_started_at : float;
+  joined_at : float option;
+  retired_at : float option;
+  digest_gate_ok : bool;
+  converge_attempts : int;
+  drain_attempts : int;
+  final_epoch : int;
+  steady_ops : int;
+  steady_span : float;
+  during_join_ops : int;
+  during_join_span : float;
+}
+
+let pp_reconfig_report ppf r =
+  let stamp ppf = function
+    | Some t -> Format.fprintf ppf "t=%.1f" t
+    | None -> Format.pp_print_string ppf "never"
+  in
+  Format.fprintf ppf
+    "join started t=%.1f, completed %a; retire completed %a; digest gate %s \
+     (%d converge, %d drain sessions); final epoch %d; throughput %d ops/%.0fu steady, \
+     %d ops/%.0fu during join"
+    r.join_started_at stamp r.joined_at stamp r.retired_at
+    (if r.digest_gate_ok then "passed" else "FAILED")
+    r.converge_attempts r.drain_attempts r.final_epoch r.steady_ops r.steady_span
+    r.during_join_ops r.during_join_span
+
+(* One scripted reconfiguration under faults, end to end:
+
+   - the world has four representative slots from the start; slot 3 is a
+     zero-vote [Joining] slot (an empty representative no quorum ever
+     touches), the active members run the paper's 3-2-2 assignment;
+   - at [join_at] the driver moves to a joint record giving slot 3 one vote
+     (4 votes total, R=2, W=3), fences the old epoch, catches the joiner up
+     with converge mega-sessions until the atomic root-digest gate passes,
+     then promotes to the stable 4-member record;
+   - after a steady window it drains slot 0 the same way (joint record to
+     the 3-member [0;1;1;1] R=2 W=2 view, converge with the retiree as hub,
+     stable record), leaving the retiree fenced at zero votes;
+   - every step retries through the fault windows of {!reconfig_plan}; the
+     workload keeps running (and being recorded) throughout.
+
+   Epoch installation covers the write quorum of every view of both the
+   previous and the new record before the driver proceeds, so every quorum
+   a straggler could collect at the old epoch crosses a fencing
+   representative; completed transitions are additionally broadcast to all
+   representatives before the next one begins, which bounds any client's
+   staleness at one record. *)
+let run_reconfig ?(seed = 1983L) ?(duration = 1500.0) ?(key_space = 24) ?(op_gap = 2.0)
+    ?(lease = 60.0) ?(audit = true) ?(clients = 2) ?(faults = true) ?(join_at = 80.0) () =
+  if clients < 1 then invalid_arg "Nemesis.run_reconfig: need at least one client";
+  let n = 4 in
+  (* Slot 3 is the joiner: zero votes and an empty directory until the join
+     promotes it. Slot 0 retires at the end, shrinking the roster back to
+     three active members. *)
+  let initial_config =
+    Config.make_exn ~votes:[| 1; 1; 1; 0 |] ~read_quorum:2 ~write_quorum:2
+  in
+  let m0 =
+    Member.initial ~config:initial_config
+      ~roster:[| Member.Active; Member.Active; Member.Active; Member.Joining |]
+  in
+  (* Node layout: reps 0-3, workload clients, the admin (one more client
+     slot), the anti-entropy node. The plan cuts victims from all of them. *)
+  let n_nodes = n + clients + 2 in
+  let plan =
+    reconfig_plan ~n ~n_nodes ~duration ~seed:(Int64.add seed (Int64.mul 7919L 8L))
+  in
+  let world =
+    Sim_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:4 ~rpc_backoff:2.0
+      ~two_phase:true ~n_clients:(clients + 1) ~lease ~config:initial_config ()
+  in
+  let sim = Sim_world.sim world in
+  let net = Sim_world.net world in
+  Net.seed_faults net (Int64.add seed 77L);
+  let recorders =
+    if audit then Array.init clients (fun c -> Sim_world.recorder_for_client world c)
+    else [||]
+  in
+  let checker =
+    if audit then begin
+      let ch = Repdir_audit.Checker.create ~clients () in
+      Array.iter
+        (fun r -> Repdir_audit.History.set_sink r (Repdir_audit.Checker.feed ch))
+        recorders;
+      Some ch
+    end
+    else None
+  in
+  let suites =
+    Array.init clients (fun c ->
+        Sim_world.suite_for_client
+          ?recorder:(if audit then Some recorders.(c) else None)
+          ~membership:m0 world c)
+  in
+  let suite = suites.(0) in
+  (* The admin drives the reconfiguration from its own client slot (and
+     node): record writes go through an ordinary membership-armed suite, so
+     they collect joint quorums and commit with two-phase commit like any
+     other directory write. *)
+  let admin = Sim_world.suite_for_client ~membership:m0 world clients in
+  let syncer = Sim_world.make_sync world in
+  let rng = Rng.create (Int64.add seed 1L) in
+  let retry_rng = Rng.create (Int64.add seed 2L) in
+  let admin_rng = Rng.create (Int64.add seed 5L) in
+  let model : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let attempted = ref 0 and succeeded = ref 0 and unavailable = ref 0 in
+  let violations = ref 0 in
+  let final_keys_checked = ref 0 in
+  let crashed i = Repdir_rep.Rep.is_crashed (Sim_world.reps world).(i) in
+  if faults then
+    List.iter
+      (fun s ->
+        if s.at < plan.duration then
+          Sim.at sim s.at (fun () -> apply_step world ~duration:plan.duration s.action))
+      plan.steps;
+  (* --- the reconfiguration driver ---------------------------------------- *)
+  let record = ref m0 in
+  let phase = ref `Steady in
+  let steady_ops = ref 0 and during_join_ops = ref 0 in
+  let join_started = ref 0.0 and join_ended = ref 0.0 in
+  let joined_at = ref None and retired_at = ref None in
+  let digest_ok = ref false in
+  let converge_attempts = ref 0 and drain_attempts = ref 0 in
+  let driver_deadline = plan.duration -. 30.0 in
+  let tr = Suite.transport admin in
+  let install r m =
+    match
+      Transport.send tr r (fun rep ->
+          Rep.install_epoch rep ~epoch:(Member.epoch_of m) ~record:(Member.encode m))
+    with
+    | Ok acked -> acked
+    | Error _ -> false
+  in
+  let votes_covered acked (v : Member.view) =
+    let sum = ref 0 in
+    Array.iteri (fun i ok -> if ok then sum := !sum + Config.votes_of v.Member.config i) acked;
+    !sum >= v.Member.config.Config.write_quorum
+  in
+  (* Install [next]'s epoch on representatives until the acknowledging set
+     covers the write quorum of every view of [prev] and [next]: from then
+     on any quorum collected at a stale epoch must cross a fencing
+     representative. [all] waits for every representative instead — run
+     after each completed transition so no client ends up more than one
+     record behind. *)
+  let install_fencing ?(all = false) ~prev next =
+    let views = Member.views prev @ Member.views next in
+    let acked = Array.make n false in
+    let covered () =
+      if all then Array.for_all Fun.id acked
+      else List.for_all (votes_covered acked) views
+    in
+    let rec loop () =
+      if not (covered ()) && Sim.now sim < driver_deadline then begin
+        for r = 0 to n - 1 do
+          if not acked.(r) then acked.(r) <- install r next
+        done;
+        if not (covered ()) then begin
+          Sim.sleep sim 6.0;
+          loop ()
+        end
+      end
+    in
+    loop ();
+    covered ()
+  in
+  (* Write the encoded record to the distinguished directory entry through
+     the admin suite — under whatever quorums the suite's current membership
+     record demands (the joint ones, at every call site below). *)
+  let rec write_record m =
+    let enc = Member.encode m in
+    match
+      Suite.with_retries ~attempts:5 ~backoff:3.0 ~sleep:(Sim.sleep sim) ~rng:admin_rng
+        (fun () ->
+          match Suite.update admin Member.key enc with
+          | Ok () -> ()
+          | Error `Not_present -> (
+              match Suite.insert admin Member.key enc with
+              | Ok () -> ()
+              | Error `Already_present ->
+                  raise (Suite.Unavailable "membership record write raced")))
+    with
+    | () -> true
+    | exception (Suite.Unavailable _ | Repdir_txn.Txn.Abort _) ->
+        if Sim.now sim < driver_deadline then begin
+          Sim.sleep sim 8.0;
+          write_record m
+        end
+        else false
+  in
+  (* Converge participant sets for a joint record: the hub plus enough old-
+     view members to cover a read quorum of the old view — every committed
+     write's quorum intersects such a set, so the hub ends up dominating
+     every committed version. The full suite comes first (it also converges
+     the bystanders); the minimal subsets let an attempt dodge a partitioned
+     or crashed victim. *)
+  let converge_subsets ~hub joint =
+    let old_view = List.hd (Member.views joint) in
+    let votes i = Config.votes_of old_view.Member.config i in
+    let voters = List.filter (fun i -> i <> hub && votes i > 0) (List.init n Fun.id) in
+    let pairs =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              if b > a && votes a + votes b >= old_view.Member.config.Config.read_quorum
+              then Some [ hub; a; b ]
+              else None)
+            voters)
+        voters
+    in
+    List.init n Fun.id :: pairs
+  in
+  (* One two-step transition: write the joint record (under joint quorums),
+     fence the old epoch, run [converge] sessions until the atomic digest
+     gate passes, then write and fully broadcast the stable record. A
+     transition that cannot pass the gate leaves the record joint — joint
+     quorums keep governing, which is safe indefinitely. *)
+  let transition ~joint ~hub ~attempts ~gate =
+    (* Narrow the hub's divergence with ordinary pairwise digest sessions
+       while the old record still governs — the paper-side of "catches up
+       while holding zero votes". A joining hub pulls from each voter; a
+       retiring hub pushes its surplus out. The converge mega-session that
+       actually gates the transition then holds its whole-directory locks
+       only briefly, so client traffic keeps flowing through most of the
+       change. Failed sessions (faults, lost deadlocks) are fine: converge
+       is the correctness gate, this is a warm-up. *)
+    (let pre_view = Member.current !record in
+     let votes i = Config.votes_of pre_view.Member.config i in
+     let as_src = votes hub > 0 in
+     let voters = List.filter (fun i -> i <> hub && votes i > 0) (List.init n Fun.id) in
+     (* Quarter the key space: each slice session holds its range locks only
+        briefly, so client traffic flows between the slices. The first slice
+        starts at [Bound.Low] and therefore carries the membership entry
+        too. *)
+     let cuts =
+       [
+         Bound.Low;
+         Bound.Key (Key.of_int (key_space / 4));
+         Bound.Key (Key.of_int (key_space / 2));
+         Bound.Key (Key.of_int (3 * key_space / 4));
+         Bound.High;
+       ]
+     in
+     let rec slices = function
+       | a :: (b :: _ as rest) -> (a, b) :: slices rest
+       | _ -> []
+     in
+     List.iter
+       (fun v ->
+         List.iter
+           (fun (lo, hi) ->
+             if Sim.now sim < driver_deadline then begin
+               ignore
+                 ((if as_src then Sync.session_between syncer ~lo ~hi ~src:hub ~dst:v
+                   else Sync.session_between syncer ~lo ~hi ~src:v ~dst:hub)
+                   : bool);
+               Sim.sleep sim 4.0
+             end)
+           (slices cuts))
+       voters);
+    Suite.set_membership admin joint;
+    let ok = write_record joint in
+    let ok = ok && install_fencing ~prev:!record joint in
+    record := joint;
+    let subsets = converge_subsets ~hub joint in
+    let rec converge_until k =
+      incr attempts;
+      let among = List.nth subsets (k mod List.length subsets) in
+      match Sync.converge syncer ~hub ~among with
+      | Some ds when Sync.digests_equal ds -> true
+      | _ ->
+          if Sim.now sim < driver_deadline then begin
+            Sim.sleep sim 10.0;
+            converge_until (k + 1)
+          end
+          else false
+    in
+    let ok = ok && converge_until 0 in
+    if gate then digest_ok := ok;
+    if not ok then false
+    else
+      match Member.finish_change joint with
+      | Error _ -> false
+      | Ok stable ->
+          (* Written while the admin suite still holds the joint record, so
+             the write collects quorums in both views. *)
+          let wrote = write_record stable in
+          Suite.set_membership admin stable;
+          let installed = install_fencing ~all:true ~prev:joint stable in
+          record := stable;
+          wrote && installed
+  in
+  Sim.spawn sim (fun () ->
+      Sim.sleep sim join_at;
+      join_started := Sim.now sim;
+      phase := `Join;
+      (match Member.join !record ~slot:3 ~votes:1 ~read_quorum:2 ~write_quorum:3 with
+      | Error _ -> ()
+      | Ok joint ->
+          if transition ~joint ~hub:3 ~attempts:converge_attempts ~gate:true then
+            joined_at := Some (Sim.now sim));
+      join_ended := Sim.now sim;
+      phase := `After;
+      (* A steady window between the two changes, then drain slot 0. *)
+      Sim.sleep sim 60.0;
+      match Member.retire !record ~slot:0 ~read_quorum:2 ~write_quorum:2 with
+      | Error _ -> ()
+      | Ok joint ->
+          if transition ~joint ~hub:0 ~attempts:drain_attempts ~gate:false then
+            retired_at := Some (Sim.now sim));
+  (* --- the workload ------------------------------------------------------- *)
+  let bucket_op () =
+    match !phase with
+    | `Steady -> incr steady_ops
+    | `Join -> incr during_join_ops
+    | `After -> ()
+  in
+  let one_op () =
+    incr attempted;
+    let key = Key.of_int (Rng.int rng key_space) in
+    let value = Printf.sprintf "v%d-%f" !attempted (Sim.now sim) in
+    let kind = Rng.int rng 4 in
+    try
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim) ~rng:retry_rng
+        (fun () ->
+          match kind with
+          | 0 -> (
+              match (Suite.lookup suite key, Hashtbl.find_opt model key) with
+              | Some (_, v), Some v' when String.equal v v' -> ()
+              | None, None -> ()
+              | _ -> incr violations)
+          | 1 -> (
+              match Suite.insert suite key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Already_present ->
+                  if not (Hashtbl.mem model key) then incr violations)
+          | 2 -> (
+              match Suite.update suite key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Not_present -> if Hashtbl.mem model key then incr violations)
+          | _ ->
+              let report = Suite.delete suite key in
+              if report.Suite.was_present <> Hashtbl.mem model key then incr violations;
+              Hashtbl.remove model key);
+      incr succeeded;
+      bucket_op ()
+    with
+    | Suite.Unavailable _ -> incr unavailable
+    | Repdir_txn.Txn.Abort _ -> incr unavailable
+  in
+  let one_op_free c suite_c rng_c retry_rng_c () =
+    incr attempted;
+    let key = Key.of_int (Rng.int rng_c key_space) in
+    let value = Printf.sprintf "c%d-v%d-%f" c !attempted (Sim.now sim) in
+    let kind = Rng.int rng_c 4 in
+    try
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim)
+        ~rng:retry_rng_c (fun () ->
+          match kind with
+          | 0 -> ignore (Suite.lookup suite_c key : (_ * string) option)
+          | 1 -> ignore (Suite.insert suite_c key value : (unit, _) result)
+          | 2 -> ignore (Suite.update suite_c key value : (unit, _) result)
+          | _ -> ignore (Suite.delete suite_c key : Suite.delete_report));
+      incr succeeded;
+      bucket_op ()
+    with Suite.Unavailable _ | Repdir_txn.Txn.Abort _ -> incr unavailable
+  in
+  let quiesce () =
+    Net.clear_faults net;
+    Net.heal_partition net;
+    for i = 0 to n - 1 do
+      Sim_world.set_io_fault world i None;
+      if crashed i then Sim_world.recover_rep world i
+    done;
+    Sim.sleep sim 200.0;
+    Sim.sleep sim (lease +. 30.0);
+    (* Every representative must settle at the final epoch before the audit
+       — the scrubber insists on a single agreed epoch at quiesce. The
+       network is healed, so this terminates. *)
+    let rec broadcast r tries =
+      if r < n then
+        if install r !record || tries > 20 then broadcast (r + 1) 0
+        else begin
+          Sim.sleep sim 3.0;
+          broadcast r (tries + 1)
+        end
+    in
+    broadcast 0 0;
+    for k = 0 to key_space - 1 do
+      incr final_keys_checked;
+      let key = Key.of_int k in
+      match
+        Suite.with_retries ~attempts:5 ~backoff:4.0 ~sleep:(Sim.sleep sim)
+          ~rng:retry_rng (fun () -> Suite.lookup suite key)
+      with
+      | result ->
+          if clients = 1 then (
+            match (result, Hashtbl.find_opt model key) with
+            | Some (_, v), Some v' when String.equal v v' -> ()
+            | None, None -> ()
+            | _ -> incr violations)
+      | exception Suite.Unavailable _ -> incr violations
+    done
+  in
+  let live = ref clients in
+  for c = 0 to clients - 1 do
+    let rng_c =
+      if c = 0 then rng else Rng.create (Int64.add seed (Int64.of_int (100 + c)))
+    in
+    let retry_rng_c =
+      if c = 0 then retry_rng else Rng.create (Int64.add seed (Int64.of_int (200 + c)))
+    in
+    Sim.spawn sim (fun () ->
+        while Sim.now sim < plan.duration do
+          (if clients = 1 then one_op () else one_op_free c suites.(c) rng_c retry_rng_c ());
+          Sim.sleep sim (Rng.exponential rng_c ~mean:op_gap)
+        done;
+        decr live;
+        if !live = 0 then quiesce ())
+  done;
+  Sim.run sim;
+  let reps = Sim_world.reps world in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  let sum_counter f = sum (fun r -> f (Repdir_rep.Rep.counters r)) in
+  (* Scrub under the settled configuration. If a transition could not pass
+     its gate the campaign quiesced at a joint record: the old view's
+     quorums are the ones still guaranteed to see every committed write
+     (the new view's only become sufficient after the converge), so the
+     scrubber sweeps those. *)
+  let scrub_view =
+    match !record with Member.Stable v -> v | Member.Joint (o, _) -> o
+  in
+  let audit_report =
+    match checker with
+    | None -> None
+    | Some ch ->
+        Repdir_audit.Checker.finalize ch;
+        let scrub_violations =
+          Repdir_audit.Scrub.run ~expected_epoch:(Member.epoch_of !record)
+            ~config:scrub_view.Member.config reps
+        in
+        let stats = Repdir_audit.Checker.stats ch in
+        Some
+          {
+            checker_violations =
+              List.map
+                (Format.asprintf "%a" Repdir_audit.Checker.pp_violation)
+                (Repdir_audit.Checker.violations ch);
+            scrub_violations;
+            checked_ops = stats.Repdir_audit.Checker.ops_checked;
+            ambiguous_ops = stats.Repdir_audit.Checker.ambiguous_ops;
+            chunks_closed = stats.Repdir_audit.Checker.chunks_closed;
+            keys_given_up = List.length stats.Repdir_audit.Checker.given_up;
+            dump =
+              (fun path ->
+                Repdir_audit.History.dump_to_file ~path (Array.to_list recorders));
+          }
+  in
+  let outcome =
+    {
+      plan = plan.plan_name;
+      world_seed = seed;
+      attempted = !attempted;
+      succeeded = !succeeded;
+      unavailable = !unavailable;
+      violations = !violations;
+      final_keys_checked = !final_keys_checked;
+      rpc_retries = (Suite.transport suite).Transport.retry_count;
+      msgs_dropped = Net.messages_dropped net;
+      msgs_duplicated = Net.messages_duplicated net;
+      msgs_reordered = Net.messages_reordered net;
+      wal_records_repaired = sum Repdir_rep.Rep.wal_records_repaired;
+      sim_events = Sim.events_executed sim;
+      leases_expired = sum_counter (fun c -> c.Repdir_rep.Rep.leases_expired);
+      unilateral_aborts = sum_counter (fun c -> c.Repdir_rep.Rep.unilateral_aborts);
+      indoubt_by_coordinator =
+        sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_by_coordinator);
+      indoubt_by_peer = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_by_peer);
+      indoubt_recovered = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_recovered);
+      orphan_locks = sum Repdir_rep.Rep.locks_held + sum Repdir_rep.Rep.lock_waiters;
+      indoubt_open = sum Repdir_rep.Rep.in_doubt_count;
+      audit = audit_report;
+    }
+  in
+  let report =
+    {
+      join_started_at = !join_started;
+      joined_at = !joined_at;
+      retired_at = !retired_at;
+      digest_gate_ok = !digest_ok;
+      converge_attempts = !converge_attempts;
+      drain_attempts = !drain_attempts;
+      final_epoch = Member.epoch_of !record;
+      steady_ops = !steady_ops;
+      steady_span = !join_started;
+      during_join_ops = !during_join_ops;
+      during_join_span = !join_ended -. !join_started;
+    }
+  in
+  (outcome, report)
 
 let run_all ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
     ?(duration = 1000.0) ?key_space ?op_gap ?lease ?power_cycle ?audit ?clients

@@ -98,6 +98,19 @@ val standard_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
 val all_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
 (** {!standard_plans} plus {!clock_skew} and {!disk_full} — seven plans. *)
 
+val reconfig_plan : n:int -> n_nodes:int -> duration:float -> seed:int64 -> plan
+(** Faults aimed at a running reconfiguration: brief single-representative
+    partitions (the victim is cut from {i every} node — clients, admin and
+    anti-entropy actor included, hence [n_nodes]) and occasional short
+    bounces, separated by calm windows the driver's retry loops can make
+    progress in. Used by {!run_reconfig}. *)
+
+val plan_catalog : (string * string * string) list
+(** Every registered campaign as [(name, family, description)] — the single
+    source of truth behind [repdir plans]. Families: ["standard"] (run by
+    default), ["extended"] (opt-in via [--all]), ["membership"] (the
+    reconfiguration campaign, which needs its own runner). *)
+
 (* --- running -------------------------------------------------------------------- *)
 
 type audit = {
@@ -177,6 +190,70 @@ val run_plan :
     (the seed behaviour); with more, the interleavings make that model
     meaningless, so the inline checks are skipped and the history checker
     is the oracle (run with [~audit:true]). *)
+
+(* --- the reconfiguration campaign ----------------------------------------------- *)
+
+type reconfig_report = {
+  join_started_at : float;  (** virtual time the join began *)
+  joined_at : float option;
+      (** when the joiner's promotion (stable record, fully broadcast)
+          completed; [None] if the driver could not finish in time *)
+  retired_at : float option;  (** same, for the retirement of slot 0 *)
+  digest_gate_ok : bool;
+      (** the promotion gate held: a converge mega-session saw the joiner's
+          gap-map root digest equal every peer's, atomically, before the
+          epoch bump *)
+  converge_attempts : int;  (** catch-up sessions run for the joiner *)
+  drain_attempts : int;  (** drain sessions run for the retiree *)
+  final_epoch : int;  (** 4 for a completed join + retire *)
+  steady_ops : int;  (** workload ops completed before the join began *)
+  steady_span : float;  (** length of that window, virtual time *)
+  during_join_ops : int;  (** ops completed while the join was in flight *)
+  during_join_span : float;
+}
+(** What the reconfiguration driver achieved — the campaign's liveness side,
+    complementing the safety verdict in the {!outcome}'s audit. *)
+
+val pp_reconfig_report : Format.formatter -> reconfig_report -> unit
+
+val run_reconfig :
+  ?seed:int64 ->
+  ?duration:float ->
+  ?key_space:int ->
+  ?op_gap:float ->
+  ?lease:float ->
+  ?audit:bool ->
+  ?clients:int ->
+  ?faults:bool ->
+  ?join_at:float ->
+  unit ->
+  outcome * reconfig_report
+(** One scripted online reconfiguration under the faults of
+    {!reconfig_plan}, end to end, with a live recorded workload throughout:
+
+    the world starts as the paper's 3-2-2 suite plus a zero-vote [Joining]
+    slot; the driver moves to a joint record giving the joiner one vote
+    (4 votes, R=2, W=3), fences the old epoch (installation covers the
+    write quorum of every governing view before the driver proceeds),
+    catches the joiner up with {!Repdir_sync.Sync.converge} mega-sessions
+    until the atomic root-digest gate passes, promotes to the stable
+    4-member record, and later drains slot 0 back out the same way
+    (ending at the 3-member [0;1;1;1] R=2 W=2 view, epoch 4). Completed
+    transitions are broadcast to every representative before the next
+    begins, so no client is ever more than one record behind.
+
+    [audit] defaults to {b true} here: the point of the campaign is that
+    the strict-serializability checker and the replica scrubber (which
+    also demands a single agreed epoch, equal to the driver's final one)
+    stay clean across epoch changes. Defaults: duration 1500, 24 keys,
+    2 clients, op gap 2.0, lease 60.
+
+    [faults] (default true) runs the {!reconfig_plan} schedule; [false]
+    gives the fault-free variant the throughput benchmark measures
+    (steady-state versus during-join ops must not be confounded by
+    partition-induced unavailability). [join_at] (default 80) is the
+    virtual time the driver starts the join — the benchmark raises it to
+    widen the steady-state measurement window. *)
 
 val run_all :
   ?seed:int64 ->

@@ -19,6 +19,7 @@ type t = {
   parallel_rpc : bool;
   coordinators : Coordinator.t array;
   two_phase : bool;
+  lock_group : Repdir_lock.Lock_manager.group;
   (* Per-representative virtual-clock skew: representative [i] reads
      [offset.(i) + rate.(i) * Sim.now] and schedules a delay [d] as
      [d / rate.(i)] of simulated time. Defaults (0, 1) reproduce the shared
@@ -140,6 +141,7 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
          coordinator id is the client's network node. *)
       coordinators = Array.init n_clients (fun i -> Coordinator.create ~id:(n + i) ());
       two_phase;
+      lock_group;
       clock_offset;
       clock_rate;
     }
@@ -202,14 +204,15 @@ let coordinator t i =
   if i < 0 || i >= t.n_clients then invalid_arg "Sim_world: no such client";
   t.coordinators.(i)
 
-let suite_for_client ?picker ?seed ?sync ?batching ?notice_window ?recorder t i =
+let suite_for_client ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership t
+    i =
   let timers =
     {
       Rep.now = (fun () -> Sim.now t.sim);
       after = (fun d k -> Sim.spawn t.sim ~at:(Sim.now t.sim +. d) k);
     }
   in
-  Suite.create ?picker ?seed ?sync ?batching ?notice_window ?recorder ~timers
+  Suite.create ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership ~timers
     ~two_phase:t.two_phase ~coordinator:t.coordinators.(i) ~config:t.config
     ~transport:(client_transport t i) ~txns:t.txns ()
 
@@ -244,6 +247,8 @@ let make_sync ?config ?(seed = 0xa11_075eedL) t =
     }
   in
   Repdir_sync.Sync.create ?config ~seed
+    ~mark_senior:(fun txn high ->
+      Repdir_lock.Lock_manager.set_senior t.lock_group ~txn high)
     ~peers:(Array.init (Config.n_reps t.config) peer)
     ~txns:t.txns ()
 

@@ -78,6 +78,7 @@ val suite_for_client :
   ?batching:bool ->
   ?notice_window:float ->
   ?recorder:Repdir_audit.History.recorder ->
+  ?membership:Repdir_member.Member.record ->
   t ->
   int ->
   Suite.t
@@ -86,7 +87,10 @@ val suite_for_client :
     flush timer runs on this world's simulator clock, with [notice_window]
     bounding how long a commit notice may ride unflushed. [recorder]
     attaches a consistency-audit history recorder to the suite (see
-    {!Suite.create}); build one with {!recorder_for_client}. *)
+    {!Suite.create}); build one with {!recorder_for_client}. [membership]
+    arms dynamic membership on the suite: quorums follow the record's
+    view(s) and every representative call is epoch-stamped and fenced (see
+    {!Suite.create}). *)
 
 val recorder_for_client : ?cap:int -> t -> int -> Repdir_audit.History.recorder
 (** A history recorder for client [i], stamping events with this world's

@@ -12,25 +12,32 @@ type waiter = {
   w_on_drop : unit -> unit;
 }
 
-type t = {
-  mutable granted : granted list; (* most recent first *)
-  mutable queue : waiter list; (* FIFO order *)
-  group : t list ref; (* all managers sharing deadlock detection, self included *)
+type group = {
+  mutable members : t list; (* all managers sharing deadlock detection *)
+  mutable senior : txn_id list; (* wound-wait winners, normally empty *)
 }
 
-type group = t list ref
+and t = {
+  mutable granted : granted list; (* most recent first *)
+  mutable queue : waiter list; (* FIFO order *)
+  group : group;
+}
 
 type outcome = Granted | Waiting | Deadlock of txn_id list
 
-let new_group () : group = ref []
+let new_group () : group = { members = []; senior = [] }
 
 let create ?group () =
-  let group = match group with Some g -> g | None -> ref [] in
+  let group = match group with Some g -> g | None -> new_group () in
   let t = { granted = []; queue = []; group } in
-  group := t :: !group;
+  group.members <- t :: group.members;
   t
 
-let detach t = t.group := List.filter (fun m -> m != t) !(t.group)
+let detach t = t.group.members <- List.filter (fun m -> m != t) t.group.members
+
+let set_senior (group : group) ~txn high =
+  let without = List.filter (fun id -> id <> txn) group.senior in
+  group.senior <- (if high then txn :: without else without)
 
 let conflicts_granted ~txn mode range g =
   g.g_txn <> txn
@@ -84,7 +91,7 @@ let local_edges_of t waiting_txn =
    group, catching deadlocks whose cycle spans representatives. *)
 let find_cycle t ~txn seeds =
   let edges_of waiting_txn =
-    List.concat_map (fun m -> local_edges_of m waiting_txn) !(t.group)
+    List.concat_map (fun m -> local_edges_of m waiting_txn) t.group.members
   in
   let rec dfs path visited node =
     if node = txn then Some (List.rev (node :: path))
@@ -106,37 +113,6 @@ let find_cycle t ~txn seeds =
   in
   try_seeds seeds
 
-let acquire t ~txn ?(on_drop = ignore) mode range ~on_grant =
-  if can_grant t ~txn mode range ~queue_prefix:t.queue then begin
-    t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted;
-    Granted
-  end
-  else
-    let seeds = blockers t ~txn mode range ~queue_prefix:t.queue in
-    match find_cycle t ~txn seeds with
-    | Some cycle -> Deadlock cycle
-    | None ->
-        t.queue <-
-          t.queue
-          @ [
-              {
-                w_txn = txn;
-                w_mode = mode;
-                w_range = range;
-                w_on_grant = on_grant;
-                w_on_drop = on_drop;
-              };
-            ];
-        Waiting
-
-(* Recovery-time force grant: re-hold a restored in-doubt transaction's lock
-   without queueing or deadlock detection. Sound only on a freshly rebuilt
-   manager where every holder is another restored in-doubt transaction —
-   they all held their locks concurrently before the crash, so they are
-   mutually compatible by construction. *)
-let reacquire t ~txn mode range =
-  t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted
-
 (* Grant queued requests that have become compatible, preserving FIFO order:
    a waiter is granted only if it does not conflict with granted locks nor
    with any waiter still queued ahead of it. *)
@@ -152,6 +128,83 @@ let drain_queue t =
         else go (w :: kept) rest
   in
   t.queue <- go [] t.queue
+
+(* Wound a junior deadlock victim: cancel its waiting requests at every
+   manager in the group. Its [on_drop] callbacks fire — the same path a
+   lease expiry takes — so the victim's process unwinds as an abort and its
+   granted locks are released by the ordinary abort machinery shortly
+   after. The waits-for edges through the victim are gone immediately,
+   which is what breaks the cycle. *)
+let cancel_waits (group : group) victim =
+  List.iter
+    (fun m ->
+      let dropped, kept = List.partition (fun w -> w.w_txn = victim) m.queue in
+      if dropped <> [] then begin
+        m.queue <- kept;
+        drain_queue m;
+        List.iter (fun w -> w.w_on_drop ()) dropped
+      end)
+    group.members
+
+let acquire t ~txn ?(on_drop = ignore) mode range ~on_grant =
+  let enqueue () =
+    t.queue <-
+      t.queue
+      @ [
+          {
+            w_txn = txn;
+            w_mode = mode;
+            w_range = range;
+            w_on_grant = on_grant;
+            w_on_drop = on_drop;
+          };
+        ];
+    Waiting
+  in
+  if can_grant t ~txn mode range ~queue_prefix:t.queue then begin
+    t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted;
+    Granted
+  end
+  else if not (List.mem txn t.group.senior) then begin
+    let seeds = blockers t ~txn mode range ~queue_prefix:t.queue in
+    match find_cycle t ~txn seeds with
+    | Some cycle -> Deadlock cycle
+    | None -> enqueue ()
+  end
+  else
+    (* A senior requester wounds its way through: every cycle its request
+       would close loses a junior member instead of the senior. Wounding
+       can unblock other waiters (drain) or reveal another cycle, so loop
+       until the request is grantable, queueable, or only seniors remain. *)
+    let rec resolve () =
+      if can_grant t ~txn mode range ~queue_prefix:t.queue then begin
+        t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted;
+        Granted
+      end
+      else
+        let seeds = blockers t ~txn mode range ~queue_prefix:t.queue in
+        match find_cycle t ~txn seeds with
+        | None -> enqueue ()
+        | Some cycle -> (
+            match
+              List.filter
+                (fun id -> id <> txn && not (List.mem id t.group.senior))
+                cycle
+            with
+            | [] -> Deadlock cycle
+            | victim :: _ ->
+                cancel_waits t.group victim;
+                resolve ())
+    in
+    resolve ()
+
+(* Recovery-time force grant: re-hold a restored in-doubt transaction's lock
+   without queueing or deadlock detection. Sound only on a freshly rebuilt
+   manager where every holder is another restored in-doubt transaction —
+   they all held their locks concurrently before the crash, so they are
+   mutually compatible by construction. *)
+let reacquire t ~txn mode range =
+  t.granted <- { g_txn = txn; g_mode = mode; g_range = range } :: t.granted
 
 let release_all t ~txn =
   t.granted <- List.filter (fun g -> g.g_txn <> txn) t.granted;

@@ -13,7 +13,9 @@
     The manager is a passive data structure: blocking is delegated to the
     caller via the [on_grant] callback, which the discrete-event simulator
     uses to resume a suspended process. Deadlocks are detected at acquire
-    time by a waits-for-graph cycle search; the victim is the requester. *)
+    time by a waits-for-graph cycle search; the victim is the requester —
+    unless the requester is marked {!set_senior}, in which case a junior
+    cycle member is wounded instead. *)
 
 open Repdir_key
 
@@ -30,6 +32,20 @@ type group
     global detector of classical distributed 2PL systems. *)
 
 val new_group : unit -> group
+
+val set_senior : group -> txn:txn_id -> bool -> unit
+(** Mark (or unmark) a transaction as a senior deadlock winner. By default
+    the deadlock victim is the requester whose acquire would close the
+    waits-for cycle — which systematically sacrifices long lock-everything
+    transactions (a whole-directory sync session acquires locks for its
+    entire lifetime, so it is almost always the one to close a cycle
+    against a short client transaction). A senior requester instead wounds
+    a junior member of the cycle: the junior's waiting requests are
+    cancelled group-wide (its [on_drop] callbacks fire, exactly as if a
+    lease expiry had terminated it), and the senior proceeds as an ordinary
+    waiter. A cycle consisting entirely of seniors falls back to aborting
+    the requester. With no senior transactions — the default — behaviour is
+    unchanged. *)
 
 type outcome =
   | Granted  (** The lock is held; proceed. *)

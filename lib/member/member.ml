@@ -1,0 +1,175 @@
+open Repdir_quorum
+
+type status = Active | Joining | Retired
+
+type view = { epoch : int; config : Config.t; roster : status array }
+
+type record = Stable of view | Joint of view * view
+
+(* '!' (0x21) sorts before '0' (0x30) and 'a' (0x61), so this key precedes
+   every key Key.of_int or Key.random can produce. *)
+let key = "!membership"
+
+let epoch_of = function Stable v -> v.epoch | Joint (_, v) -> v.epoch
+let current = function Stable v -> v | Joint (_, v) -> v
+let views = function Stable v -> [ v ] | Joint (o, n) -> [ o; n ]
+
+let targets t ~read =
+  List.map
+    (fun v ->
+      ( v.config,
+        if read then v.config.Config.read_quorum else v.config.Config.write_quorum ))
+    (views t)
+
+let make_view ~epoch ~config ~roster =
+  if epoch < 0 then Error "negative epoch"
+  else if Array.length roster <> Config.n_reps config then
+    Error "roster length does not match the configuration"
+  else
+    let bad = ref None in
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Active -> ()
+        | Joining | Retired ->
+            if Config.votes_of config i <> 0 && !bad = None then bad := Some i)
+      roster;
+    match !bad with
+    | Some i -> Error (Printf.sprintf "slot %d is not Active but holds votes" i)
+    | None -> Ok { epoch; config; roster }
+
+let initial ~config ~roster =
+  match make_view ~epoch:0 ~config ~roster with
+  | Ok v -> Stable v
+  | Error e -> invalid_arg ("Member.initial: " ^ e)
+
+let begin_change t ~config ~roster =
+  match t with
+  | Joint _ -> Error "a configuration change is already in flight"
+  | Stable v ->
+      if Config.n_reps config <> Config.n_reps v.config then
+        Error "slot count cannot change (slots are fixed)"
+      else
+        Result.map
+          (fun v' -> Joint (v, v'))
+          (make_view ~epoch:(v.epoch + 1) ~config ~roster)
+
+let finish_change = function
+  | Stable _ -> Error "no configuration change in flight"
+  | Joint (_, v) -> (
+      match make_view ~epoch:(v.epoch + 1) ~config:v.config ~roster:v.roster with
+      | Ok v' -> Ok (Stable v')
+      | Error e -> Error e)
+
+let change_slot t ~slot ~votes ~status ~read_quorum ~write_quorum =
+  match t with
+  | Joint _ -> Error "a configuration change is already in flight"
+  | Stable v ->
+      if slot < 0 || slot >= Config.n_reps v.config then Error "slot out of range"
+      else
+        let new_votes =
+          Array.init (Config.n_reps v.config) (fun i ->
+              if i = slot then votes else Config.votes_of v.config i)
+        in
+        Result.bind (Config.make ~votes:new_votes ~read_quorum ~write_quorum)
+          (fun config ->
+            let roster = Array.copy v.roster in
+            roster.(slot) <- status;
+            begin_change t ~config ~roster)
+
+let join t ~slot ~votes ~read_quorum ~write_quorum =
+  if votes <= 0 then Error "a joining slot needs positive votes"
+  else
+    match t with
+    | Joint _ -> Error "a configuration change is already in flight"
+    | Stable v ->
+        if slot < 0 || slot >= Array.length v.roster then Error "slot out of range"
+        else if v.roster.(slot) <> Joining then Error "slot is not Joining"
+        else change_slot t ~slot ~votes ~status:Active ~read_quorum ~write_quorum
+
+let retire t ~slot ~read_quorum ~write_quorum =
+  match t with
+  | Joint _ -> Error "a configuration change is already in flight"
+  | Stable v ->
+      if slot < 0 || slot >= Array.length v.roster then Error "slot out of range"
+      else if v.roster.(slot) <> Active then Error "slot is not Active"
+      else change_slot t ~slot ~votes:0 ~status:Retired ~read_quorum ~write_quorum
+
+(* --- serialization -------------------------------------------------------------- *)
+
+let status_char = function Active -> 'A' | Joining -> 'J' | Retired -> 'X'
+
+let status_of_char = function
+  | 'A' -> Ok Active
+  | 'J' -> Ok Joining
+  | 'X' -> Ok Retired
+  | c -> Error (Printf.sprintf "bad roster status %C" c)
+
+let encode_view v =
+  let votes =
+    String.concat ","
+      (List.init (Config.n_reps v.config) (fun i ->
+           string_of_int (Config.votes_of v.config i)))
+  in
+  let roster = String.init (Array.length v.roster) (fun i -> status_char v.roster.(i)) in
+  Printf.sprintf "%d;%s;%d;%d;%s" v.epoch votes v.config.Config.read_quorum
+    v.config.Config.write_quorum roster
+
+let decode_view s =
+  match String.split_on_char ';' s with
+  | [ epoch; votes; r; w; roster ] -> (
+      match
+        ( int_of_string_opt epoch,
+          int_of_string_opt r,
+          int_of_string_opt w,
+          List.map int_of_string_opt (String.split_on_char ',' votes) )
+      with
+      | Some epoch, Some r, Some w, vs when List.for_all Option.is_some vs -> (
+          let votes = Array.of_list (List.map Option.get vs) in
+          match Config.make ~votes ~read_quorum:r ~write_quorum:w with
+          | Error e -> Error e
+          | Ok config ->
+              if String.length roster <> Array.length votes then
+                Error "roster length does not match votes"
+              else
+                let statuses = ref (Ok []) in
+                String.iter
+                  (fun c ->
+                    statuses :=
+                      Result.bind !statuses (fun acc ->
+                          Result.map (fun s -> s :: acc) (status_of_char c)))
+                  roster;
+                Result.bind !statuses (fun acc ->
+                    make_view ~epoch ~config
+                      ~roster:(Array.of_list (List.rev acc))))
+      | _ -> Error "malformed view: non-numeric field")
+  | _ -> Error "malformed view: wrong field count"
+
+let encode = function
+  | Stable v -> "S|" ^ encode_view v
+  | Joint (o, n) -> "J|" ^ encode_view o ^ "|" ^ encode_view n
+
+let decode s =
+  match String.split_on_char '|' s with
+  | [ "S"; v ] -> Result.map (fun v -> Stable v) (decode_view v)
+  | [ "J"; o; n ] ->
+      Result.bind (decode_view o) (fun o ->
+          Result.bind (decode_view n) (fun n ->
+              if n.epoch <> o.epoch + 1 then Error "joint views are not consecutive"
+              else Ok (Joint (o, n))))
+  | _ -> Error "malformed membership record"
+
+let decode_exn s =
+  match decode s with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Member.decode: " ^ e ^ ": " ^ s)
+
+let equal a b = encode a = encode b
+
+let pp_view ppf v =
+  Format.fprintf ppf "e%d:%a:%s" v.epoch Config.pp v.config
+    (String.init (Array.length v.roster) (fun i -> status_char v.roster.(i)))
+
+let pp ppf = function
+  | Stable v -> Format.fprintf ppf "stable[%a]" pp_view v
+  | Joint (o, n) -> Format.fprintf ppf "joint[%a -> %a]" pp_view o pp_view n

@@ -53,6 +53,65 @@ let collect ?(prefer = fun _ -> false) strategy rng config ~available ~quorum =
       in
       take_until_quorum config ~available ~quorum (Array.to_list local @ remote_order)
 
+let collect_joint ?(prefer = fun _ -> false) strategy rng targets ~available =
+  match targets with
+  | [] -> invalid_arg "Picker.collect_joint: no targets"
+  | (first_config, _) :: rest ->
+      let n = Config.n_reps first_config in
+      List.iteri
+        (fun k (c, _) ->
+          if Config.n_reps c <> n then
+            invalid_arg
+              (Printf.sprintf
+                 "Picker.collect_joint: target %d has %d slots, expected %d" (k + 1)
+                 (Config.n_reps c) n))
+        rest;
+      let targets = Array.of_list targets in
+      let gathered = Array.make (Array.length targets) 0 in
+      let unmet k =
+        let _, quorum = targets.(k) in
+        gathered.(k) < quorum
+      in
+      let chosen = ref [] in
+      let useful i =
+        (* A candidate helps if some still-unmet target gives it votes. *)
+        let help = ref false in
+        Array.iteri
+          (fun k (c, _) -> if unmet k && Config.votes_of c i > 0 then help := true)
+          targets;
+        !help
+      in
+      let consider i =
+        if available i && useful i then begin
+          chosen := i :: !chosen;
+          Array.iteri
+            (fun k (c, _) -> gathered.(k) <- gathered.(k) + Config.votes_of c i)
+            targets
+        end
+      in
+      let candidates =
+        match strategy with
+        | Random ->
+            let preferred, other =
+              List.partition prefer (shuffled_indices rng first_config)
+            in
+            preferred @ other
+        | Fixed order -> Array.to_list order
+        | Locality { local; remote } ->
+            let remote_order =
+              let r = Array.copy remote in
+              Rng.shuffle rng r;
+              Array.to_list r
+            in
+            Array.to_list local @ remote_order
+      in
+      List.iter consider candidates;
+      let failed = ref None in
+      Array.iteri (fun k _ -> if unmet k && !failed = None then failed := Some k) targets;
+      (match !failed with
+      | Some k -> Error k
+      | None -> Ok (Array.of_list (List.rev !chosen)))
+
 let read_quorum strategy rng config ~available =
   collect strategy rng config ~available ~quorum:config.Config.read_quorum
 

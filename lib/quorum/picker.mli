@@ -34,6 +34,24 @@ val collect :
     saves a message. Membership within each class stays uniformly random;
     {!Fixed} and {!Locality} orders are deliberate and ignore it. *)
 
+val collect_joint :
+  ?prefer:(int -> bool) ->
+  strategy ->
+  Rng.t ->
+  (Config.t * int) list ->
+  available:(int -> bool) ->
+  (int array, int) result
+(** Collect one set of representatives that {i simultaneously} reaches every
+    [(config, quorum)] target — the joint-quorum rule governing operations
+    while a membership change is in flight: the set must muster the quorum
+    in the old view {i and} in the new one, so quorums on either side of the
+    transition intersect. All targets must agree on the slot count.
+    Candidates useless to every still-unmet target (zero votes in each) are
+    skipped, so the result stays minimal in the single-target case and
+    coincides with {!collect}. [Error k] names the index of the first target
+    whose quorum cannot be met from the available representatives — the view
+    the caller should blame in its error message. *)
+
 val read_quorum :
   strategy -> Rng.t -> Config.t -> available:(int -> bool) -> int array option
 (** Representative indices whose votes total at least R, or [None] if no

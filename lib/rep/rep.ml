@@ -7,6 +7,8 @@ module Wal_replay = Wal.Replay (Btree)
 
 exception Crashed of string
 
+exception Stale_epoch of { rep : string; epoch : int; record : string }
+
 type waiter = ((unit -> unit) -> unit) -> unit
 
 type timers = { now : unit -> float; after : float -> (unit -> unit) -> unit }
@@ -59,6 +61,10 @@ type t = {
   indoubt : (Txn.id, indoubt) Hashtbl.t;
   mutable crashed : bool;
   mutable incarnation : int;
+  (* Membership-epoch fence: volatile cache of the newest durably installed
+     [Wal.Member_epoch] record. 0 / "" until the first installation. *)
+  mutable m_epoch : int;
+  mutable m_record : string;
   mutable wal_records_repaired : int;
   group_window : float option;
   group : Wal.Group.group;
@@ -88,6 +94,8 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
     indoubt = Hashtbl.create 8;
     crashed = false;
     incarnation = 0;
+    m_epoch = 0;
+    m_record = "";
     wal_records_repaired = 0;
     group_window = group_commit;
     group = Wal.Group.create ();
@@ -185,6 +193,39 @@ let wal_append_or_abort t r =
         (Txn.Abort
            (Txn.Unavailable
               (Format.asprintf "%s: wal append failed (%a)" t.name Wal.pp_io_fault f)))
+
+(* --- membership-epoch fencing --------------------------------------------------- *)
+
+let epoch t = t.m_epoch
+let membership t = if t.m_record = "" then None else Some t.m_record
+
+(* The fence proper: a request stamped with an older epoch is rejected, and
+   the rejection carries this representative's newer record so the sender
+   refetches the configuration in the same round trip. Requests from a
+   *newer* epoch are accepted — the sender's quorum rules are current even
+   if this representative has not been told yet; it learns by explicit
+   installation. Only new work is fenced: termination traffic (commit,
+   abort, outcome queries) and anti-entropy must keep flowing across a
+   change, or prepared transactions could never settle and zero-vote
+   joiners could never catch up. *)
+let fence_check t ~epoch =
+  check_alive t;
+  if epoch < t.m_epoch then
+    raise (Stale_epoch { rep = t.name; epoch = t.m_epoch; record = t.m_record })
+
+let install_epoch t ~epoch ~record =
+  check_alive t;
+  if epoch <= t.m_epoch then t.m_epoch >= epoch
+  else
+    match Wal.try_append t.wal (Wal.Member_epoch (epoch, record)) with
+    | Error _ -> false
+    | Ok () ->
+        (* Force before acknowledging: a crash after the caller counts this
+           representative toward fence coverage must not lose the fence. *)
+        force_wal t;
+        t.m_epoch <- epoch;
+        t.m_record <- record;
+        true
 
 (* --- transaction termination -------------------------------------------------- *)
 
@@ -565,6 +606,11 @@ let root_digest t =
   check_alive t;
   Btree.digest_range t.map ~lo:Bound.Low ~hi:Bound.High
 
+(* A lease heartbeat for long-running sessions: [check_txn_open] touches the
+   lease (creating it on first contact) and rejects already-terminated
+   transactions, which is exactly the contract. *)
+let keepalive t ~txn = check_txn_open t ~txn
+
 (* --- transaction boundary --------------------------------------------------- *)
 
 let prepare t ~txn ~coord =
@@ -795,7 +841,10 @@ let crash t =
      rebuilds outcomes and the in-doubt set from the log. *)
   Hashtbl.reset t.actives;
   Hashtbl.reset t.outcomes;
-  Hashtbl.reset t.indoubt
+  Hashtbl.reset t.indoubt;
+  (* The epoch cache is volatile too; recovery restores it from the log. *)
+  t.m_epoch <- 0;
+  t.m_record <- ""
 
 let is_crashed t = t.crashed
 let incarnation t = t.incarnation
@@ -832,6 +881,15 @@ let recover t =
     (Wal.records t.wal);
   t.crashed <- false;
   t.incarnation <- t.incarnation + 1;
+  (* Resume fencing at the newest durably installed membership epoch. The
+     installation forced the log, so repair cannot have dropped it. *)
+  (match Wal.last_member_epoch t.wal with
+  | Some (ep, record) ->
+      t.m_epoch <- ep;
+      t.m_record <- record
+  | None ->
+      t.m_epoch <- 0;
+      t.m_record <- "");
   (* Restore each in-doubt transaction: re-hold its write locks so the
      withheld effects stay isolated (writers to those ranges block, nothing
      else does), and hand it to the termination protocol. Its redo records
@@ -853,7 +911,13 @@ let checkpoint t =
     invalid_arg "Rep.checkpoint: transactions are active";
   let cp = Wal.checkpoint_of_map (Btree.entries t.map) ~gaps:(Btree.gaps t.map) in
   Wal.append t.wal (Wal.Checkpoint cp);
-  Wal.truncate_to_checkpoint t.wal
+  Wal.truncate_to_checkpoint t.wal;
+  (* Truncation dropped any pre-checkpoint [Member_epoch] record; the fence
+     must survive the next crash, so re-log it. *)
+  if t.m_epoch > 0 then begin
+    Wal.append t.wal (Wal.Member_epoch (t.m_epoch, t.m_record));
+    Wal.sync t.wal
+  end
 
 let wal_length t = Wal.length t.wal
 let wal_unsynced t = Wal.length t.wal - Wal.synced_length t.wal

@@ -27,6 +27,13 @@ open Repdir_gapmap
 exception Crashed of string
 (** Raised by every operation while the representative is crashed. *)
 
+exception Stale_epoch of { rep : string; epoch : int; record : string }
+(** Raised by {!fence_check} when the caller's membership epoch is older
+    than this representative's: the request is rejected, and the exception
+    carries the representative's newer epoch and encoded membership record
+    so the sender can adopt the configuration and retry in one round
+    trip. *)
+
 type waiter = ((unit -> unit) -> unit) -> unit
 (** [waiter register]: block the current logical thread; [register] must be
     called immediately with the wake-up callback and returns at once; the
@@ -105,6 +112,32 @@ val name : t -> string
 val counters : t -> counters
 val size : t -> int
 
+(* --- membership-epoch fencing ---------------------------------------------- *)
+
+val epoch : t -> int
+(** The newest durably installed membership epoch (0 before any
+    installation). *)
+
+val membership : t -> string option
+(** The encoded membership record of the installed epoch — the config
+    endpoint a fenced sender refetches from. *)
+
+val fence_check : t -> epoch:int -> unit
+(** Reject a request stamped with an older epoch ({!Stale_epoch}); accept
+    equal or newer stamps. The suite runs this at the head of every
+    epoch-stamped RPC. Deliberately {e not} applied to termination traffic
+    (commit/abort/outcome) or anti-entropy: prepared transactions must be
+    able to settle across a configuration change, and zero-vote joiners
+    must keep receiving catch-up sessions. *)
+
+val install_epoch : t -> epoch:int -> record:string -> bool
+(** Install a membership epoch: logged as {!Repdir_txn.Wal.Member_epoch} and
+    forced before acknowledging, so a representative counted toward fence
+    coverage cannot forget across a crash. Monotone — an older epoch is
+    ignored (returns [true]: the fence is already at least this new);
+    returns [false] only when the log refuses the append (injected io
+    fault). *)
+
 (* --- Figure 6 operations -------------------------------------------------- *)
 
 val lookup : t -> txn:Repdir_txn.Txn.id -> Bound.t -> Gapmap_intf.lookup
@@ -163,6 +196,13 @@ val root_digest : t -> Gapmap_intf.digest
 (** Lock-free digest of the whole directory, for convergence checks by the
     harness (not part of the locked protocol). Raises {!Crashed} while the
     representative is down. *)
+
+val keepalive : t -> txn:Repdir_txn.Txn.id -> unit
+(** Renew the transaction's lease here without taking locks or doing work.
+    A long multi-peer sync session leaves all but one participant idle while
+    it walks the others; without heartbeats those idle leases expire and
+    unilaterally abort the session from under it. Raises like any other
+    operation if the transaction has already been terminated here. *)
 
 (* --- batched execution ------------------------------------------------------ *)
 

@@ -50,12 +50,14 @@ type t = {
   peers : peer array;
   txns : Txn.Manager.t;
   rng : Rng.t;
+  mark_senior : Txn.id -> bool -> unit;
   mutable enabled : bool;
   mutable stopped : bool;
   counters : counters;
 }
 
-let create ?(config = default_config) ?(seed = 0x5a11c_aa7L) ~peers ~txns () =
+let create ?(config = default_config) ?(seed = 0x5a11c_aa7L) ?(mark_senior = fun _ _ -> ())
+    ~peers ~txns () =
   if config.arity < 2 then invalid_arg "Sync.create: arity must be >= 2";
   if config.leaf_entries < 1 then invalid_arg "Sync.create: leaf_entries must be >= 1";
   if config.period <= 0.0 then invalid_arg "Sync.create: period must be positive";
@@ -64,6 +66,7 @@ let create ?(config = default_config) ?(seed = 0x5a11c_aa7L) ~peers ~txns () =
     peers;
     txns;
     rng = Rng.create seed;
+    mark_senior;
     enabled = true;
     stopped = false;
     counters =
@@ -100,15 +103,13 @@ let stop t = t.stopped <- true
    session's locks and undo state, so any evidence of a changed incarnation
    fails the session before it can commit half-applied work — the same rule
    the suite applies to client transactions. *)
-let session t ~(src : peer) ~(dst : peer) =
+(* The digest-walk of one directed [src -> dst] reconciliation, inside the
+   caller's transaction. Shared by two-peer {!session}s and the multi-peer
+   {!converge} mega-session, which runs several walks under one
+   transaction. *)
+let directed_walk ?(lo = Bound.Low) ?(hi = Bound.High) t ~txn ~fence ~(src : peer)
+    ~(dst : peer) =
   let c = t.counters in
-  c.sessions <- c.sessions + 1;
-  let txn = Txn.Manager.begin_txn t.txns in
-  let src_inc = src.p_incarnation () and dst_inc = dst.p_incarnation () in
-  let fence () =
-    if src.p_incarnation () <> src_inc || dst.p_incarnation () <> dst_inc then
-      raise (Session_failed "peer restarted mid-session")
-  in
   let add (a : Gm.applied) =
     c.entries_installed <- c.entries_installed + a.installed;
     c.entries_updated <- c.entries_updated + a.updated;
@@ -154,8 +155,19 @@ let session t ~(src : peer) ~(dst : peer) =
           over ((lo :: cuts) @ [ hi ])
     end
   in
+  walk lo hi
+
+let session ?lo ?hi t ~(src : peer) ~(dst : peer) =
+  let c = t.counters in
+  c.sessions <- c.sessions + 1;
+  let txn = Txn.Manager.begin_txn t.txns in
+  let src_inc = src.p_incarnation () and dst_inc = dst.p_incarnation () in
+  let fence () =
+    if src.p_incarnation () <> src_inc || dst.p_incarnation () <> dst_inc then
+      raise (Session_failed "peer restarted mid-session")
+  in
   match
-    walk Bound.Low Bound.High;
+    directed_walk ?lo ?hi t ~txn ~fence ~src ~dst;
     fence ();
     (* The destination holds the writes; commit it first so a failure between
        the two commits can only leave the read-only source to abort. *)
@@ -176,6 +188,96 @@ let session t ~(src : peer) ~(dst : peer) =
       | Unreachable _ | Session_failed _ | Rep.Crashed _ | Txn.Abort _ -> ()
       | e -> raise e);
       false
+
+let peer_by_index t i =
+  match Array.to_list t.peers |> List.find_opt (fun p -> p.p_index = i) with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Sync: no peer with index %d" i)
+
+let session_between ?lo ?hi t ~src ~dst =
+  session ?lo ?hi t ~src:(peer_by_index t src) ~dst:(peer_by_index t dst)
+
+(* --- multi-peer convergence (the joiner catch-up mega-session) ------------------ *)
+
+(* One transaction that makes every participant's map equal: pull each
+   peer's divergence onto the hub (the hub then dominates everyone under the
+   version-monotone merge), push the hub back onto each peer (merging with a
+   superset of yourself makes you exactly that superset), then read every
+   root digest while the transaction still holds the whole key space locked
+   at every participant. The digests are therefore an *atomic* equality
+   gate: live client traffic either serialized before the session (and is
+   included) or blocks until it commits. The promotion rule for a joining
+   representative — "root digest equals its peers' before the epoch bump" —
+   needs exactly this; a sequence of pairwise sessions cannot provide it,
+   because peers keep diverging behind the sequence's back.
+
+   The price of locking everything everywhere is paid in deadlocks against
+   client transactions; they surface as [Txn.Abort], fail the session
+   cleanly, and the driver retries. *)
+let converge t ~hub ~among =
+  let hub_p = peer_by_index t hub in
+  let others = List.filter (fun i -> i <> hub) among |> List.map (peer_by_index t) in
+  if others = [] then invalid_arg "Sync.converge: need at least one peer besides the hub";
+  let c = t.counters in
+  c.sessions <- c.sessions + 1;
+  let participants = hub_p :: others in
+  let txn = Txn.Manager.begin_txn t.txns in
+  (* Locking the whole key space at every participant for a long session
+     means closing waits-for cycles against short client transactions
+     constantly; as the requester-is-victim default would abort this session
+     every time, it runs as a senior transaction and wounds the (retrying)
+     clients instead. *)
+  t.mark_senior txn true;
+  let incs = List.map (fun p -> (p, p.p_incarnation ())) participants in
+  (* The walks leave every participant but the current pair idle, and an
+     untouched participant's transaction lease expires — unilaterally
+     aborting the session from under us. Heartbeat all participants every few
+     RPCs (the fence runs after each one) so every lease stays renewed for as
+     long as the session makes progress. *)
+  let rpcs = ref 0 in
+  let fence () =
+    if List.exists (fun (p, i0) -> p.p_incarnation () <> i0) incs then
+      raise (Session_failed "peer restarted mid-session");
+    incr rpcs;
+    if !rpcs mod 8 = 0 then
+      List.iter (fun p -> p.p_call (fun rep -> Rep.keepalive rep ~txn)) participants
+  in
+  match
+    List.iter (fun p -> directed_walk t ~txn ~fence ~src:p ~dst:hub_p) others;
+    List.iter (fun p -> directed_walk t ~txn ~fence ~src:hub_p ~dst:p) others;
+    let digests =
+      List.map (fun p -> (p.p_index, p.p_call (fun rep -> Rep.root_digest rep))) participants
+    in
+    fence ();
+    (* All participants hold writes; any commit that fails leaves a
+       convergent partial merge (never a lost update), and the caller
+       retries the whole session. *)
+    List.iter (fun p -> p.p_call (fun rep -> Rep.commit rep ~txn)) participants;
+    digests
+  with
+  | digests ->
+      t.mark_senior txn false;
+      Txn.Manager.commit t.txns txn;
+      Some digests
+  | exception e ->
+      t.mark_senior txn false;
+      c.sessions_failed <- c.sessions_failed + 1;
+      List.iter
+        (fun p -> try p.p_call (fun rep -> Rep.abort rep ~txn) with _ -> ())
+        participants;
+      Txn.Manager.abort t.txns txn;
+      (match e with
+      | Unreachable _ | Session_failed _ | Rep.Crashed _ | Txn.Abort _ -> ()
+      | e -> raise e);
+      None
+
+let digests_equal = function
+  | [] -> true
+  | (_, d) :: rest ->
+      List.for_all
+        (fun (_, d') ->
+          Int64.equal d.Gm.hash d'.Gm.hash && d.Gm.n_entries = d'.Gm.n_entries)
+        rest
 
 (* --- rounds -------------------------------------------------------------------- *)
 

@@ -74,12 +74,19 @@ type t
 val create :
   ?config:config ->
   ?seed:int64 ->
+  ?mark_senior:(Txn.id -> bool -> unit) ->
   peers:peer array ->
   txns:Txn.Manager.t ->
   unit ->
   t
 (** [seed] drives peer-pair selection and period jitter only; every other
-    source of nondeterminism is the simulation's own. *)
+    source of nondeterminism is the simulation's own.
+
+    [mark_senior] (default: nothing) flags a transaction as a senior
+    deadlock winner for the duration of a {!converge} mega-session — see
+    {!Repdir_lock.Lock_manager.set_senior}. Without it converge loses every
+    deadlock against client traffic: it acquires locks for its whole (long)
+    lifetime, so it is nearly always the requester that closes a cycle. *)
 
 val counters : t -> counters
 val enabled : t -> bool
@@ -93,14 +100,49 @@ val stop : t -> unit
     whose other processes have finished can drain its event queue and end).
     Unlike {!set_enabled}, this is irreversible. *)
 
-val session : t -> src:peer -> dst:peer -> bool
+val session :
+  ?lo:Repdir_key.Bound.t -> ?hi:Repdir_key.Bound.t -> t -> src:peer -> dst:peer -> bool
 (** One directed session: [dst] pulls every range where its digest disagrees
     with [src]'s, inside one transaction spanning both peers (RepLookup locks
     at the source, RepModify at the destination, strict 2PL). Returns false
     if the session aborted — peer unreachable or crashed, a restart tripped
     the incarnation fence, or a deadlock victim — in which case both sides
     were rolled back and nothing was learned. Must run inside a simulator
-    process when the peers' [p_call] goes over RPC. *)
+    process when the peers' [p_call] goes over RPC.
+
+    [lo]/[hi] (default: the whole key space) restrict the session to the
+    range [(lo, hi]]: the locks taken never exceed the slice, so a sequence
+    of slice sessions reconciles a pair while letting client traffic through
+    between the slices — the shape the reconfiguration driver's catch-up
+    rounds use. *)
+
+val session_between :
+  ?lo:Repdir_key.Bound.t -> ?hi:Repdir_key.Bound.t -> t -> src:int -> dst:int -> bool
+(** {!session} addressed by [p_index] instead of peer values — the form the
+    reconfiguration driver uses for pre-transition catch-up rounds. *)
+
+val converge :
+  t ->
+  hub:int ->
+  among:int list ->
+  (int * Repdir_gapmap.Gapmap_intf.digest) list option
+(** The joiner catch-up mega-session: one transaction that pulls every
+    [among] peer's divergence onto the [hub] peer (peer/hub given as
+    [p_index] values), pushes the hub's now-dominating state back onto each
+    peer, and reads every participant's gap-map root digest while the
+    transaction still holds the whole key space locked at every
+    participant — so the returned digests are an {e atomic} snapshot: all
+    equal on success, live traffic notwithstanding. This is the promotion
+    gate for a zero-vote joining representative (make [hub] the joiner) and
+    the drain step for a retiring one (make [hub] the retiree).
+
+    [None] means the session aborted (unreachable peer, restart fence,
+    deadlock against a client transaction — locking everything everywhere
+    makes those ordinary); everything was rolled back or left as a
+    harmless convergent partial merge, and the driver should retry.
+    Check the result with {!digests_equal}. *)
+
+val digests_equal : (int * Repdir_gapmap.Gapmap_intf.digest) list -> bool
 
 val round : t -> unit
 (** Pick a random pair and run one session in each direction. *)

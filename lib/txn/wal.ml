@@ -10,6 +10,7 @@ type record =
   | Abort of Txn.id
   | Recovery_marker
   | Checkpoint of checkpoint
+  | Member_epoch of int * string
 
 and checkpoint = {
   entries : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value * Version.t) list;
@@ -27,6 +28,7 @@ let pp_record ppf = function
   | Commit id -> Format.fprintf ppf "commit %d" id
   | Abort id -> Format.fprintf ppf "abort %d" id
   | Checkpoint c -> Format.fprintf ppf "checkpoint (%d entries)" (List.length c.entries)
+  | Member_epoch (e, _) -> Format.fprintf ppf "member-epoch %d" e
 
 (* --- stable-storage framing ------------------------------------------------------ *)
 
@@ -80,7 +82,7 @@ let index_record t = function
   | Insert (id, _, _, _) | Coalesce (id, _, _, _) | Sync_apply (id, _) ->
       if not (Hashtbl.mem t.op_epochs id) then Hashtbl.replace t.op_epochs id t.epoch
   | Commit id -> Hashtbl.replace t.committed_set id ()
-  | Begin _ | Prepare _ | Abort _ | Checkpoint _ -> ()
+  | Begin _ | Prepare _ | Abort _ | Checkpoint _ | Member_epoch _ -> ()
 
 let rebuild_index t =
   t.epoch <- 0;
@@ -144,7 +146,8 @@ let in_doubt t =
       | Prepare (id, coord) ->
           if not (Hashtbl.mem prepared id) then Hashtbl.replace prepared id (Some coord)
       | Commit id | Abort id -> Hashtbl.replace prepared id None
-      | Begin _ | Insert _ | Coalesce _ | Sync_apply _ | Recovery_marker | Checkpoint _ -> ())
+      | Begin _ | Insert _ | Coalesce _ | Sync_apply _ | Recovery_marker | Checkpoint _
+      | Member_epoch _ -> ())
     t.log;
   Hashtbl.fold
     (fun id pending acc -> match pending with Some coord -> (id, coord) :: acc | None -> acc)
@@ -176,6 +179,13 @@ let write_ranges t txn =
       | Sync_apply (id, ops) when id = txn -> span_of_ops ops
       | _ -> None)
     (records t)
+
+let last_member_epoch t =
+  (* log is newest-first, so the first hit is the highest installed epoch
+     (installation is monotone). *)
+  List.find_map
+    (fun e -> match e.rec_ with Member_epoch (ep, r) -> Some (ep, r) | _ -> None)
+    t.log
 
 let checkpoint_of_map entries ~gaps =
   let low_gap =
@@ -352,7 +362,7 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
         | Sync_apply (id, ops) when is_committed id ->
             List.iter (M.apply_sync_op map) ops
         | Begin _ | Prepare _ | Commit _ | Abort _ | Insert _ | Coalesce _
-        | Sync_apply _ | Recovery_marker -> ())
+        | Sync_apply _ | Recovery_marker | Member_epoch _ -> ())
       recs;
     map
 
@@ -368,6 +378,6 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
         | Coalesce (id, lo, hi, v) when id = txn -> ignore (M.coalesce map ~lo ~hi v)
         | Sync_apply (id, ops) when id = txn -> List.iter (M.apply_sync_op map) ops
         | Begin _ | Prepare _ | Commit _ | Abort _ | Insert _ | Coalesce _ | Sync_apply _
-        | Recovery_marker | Checkpoint _ -> ())
+        | Recovery_marker | Checkpoint _ | Member_epoch _ -> ())
       (records t)
 end

@@ -41,6 +41,12 @@ type record =
           volatile state (locks, undo logs, in-memory effects of active
           transactions) was lost. *)
   | Checkpoint of checkpoint
+  | Member_epoch of int * string
+      (** Durable membership-epoch installation: the fencing epoch together
+          with the encoded membership record it came from. Named to avoid
+          confusion with the log's internal recovery epochs (the
+          [Recovery_marker] counter). Recovery restores the newest one;
+          {!truncate_to_checkpoint} callers must re-append it. *)
 
 and checkpoint = {
   entries : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value * Version.t) list;
@@ -110,6 +116,10 @@ val write_ranges : t -> Txn.id -> Bound.Interval.t list
 (** Closed key intervals covering the transaction's redo records (one per
     record, possibly overlapping) — the RepModify footprint recovery must
     re-lock when it restores the transaction as in doubt. *)
+
+val last_member_epoch : t -> (int * string) option
+(** The newest [Member_epoch] record — the membership epoch a recovering
+    representative must resume fencing at. *)
 
 val checkpoint_of_map : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value) list
                         -> gaps:(Bound.t * Bound.t * Version.t) list

@@ -1,0 +1,308 @@
+(* Tests for dynamic membership: record serialization, joint-consensus
+   transition validation, representative epoch fencing (WAL durability and
+   checkpoint restore), suite-level joint quorum collection with
+   epoch-naming failures, and the end-to-end reconfiguration campaign. *)
+
+open Repdir_key
+open Repdir_rep
+open Repdir_quorum
+open Repdir_core
+open Repdir_harness
+module Member = Repdir_member.Member
+
+let cfg votes r w = Config.make_exn ~votes ~read_quorum:r ~write_quorum:w
+
+(* The campaign's starting point: the paper's 3-2-2 suite plus a zero-vote
+   slot waiting to join. *)
+let seed_record () =
+  Member.initial
+    ~config:(cfg [| 1; 1; 1; 0 |] 2 2)
+    ~roster:[| Member.Active; Member.Active; Member.Active; Member.Joining |]
+
+let record_t = Alcotest.testable Member.pp Member.equal
+
+(* --- the distinguished key ---------------------------------------------------- *)
+
+let test_key_sorts_first () =
+  (* Workload generators draw zero-padded integer keys and random
+     lowercase-alphabetic keys; the membership entry must sort before both
+     so range scans over workload data never straddle it by accident. *)
+  Alcotest.(check bool) "before integer keys" true (Key.compare Member.key (Key.of_int 0) < 0);
+  Alcotest.(check bool) "before alphabetic keys" true (Key.compare Member.key "a" < 0)
+
+(* --- serialization ------------------------------------------------------------- *)
+
+let gen_record =
+  let open QCheck.Gen in
+  let gen_view ~epoch n =
+    list_repeat n (int_range 0 3) >>= fun raw_votes ->
+    list_repeat n (int_range 0 2) >>= fun raw_status ->
+    let status = function 0 -> Member.Active | 1 -> Member.Joining | _ -> Member.Retired in
+    let roster = Array.of_list (List.map status raw_status) in
+    (* Slot 0 stays active so the view has votes at all; Joining/Retired
+       slots must hold zero, everyone else at least one. *)
+    roster.(0) <- Member.Active;
+    let votes =
+      Array.of_list
+        (List.mapi
+           (fun i v -> match roster.(i) with Member.Active -> max 1 v | _ -> 0)
+           raw_votes)
+    in
+    let total = Array.fold_left ( + ) 0 votes in
+    let w = (total / 2) + 1 in
+    let r = total + 1 - w in
+    match Member.make_view ~epoch ~config:(cfg votes r w) ~roster with
+    | Ok v -> return v
+    | Error e -> failwith e
+  in
+  int_range 3 5 >>= fun n ->
+  small_nat >>= fun epoch ->
+  bool >>= fun joint ->
+  if joint then
+    gen_view ~epoch n >>= fun old_view ->
+    gen_view ~epoch:(epoch + 1) n >>= fun new_view ->
+    return (Member.Joint (old_view, new_view))
+  else gen_view ~epoch n >>= fun v -> return (Member.Stable v)
+
+let roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:200
+    (QCheck.make gen_record)
+    (fun r ->
+      (match Member.decode (Member.encode r) with
+      | Ok r' -> Member.equal r r'
+      | Error _ -> false)
+      && Member.encode r = Member.encode r)
+
+let test_decode_rejects_garbage () =
+  (match Member.decode "" with Ok _ -> Alcotest.fail "empty accepted" | Error _ -> ());
+  (match Member.decode "not a record" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  try
+    ignore (Member.decode_exn "x");
+    Alcotest.fail "decode_exn did not raise"
+  with Invalid_argument _ -> ()
+
+(* --- transitions ---------------------------------------------------------------- *)
+
+let test_join_then_finish () =
+  let r0 = seed_record () in
+  Alcotest.(check int) "initial epoch" 0 (Member.epoch_of r0);
+  let joint =
+    match Member.join r0 ~slot:3 ~votes:1 ~read_quorum:2 ~write_quorum:3 with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "joint epoch" 1 (Member.epoch_of joint);
+  (match joint with
+  | Member.Joint (old_view, new_view) ->
+      Alcotest.(check int) "old epoch kept" 0 old_view.Member.epoch;
+      Alcotest.(check int) "joiner votes" 1 (Config.votes_of new_view.Member.config 3);
+      Alcotest.(check bool) "joiner active" true (new_view.Member.roster.(3) = Member.Active);
+      Alcotest.(check int) "two governing views" 2 (List.length (Member.views joint));
+      (* An operation under the joint record needs a quorum in both views. *)
+      let targets = Member.targets joint ~read:false in
+      Alcotest.(check (list int)) "write quorums, oldest first" [ 2; 3 ]
+        (List.map snd targets)
+  | Member.Stable _ -> Alcotest.fail "join must produce a joint record");
+  let stable =
+    match Member.finish_change joint with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "stable epoch" 2 (Member.epoch_of stable);
+  match stable with
+  | Member.Stable v ->
+      Alcotest.(check int) "one governing view" 1 (List.length (Member.views stable));
+      Alcotest.(check int) "four voters" 4 (Config.total_votes v.Member.config)
+  | Member.Joint _ -> Alcotest.fail "finish must produce a stable record"
+
+let test_retire () =
+  let r0 = seed_record () in
+  let r2 =
+    match Member.join r0 ~slot:3 ~votes:1 ~read_quorum:2 ~write_quorum:3 with
+    | Ok j -> ( match Member.finish_change j with Ok s -> s | Error e -> Alcotest.fail e)
+    | Error e -> Alcotest.fail e
+  in
+  let joint =
+    match Member.retire r2 ~slot:0 ~read_quorum:2 ~write_quorum:2 with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (match joint with
+  | Member.Joint (_, new_view) ->
+      Alcotest.(check int) "retiree drained" 0 (Config.votes_of new_view.Member.config 0);
+      Alcotest.(check bool) "retiree fenced" true (new_view.Member.roster.(0) = Member.Retired)
+  | Member.Stable _ -> Alcotest.fail "retire must produce a joint record");
+  let stable =
+    match Member.finish_change joint with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "final epoch" 4 (Member.epoch_of stable)
+
+let test_transition_validation () =
+  let r0 = seed_record () in
+  let joint =
+    match Member.join r0 ~slot:3 ~votes:1 ~read_quorum:2 ~write_quorum:3 with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* One change at a time: a joint record refuses another begin_change. *)
+  (match Member.join joint ~slot:3 ~votes:2 ~read_quorum:2 ~write_quorum:4 with
+  | Ok _ -> Alcotest.fail "begin_change on a joint record accepted"
+  | Error _ -> ());
+  (* finish_change needs a change in flight. *)
+  (match Member.finish_change r0 with
+  | Ok _ -> Alcotest.fail "finish_change on a stable record accepted"
+  | Error _ -> ());
+  (* Joining a slot that is not waiting, or with quorums violating the
+     paper's intersection constraints, is rejected. *)
+  (match Member.join r0 ~slot:0 ~votes:2 ~read_quorum:2 ~write_quorum:3 with
+  | Ok _ -> Alcotest.fail "join of an active slot accepted"
+  | Error _ -> ());
+  (match Member.join r0 ~slot:3 ~votes:1 ~read_quorum:1 ~write_quorum:1 with
+  | Ok _ -> Alcotest.fail "non-intersecting quorums accepted"
+  | Error _ -> ());
+  (* A roster/view mismatch is rejected at make_view. *)
+  match
+    Member.make_view ~epoch:1
+      ~config:(cfg [| 1; 1; 1; 1 |] 2 3)
+      ~roster:[| Member.Active; Member.Active; Member.Active; Member.Joining |]
+  with
+  | Ok _ -> Alcotest.fail "joining slot with votes accepted"
+  | Error _ -> ()
+
+(* --- representative fencing ------------------------------------------------------ *)
+
+let test_fencing_basics () =
+  let r = Rep.create ~name:"r" () in
+  Alcotest.(check int) "fresh epoch" 0 (Rep.epoch r);
+  let record = Member.encode (seed_record ()) in
+  Alcotest.(check bool) "install 1" true (Rep.install_epoch r ~epoch:1 ~record);
+  Alcotest.(check int) "epoch 1" 1 (Rep.epoch r);
+  Alcotest.(check (option string)) "record kept" (Some record) (Rep.membership r);
+  (* Monotone: an older installation acknowledges (the fence is already at
+     least this new) but changes nothing. *)
+  Alcotest.(check bool) "older acked" true (Rep.install_epoch r ~epoch:0 ~record:"old");
+  Alcotest.(check int) "still 1" 1 (Rep.epoch r);
+  Alcotest.(check (option string)) "record unchanged" (Some record) (Rep.membership r);
+  (* The fence accepts current and newer callers, rejects stale ones, and
+     the rejection carries the newer record for adoption. *)
+  Rep.fence_check r ~epoch:1;
+  Rep.fence_check r ~epoch:7;
+  match Rep.fence_check r ~epoch:0 with
+  | () -> Alcotest.fail "stale epoch accepted"
+  | exception Rep.Stale_epoch { epoch; record = carried; _ } ->
+      Alcotest.(check int) "carries newer epoch" 1 epoch;
+      Alcotest.check record_t "carries the record" (seed_record ())
+        (Member.decode_exn carried)
+
+let test_fencing_survives_crash_and_checkpoint () =
+  let r = Rep.create ~name:"r" () in
+  let record = Member.encode (seed_record ()) in
+  ignore (Rep.install_epoch r ~epoch:2 ~record : bool);
+  Rep.crash r;
+  Rep.recover r;
+  Alcotest.(check int) "epoch after recovery" 2 (Rep.epoch r);
+  Alcotest.(check (option string)) "record after recovery" (Some record) (Rep.membership r);
+  (* A checkpoint truncates the log; the epoch must ride the checkpoint. *)
+  Rep.checkpoint r;
+  Rep.crash r;
+  Rep.recover r;
+  Alcotest.(check int) "epoch after checkpointed recovery" 2 (Rep.epoch r);
+  Alcotest.(check (option string)) "record after checkpointed recovery" (Some record)
+    (Rep.membership r)
+
+(* --- suite-level joint collection ------------------------------------------------ *)
+
+let joint_world () =
+  let reps = Array.init 4 (fun i -> Rep.create ~name:(Printf.sprintf "rep%d" i) ()) in
+  let record =
+    match Member.join (seed_record ()) ~slot:3 ~votes:1 ~read_quorum:2 ~write_quorum:3 with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let txns = Repdir_txn.Txn.Manager.create () in
+  let suite =
+    Suite.create
+      ~picker:(Picker.Fixed [| 0; 1; 2; 3 |])
+      ~config:(Member.current record).Member.config
+      ~membership:record ~transport:(Transport.local reps) ~txns ()
+  in
+  (reps, suite)
+
+let test_joint_write_covers_both_views () =
+  let reps, suite = joint_world () in
+  (match Suite.insert suite "k" "v" with
+  | Ok () -> ()
+  | Error `Already_present -> Alcotest.fail "k should be insertable");
+  (* With the fixed preference order, the old view's write quorum is
+     {0, 1} (2 of 3 votes) and the new view's is {0, 1, 2} (3 of 4): the
+     entry must land on the union and may skip representative 3. *)
+  let has i = List.exists (fun (k, _, _) -> k = "k") (Rep.entries reps.(i)) in
+  Alcotest.(check bool) "rep0 wrote" true (has 0);
+  Alcotest.(check bool) "rep1 wrote" true (has 1);
+  Alcotest.(check bool) "rep2 wrote" true (has 2);
+  Alcotest.(check bool) "rep3 skipped" false (has 3)
+
+let test_unavailable_names_the_failing_epoch () =
+  let reps, suite = joint_world () in
+  (* Killing representatives 2 and 3 leaves the old view's write quorum
+     satisfiable ({0, 1}) but not the new view's (3 votes from {0, 1}):
+     the failure must name the view that could not be collected. *)
+  Rep.crash reps.(2);
+  Rep.crash reps.(3);
+  match Suite.insert suite "k" "v" with
+  | Ok () | Error `Already_present -> Alcotest.fail "no quorum yet the write went through"
+  | exception Suite.Unavailable msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("names epoch 1: " ^ msg) true (contains msg "epoch 1")
+
+(* --- the end-to-end campaign ------------------------------------------------------ *)
+
+(* The fault-free variant of the acceptance run: a live join to four
+   representatives and a retire back to three under client traffic with the
+   auditor on. The faulted variant is exercised by `repdir reconfig` in CI
+   (it takes minutes of virtual time). *)
+let test_reconfig_fault_free () =
+  let outcome, report = Nemesis.run_reconfig ~faults:false () in
+  Alcotest.(check bool) "join completed" true (report.Nemesis.joined_at <> None);
+  Alcotest.(check bool) "retire completed" true (report.Nemesis.retired_at <> None);
+  Alcotest.(check bool) "digest gate held" true report.Nemesis.digest_gate_ok;
+  Alcotest.(check int) "final epoch" 4 report.Nemesis.final_epoch;
+  Alcotest.(check int) "no violations" 0 (Nemesis.total_violations outcome);
+  Alcotest.(check int) "no orphan locks" 0 outcome.Nemesis.orphan_locks;
+  Alcotest.(check int) "no open in-doubt" 0 outcome.Nemesis.indoubt_open
+
+let () =
+  Alcotest.run "member"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "key sorts first" `Quick test_key_sorts_first;
+          QCheck_alcotest.to_alcotest roundtrip;
+          Alcotest.test_case "decode rejects garbage" `Quick test_decode_rejects_garbage;
+        ] );
+      ( "transitions",
+        [
+          Alcotest.test_case "join then finish" `Quick test_join_then_finish;
+          Alcotest.test_case "retire" `Quick test_retire;
+          Alcotest.test_case "validation" `Quick test_transition_validation;
+        ] );
+      ( "fencing",
+        [
+          Alcotest.test_case "basics" `Quick test_fencing_basics;
+          Alcotest.test_case "survives crash and checkpoint" `Quick
+            test_fencing_survives_crash_and_checkpoint;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "joint write covers both views" `Quick
+            test_joint_write_covers_both_views;
+          Alcotest.test_case "unavailable names the epoch" `Quick
+            test_unavailable_names_the_failing_epoch;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "fault-free join and retire" `Slow test_reconfig_fault_free ] );
+    ]

@@ -235,6 +235,36 @@ let availability_matches_monte_carlo =
       let mc = Availability.monte_carlo rng ~votes ~quorum ~p_up ~trials:60_000 in
       abs_float (exact -. mc) < 0.02)
 
+(* The reconfiguration campaign's three membership views (PR 7): the seed
+   3-2-2 with a zero-vote joining slot (epochs 0/1 old side), the promoted
+   four-member view (epochs 1/2 new side), and the view after slot 0
+   retires (epochs 3/4 new side). The exact dynamic program must agree
+   with Monte Carlo on each, for reads and writes, under a generated
+   per-representative up-probability; the Monte Carlo seed is a fixed
+   function of the generated case so failures replay exactly. *)
+let epoch_views_match_monte_carlo =
+  let views =
+    [
+      ("e0 join old view", [| 1; 1; 1; 0 |], 2, 2);
+      ("e1/e2 joined view", [| 1; 1; 1; 1 |], 2, 3);
+      ("e3/e4 retired view", [| 0; 1; 1; 1 |], 2, 2);
+    ]
+  in
+  QCheck.Test.make ~name:"campaign epoch views: exact vs Monte Carlo" ~count:20
+    QCheck.(pair (int_bound 1_000) (int_bound 8))
+    (fun (case, tenths) ->
+      let p_up = 0.1 +. (0.1 *. float_of_int tenths) in
+      List.for_all
+        (fun (_, votes, r, w) ->
+          let close quorum =
+            let exact = Availability.quorum_probability ~votes ~quorum ~p_up in
+            let rng = Rng.create (Int64.of_int ((case * 16) + quorum + 1)) in
+            let mc = Availability.monte_carlo rng ~votes ~quorum ~p_up ~trials:60_000 in
+            abs_float (exact -. mc) < 0.02
+          in
+          close r && close w)
+        views)
+
 let test_both_availability () =
   let c = Config.simple ~n:3 ~r:2 ~w:2 in
   check_close "both = max quorum" (Availability.write_availability c ~p_up:0.9)
@@ -278,5 +308,6 @@ let () =
           Alcotest.test_case "rejects bad p" `Quick test_availability_rejects_bad_p;
           Alcotest.test_case "both availability" `Quick test_both_availability;
           QCheck_alcotest.to_alcotest availability_matches_monte_carlo;
+          QCheck_alcotest.to_alcotest epoch_views_match_monte_carlo;
         ] );
     ]
