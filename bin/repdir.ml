@@ -257,7 +257,7 @@ let audit_cmd =
   in
   let plan_t =
     Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"NAME"
-           ~doc:"Run only the named plan (default: all seven).")
+           ~doc:"Run only the named plan (default: all nine).")
   in
   let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
   let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
@@ -449,8 +449,9 @@ let plans_cmd =
       (fun (name, family, desc) -> Printf.printf "  %-20s %-11s %s\n" name family desc)
       Nemesis.plan_catalog;
     print_endline
-      "\nStandard and extended plans run via `repdir nemesis` / `repdir audit` (extended \
-       ones under audit's --plan); the membership plan runs via `repdir reconfig`."
+      "\nStandard, extended and robustness plans run via `repdir nemesis` / `repdir \
+       audit` (non-standard ones under audit's --plan or in its default all-plan \
+       sweep); the membership plan runs via `repdir reconfig`."
   in
   Cmd.v
     (Cmd.info "plans" ~doc:"List every registered nemesis fault plan")

@@ -11,6 +11,35 @@ type value = string
 
 exception Unavailable of string
 
+exception Deadline_exceeded of string
+
+(* Client-side retry budget: a token bucket shared by all of one client's
+   operations. Retries spend a token; successes earn a fraction back. Under
+   occasional failures the bucket stays near its cap and every retry is
+   granted; under sustained unavailability it drains, and the client fails
+   fast instead of joining the retry storm that turns a transient brownout
+   into a metastable outage (the goodput-collapse mode: servers spending all
+   capacity on retries of work whose clients have given up). *)
+module Retry_budget = struct
+  type t = { mutable tokens : float; cap : float; earn : float }
+
+  let create ?(cap = 10.0) ?(earn = 0.1) () =
+    if cap < 1.0 then invalid_arg "Retry_budget.create: cap must be at least 1.0";
+    if earn <= 0.0 then invalid_arg "Retry_budget.create: earn must be positive";
+    { tokens = cap; cap; earn }
+
+  let tokens b = b.tokens
+
+  let try_spend b =
+    if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      true
+    end
+    else false
+
+  let earn b = b.tokens <- Float.min b.cap (b.tokens +. b.earn)
+end
+
 module Int_set = Set.Make (Int)
 
 (* Per-transaction session: which representatives the transaction has
@@ -57,11 +86,23 @@ type t = {
   pending : (int, Rep.notice list ref) Hashtbl.t;
   mutable flush_armed : bool;
   recorder : Repdir_audit.History.recorder option;
+  (* Deadline propagation: each operation's budget in time units, converted
+     to an absolute deadline when the operation starts and stamped on every
+     RPC it issues ([Rep.reject_expired] server-side). None = no stamping,
+     the seed behaviour. Needs [timers]. *)
+  op_deadline : float option;
+  (* Hedging: when set (the floor delay), quorum lookups race their slowest
+     quorum member against a spare replica after a p99-derived delay.
+     Requires a [Picker.Healthy] picker (the EWMA scores choose the hedge
+     target and the spare) and a transport with a race primitive. *)
+  hedge : float option;
+  mutable hedged : int;  (* hedge backups actually launched *)
 }
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     ?coordinator ?(batch_depth = 1) ?sync ?(batching = false) ?timers
-    ?(notice_window = 5.0) ?recorder ?membership ~config ~transport ~txns () =
+    ?(notice_window = 5.0) ?recorder ?membership ?op_deadline ?hedge ~config ~transport
+    ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
@@ -70,6 +111,15 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     ->
       invalid_arg "Suite.create: membership record and transport disagree on slot count"
   | _ -> ());
+  (match op_deadline with
+  | Some d when d <= 0.0 -> invalid_arg "Suite.create: op_deadline must be positive"
+  | _ -> ());
+  (match hedge with
+  | Some _ -> (
+      match picker with
+      | Picker.Healthy _ -> ()
+      | _ -> invalid_arg "Suite.create: hedging needs a Picker.Healthy strategy")
+  | None -> ());
   let coordinator =
     match coordinator with Some c -> c | None -> Coordinator.create ()
   in
@@ -91,6 +141,9 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     pending = Hashtbl.create 8;
     flush_armed = false;
     recorder;
+    op_deadline;
+    hedge;
+    hedged = 0;
   }
 
 (* --- history recording ---------------------------------------------------------- *)
@@ -145,6 +198,7 @@ let transport t = t.transport
 let coordinator t = t.coordinator
 let batching t = t.batching
 let sync t = t.sync
+let hedged_count t = t.hedged
 
 (* --- deferred termination notices --------------------------------------------- *)
 
@@ -229,7 +283,15 @@ type delete_report = {
    last write round is the transaction's last round, so the batched suite
    may piggyback the two-phase-commit prepare (or a read-only finish) on
    it. *)
-type ctx = { txn : Txn.id; mutable excluded : Int_set.t; suite : t; final : bool }
+type ctx = {
+  txn : Txn.id;
+  mutable excluded : Int_set.t;
+  suite : t;
+  final : bool;
+  (* Absolute deadline for this operation (client clock), stamped on every
+     RPC and checked before each body re-run. None = no deadline. *)
+  deadline : float option;
+}
 
 let fanout ctx f arr = ctx.suite.transport.Transport.fanout.Transport.map f arr
 
@@ -267,6 +329,21 @@ let call ctx i f =
         let e = Member.epoch_of m in
         fun rep ->
           Rep.fence_check rep ~epoch:e;
+          f rep
+  in
+  (* Deadline propagation: the operation's absolute deadline rides on every
+     RPC; a representative whose clock says it has passed refuses the work
+     instead of executing it ([Rep.Deadline_exceeded] unwinds the operation
+     like any other abort). The budget decrements across hops for free
+     because the deadline is absolute while time keeps advancing. Like the
+     fence, only operation work is stamped — termination traffic must settle
+     no matter how late it runs. *)
+  let f =
+    match ctx.deadline with
+    | None -> f
+    | Some d ->
+        fun rep ->
+          Rep.reject_expired rep ~deadline:d;
           f rep
   in
   let s = session_of ctx in
@@ -375,13 +452,84 @@ let collect_write_quorum ctx =
 
 (* --- DirSuiteLookup (Figure 8) ------------------------------------------------ *)
 
+(* Hedged quorum fan-out: race the quorum member with the worst smoothed
+   latency against a spare replica, started after a p99-derived delay — the
+   gray-failure mitigation for the one case quorum re-selection cannot help
+   with: a member that is slow but not slow enough to be excluded, stalling
+   every round it joins. Vote-sound by construction: the spare must carry at
+   least as many votes as the member it stands in for, so whichever branch
+   answers, the replies always cover a full read quorum. Both branches go
+   through [call], so both representatives join the transaction's session
+   and are released by its termination round; a late losing reply re-executes
+   idempotently against locks the session still holds and is discarded
+   client-side. Active only when all the machinery is present: a hedge
+   window, a transport race primitive, a [Healthy] picker (for the scores),
+   a clock, and static membership (joint-quorum vote accounting would need
+   per-view spares). *)
+let hedged_fanout ctx quorum callf =
+  let t = ctx.suite in
+  match (t.hedge, t.transport.Transport.race, t.picker, t.timers, t.membership) with
+  | Some floor, Some race, Picker.Healthy health, Some _, None when Array.length quorum > 0
+    ->
+      let slowest = ref quorum.(0) in
+      Array.iter
+        (fun i ->
+          if Picker.Health.latency health i > Picker.Health.latency health !slowest then
+            slowest := i)
+        quorum;
+      let slow = !slowest in
+      let in_quorum i = Array.exists (Int.equal i) quorum in
+      (* Hedge only a quorum member that looks gray — flagged as an outlier,
+         or (during the detection lag, before it has the samples to be
+         flagged) already [suspect] next to the spare — and only to a healthy
+         spare. A speculative call is not free: the spare executes it, takes
+         the read lock, and becomes a 2PC participant whose prepare/commit
+         rounds the transaction then waits on — so hedging a healthy quorum
+         against a gray spare would *add* the gray replica to the critical
+         path it was chosen to avoid. *)
+      let spare = ref None in
+      for i = 0 to t.transport.Transport.n_reps - 1 do
+        if
+          (not (in_quorum i))
+          && available ctx i
+          && (not (Picker.Health.outlier health i))
+          && Config.votes_of t.config i >= Config.votes_of t.config slow
+        then begin
+          let better =
+            match !spare with
+            | None -> true
+            | Some s -> Picker.Health.latency health i < Picker.Health.latency health s
+          in
+          if better then spare := Some i
+        end
+      done;
+      (match !spare with
+      | Some s
+        when Picker.Health.outlier health slow
+             || Picker.Health.suspect health slow ~against:s ->
+          let delay = Picker.Health.hedge_delay ~floor health in
+          fanout ctx
+            (fun i ->
+              if i = slow then
+                race.Transport.run
+                  (fun () -> callf i)
+                  ~after:delay
+                  (fun () ->
+                    t.hedged <- t.hedged + 1;
+                    callf s)
+              else callf i)
+            quorum
+      | Some _ | None -> fanout ctx callf quorum)
+  | _ -> fanout ctx callf quorum
+
 (* Send DirRepLookup to a read quorum; believe the highest version number.
    Works over bounds so the real-predecessor walk can look up LOW/HIGH,
    which every representative reports present at the lowest version. *)
 let suite_lookup_bound ctx bound =
   let quorum = collect_read_quorum ctx in
   let replies =
-    fanout ctx (fun i -> call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn bound)) quorum
+    hedged_fanout ctx quorum (fun i ->
+        call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn bound))
   in
   Array.fold_left
     (fun ((_, bestv, _) as best) reply ->
@@ -1019,19 +1167,48 @@ let with_txn t f =
    deadlock abort) heal with time, so re-running the whole operation — a
    fresh transaction with fresh quorums — after an exponentially backed-off
    pause is the standard recovery. Aborted attempts rolled everything back,
-   so a re-run never double-applies. *)
-let with_retries ?(attempts = 5) ?(backoff = 1.0) ?(sleep = fun _ -> ()) ?rng f =
+   so a re-run never double-applies.
+
+   Two fail-fast bounds ride alongside the attempt count. [deadline] caps
+   the *cumulative* backoff sleep: with exponential growth the attempt count
+   alone is a wall-clock hazard (at the default backoff, seven attempts can
+   sleep past any lease), so the default deadline of [48 * backoff] bounds
+   total waiting at roughly double the default schedule's worst case —
+   generous for every existing caller, finite for all of them. [budget] is a
+   shared token bucket ({!Retry_budget}): each retry must buy a token and
+   each overall success earns a fraction back, so when unavailability is
+   sustained across many operations the client's retries dry up and it
+   surfaces the failure instead of amplifying the storm. Both bounds
+   re-raise the original failure. *)
+let with_retries ?(attempts = 5) ?(backoff = 1.0) ?deadline ?budget
+    ?(sleep = fun _ -> ()) ?rng f =
   if attempts < 1 then invalid_arg "Suite.with_retries: need at least one attempt";
+  let deadline = match deadline with Some d -> d | None -> 48.0 *. backoff in
+  if deadline <= 0.0 then invalid_arg "Suite.with_retries: deadline must be positive";
+  let slept = ref 0.0 in
   let rec go k =
-    try f ()
-    with
-    | (Unavailable _ | Txn.Abort (Txn.Deadlock _) | Txn.Abort (Txn.Unavailable _)) as e ->
-      if k + 1 >= attempts then raise e
-      else begin
-        let jitter = match rng with Some r -> 0.5 +. Rng.float r 1.0 | None -> 1.0 in
-        sleep (backoff *. (2.0 ** float_of_int k) *. jitter);
-        go (k + 1)
-      end
+    match f () with
+    | r ->
+        (match budget with Some b -> Retry_budget.earn b | None -> ());
+        r
+    | exception
+        ((Unavailable _ | Txn.Abort (Txn.Deadlock _) | Txn.Abort (Txn.Unavailable _)) as e)
+      ->
+        if k + 1 >= attempts then raise e
+        else begin
+          (* The jitter draw stays strictly on the will-retry path, keeping
+             the RNG stream identical to the pre-deadline implementation for
+             every schedule the bounds never cut short. *)
+          let jitter = match rng with Some r -> 0.5 +. Rng.float r 1.0 | None -> 1.0 in
+          let pause = backoff *. (2.0 ** float_of_int k) *. jitter in
+          if !slept +. pause > deadline then raise e;
+          (match budget with
+          | Some b when not (Retry_budget.try_spend b) -> raise e
+          | Some _ | None -> ());
+          slept := !slept +. pause;
+          sleep pause;
+          go (k + 1)
+        end
   in
   go 0
 
@@ -1040,9 +1217,34 @@ let with_retries ?(attempts = 5) ?(backoff = 1.0) ?(sleep = fun _ -> ()) ?rng f 
    idempotent for fixed arguments, so a re-run only repeats work. *)
 let run_op t ?txn body =
   let attempt ~implicit ~final txn =
-    let ctx = { txn; excluded = Int_set.empty; suite = t; final } in
+    (* The operation's deadline budget becomes an absolute deadline now, at
+       operation start — every hop it crosses from here on (RPC stamps,
+       body re-runs) consumes the one budget. *)
+    let deadline =
+      match (t.op_deadline, t.timers) with
+      | Some budget, Some timers -> Some (timers.Rep.now () +. budget)
+      | _ -> None
+    in
+    let expired () =
+      match (deadline, t.timers) with
+      | Some d, Some timers -> timers.Rep.now () > d
+      | _ -> false
+    in
+    let ctx = { txn; excluded = Int_set.empty; suite = t; final; deadline } in
     let rec go () =
+      (* Client-side half of deadline propagation: a body re-run (after a
+         transport failure or a fence) starts by checking its own clock, so
+         an operation that has burned its budget on timeouts stops here
+         rather than collecting another quorum. *)
+      if expired () then
+        raise (Deadline_exceeded "operation deadline exceeded before retry");
       try body ctx with
+      | Rep.Deadline_exceeded msg ->
+          (* A representative refused already-expired work; the operation
+             unwinds (its transaction aborts at the [with_txn]/[run_op]
+             boundary, rolling back any partial effects). Not retried by
+             [with_retries]: the point is to fail fast. *)
+          raise (Deadline_exceeded msg)
       | Transport.Rpc_failed (i, _) ->
           ctx.excluded <- Int_set.add i ctx.excluded;
           go ()

@@ -31,6 +31,34 @@ type value = string
 
 exception Unavailable of string
 
+exception Deadline_exceeded of string
+(** An operation ran out of its deadline budget (see [op_deadline] on
+    {!create}): either a representative refused the already-expired work
+    ({!Repdir_rep.Rep.Deadline_exceeded}) or the client noticed the expiry
+    before re-running the operation body. The operation's transaction was
+    aborted and rolled back like any other failure; deliberately {e not}
+    retried by {!with_retries} — deadlines exist to fail fast. *)
+
+(** Client-side retry budget: a token bucket shared across one client's
+    operations, plugged into {!with_retries}. Every retry spends one token;
+    every overall success earns [earn] back (capped at [cap]). Under
+    sporadic failures the bucket hovers near its cap and retries proceed as
+    normal; under sustained unavailability it empties and retries are
+    refused — the client fails fast instead of amplifying a brownout into a
+    retry storm. *)
+module Retry_budget : sig
+  type t
+
+  val create : ?cap:float -> ?earn:float -> unit -> t
+  (** Defaults: [cap = 10.0] tokens (also the initial balance),
+      [earn = 0.1] per success — steady-state retries are limited to about
+      one per ten successes. *)
+
+  val tokens : t -> float
+  val try_spend : t -> bool
+  val earn : t -> unit
+end
+
 type t
 
 val create :
@@ -45,6 +73,8 @@ val create :
   ?notice_window:float ->
   ?recorder:Repdir_audit.History.recorder ->
   ?membership:Repdir_member.Member.record ->
+  ?op_deadline:float ->
+  ?hedge:float ->
   config:Config.t ->
   transport:Transport.t ->
   txns:Txn.Manager.t ->
@@ -110,7 +140,32 @@ val create :
     server-side ({!Repdir_rep.Rep.fence_check}). Absent (the default), the
     suite behaves exactly as before this subsystem existed: static
     configuration, no stamping, identical quorum selection and RNG
-    consumption. *)
+    consumption.
+
+    [op_deadline] (off by default; needs [timers]) gives every operation a
+    deadline budget: converted to an absolute deadline when the operation
+    starts, stamped on each of its RPCs (representatives refuse
+    already-expired work — {!Repdir_rep.Rep.reject_expired}), and checked
+    client-side before every body re-run, so an operation that burned its
+    budget on timeouts raises {!Deadline_exceeded} instead of collecting yet
+    another quorum. Termination traffic is never stamped: a prepared
+    transaction must settle however late.
+
+    [hedge] (off by default) arms hedged quorum lookups against gray
+    replicas: when the read-quorum member with the worst smoothed latency
+    looks gray — flagged as an outlier, or, during the detection lag before
+    enough samples accumulate, already {!Picker.Health.suspect} next to the
+    spare — it is raced against a healthy spare replica carrying at least as
+    many votes, the backup starting after the healthy population's p99
+    latency (never below the [hedge] floor), first reply wins. A healthy
+    quorum is never hedged, and an outlier is never
+    used as the spare: the speculative call executes at the spare and makes
+    it a termination-round participant, so hedging toward a gray replica
+    would add it to the very critical path the quorum avoided. Requires a
+    {!Picker.strategy.Healthy} picker (which supplies the latency scores;
+    [Invalid_argument] otherwise), a transport with a {!Transport.race}
+    primitive, [timers], and static membership — with any of those missing,
+    lookups simply fan out unhedged. *)
 
 val config : t -> Config.t
 
@@ -151,6 +206,10 @@ val pending_notice_count : t -> int
     off or the pipeline has drained). *)
 
 val sync : t -> Repdir_sync.Sync.t option
+
+val hedged_count : t -> int
+(** Hedge backups actually launched by this suite (0 unless [hedge] is
+    armed and the p99 delay has fired with a spare available). *)
 
 val sync_counters : t -> Repdir_sync.Sync.counters option
 (** Sync-traffic counters of the attached anti-entropy actor, if any. *)
@@ -224,6 +283,8 @@ val with_txn : t -> (Txn.id -> 'a) -> 'a
 val with_retries :
   ?attempts:int ->
   ?backoff:float ->
+  ?deadline:float ->
+  ?budget:Retry_budget.t ->
   ?sleep:(float -> unit) ->
   ?rng:Repdir_util.Rng.t ->
   (unit -> 'a) ->
@@ -236,4 +297,16 @@ val with_retries :
     [Sim.sleep sim] on the simulator) with an exponential backoff starting
     at [backoff] (default 1.0), jittered uniformly in [0.5, 1.5) when [rng]
     is supplied. The final failure is re-raised; non-transient exceptions
-    propagate immediately. *)
+    propagate immediately ({!Deadline_exceeded} in particular is never
+    retried).
+
+    [deadline] caps the cumulative backoff sleep (default [48 * backoff]):
+    a retry whose pause would push total sleeping past it re-raises the
+    failure instead — the attempt count alone is unbounded in wall-clock
+    terms once backoff growth compounds. The default never binds for the
+    default schedule (worst case ~22.5 × backoff) but keeps any
+    [attempts]/[backoff] combination finite in time. [budget] plugs in a
+    shared {!Retry_budget}: each retry must buy a token (re-raising the
+    failure when the bucket is dry) and each success earns a fraction back,
+    so sustained unavailability makes this client fail fast rather than
+    retry-storm. *)

@@ -1,10 +1,11 @@
 open Repdir_rep
 
-type error = Timeout | Down of string
+type error = Timeout | Down of string | Overloaded of string
 
 let pp_error ppf = function
   | Timeout -> Format.pp_print_string ppf "timeout"
   | Down name -> Format.fprintf ppf "down(%s)" name
+  | Overloaded name -> Format.fprintf ppf "overloaded(%s)" name
 
 exception Rpc_failed of int * error
 
@@ -12,12 +13,15 @@ type fanout = { map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array }
 
 let sequential_fanout = { map = (fun f arr -> Array.map f arr) }
 
+type race = { run : 'r. (unit -> 'r) -> after:float -> (unit -> 'r) -> 'r }
+
 type t = {
   n_reps : int;
   is_up : int -> bool;
   incarnation : int -> int;
   call : 'r. int -> (Rep.t -> 'r) -> ('r, error) result;
   fanout : fanout;
+  race : race option;
   mutable rpc_count : int;
   mutable retry_count : int;
   mutable msg_count : int;
@@ -30,8 +34,11 @@ let local reps =
     incarnation = (fun i -> Rep.incarnation reps.(i));
     call =
       (fun i f ->
-        try Ok (f reps.(i)) with Rep.Crashed name -> Error (Down name));
+        try Ok (f reps.(i)) with
+        | Rep.Crashed name -> Error (Down name)
+        | Rep.Overloaded name -> Error (Overloaded name));
     fanout = sequential_fanout;
+    race = None;
     rpc_count = 0;
     retry_count = 0;
     msg_count = 0;

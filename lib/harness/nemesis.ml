@@ -7,6 +7,7 @@ module Rep = Repdir_rep.Rep
 module Member = Repdir_member.Member
 module Sync = Repdir_sync.Sync
 module Config = Repdir_quorum.Config
+module Picker = Repdir_quorum.Picker
 
 (* --- fault-plan DSL ---------------------------------------------------------------- *)
 
@@ -24,6 +25,9 @@ type action =
          (0, 1) restores the true clock *)
   | Disk_full of int * Wal.io_fault option
       (* arm (Some fault) or heal (None) the rep's WAL write failure *)
+  | Slow of int * float
+      (* gray failure: every link touching the rep multiplies its latency by
+         the factor — the node stays up and answers everything, just late *)
 
 type step = { at : float; action : action }
 
@@ -50,6 +54,7 @@ let pp_action ppf = function
       Format.fprintf ppf "skew rep%d clock (offset %+.1f, rate %.2fx)" i offset rate
   | Disk_full (i, Some f) -> Format.fprintf ppf "arm %a at rep%d" Wal.pp_io_fault f i
   | Disk_full (i, None) -> Format.fprintf ppf "heal disk at rep%d" i
+  | Slow (i, factor) -> Format.fprintf ppf "slow rep%d (%.0fx latency)" i factor
 
 (* --- standard plans ----------------------------------------------------------------- *)
 
@@ -234,6 +239,63 @@ let disk_full ~n ~duration ~seed =
   done;
   { plan_name = "disk full"; duration; steps = List.rev !steps }
 
+(* A representative turns gray: alive, answering everything, but an order of
+   magnitude slow — the failure mode crash detectors never see. The victims
+   rotate so every slot gets its turn as the outlier. A correct client keeps
+   its latency flat by reading around the gray node (health-scored quorum
+   selection) and hedging the calls that must touch it; a naive one queues
+   behind it for the whole window. *)
+let slow_replica ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let steps = ref [] in
+  let t = ref 25.0 in
+  let cycle = ref 0 in
+  while !t < duration -. 80.0 do
+    let victim = !cycle mod n in
+    let factor = 6.0 +. Rng.float rng 10.0 in
+    let hold = 60.0 +. Rng.float rng 60.0 in
+    steps := { at = !t; action = Slow (victim, factor) } :: !steps;
+    steps := { at = !t +. hold; action = Steady } :: !steps;
+    incr cycle;
+    t := !t +. hold +. 20.0 +. Rng.float rng 20.0
+  done;
+  { plan_name = "slow replica"; duration; steps = List.rev !steps }
+
+(* Metastable-failure bait: repeated short total outages (every representative
+   but one crashes) leave each client's retry schedule primed, and recovery
+   delivers the accumulated wave to freshly-restarted nodes all at once. The
+   overload machinery must absorb it — admission control sheds the excess
+   (maintenance first), retry budgets keep clients from amplifying sustained
+   unavailability, deadline stamps stop expired work from being served — and
+   an occasional duplicate-heavy flaky window exercises the dedup cache's
+   bounded eviction in the middle of the storm. *)
+let retry_storm ~n ~duration ~seed =
+  let rng = Rng.create seed in
+  let steps = ref [] in
+  let t = ref 25.0 in
+  let k = ref 0 in
+  while !t < duration -. 80.0 do
+    let hold = 6.0 +. Rng.float rng 10.0 in
+    let survivor = Rng.int rng n in
+    for i = 0 to n - 1 do
+      if i <> survivor then begin
+        steps := { at = !t +. Rng.float rng 2.0; action = Crash i } :: !steps;
+        steps := { at = !t +. hold +. Rng.float rng 4.0; action = Recover i } :: !steps
+      end
+    done;
+    if !k mod 3 = 2 then begin
+      let at = !t +. hold +. 6.0 in
+      let window = 15.0 +. Rng.float rng 10.0 in
+      steps :=
+        { at; action = Flaky { Net.no_faults with duplicate = 0.3; drop = 0.1 } }
+        :: !steps;
+      steps := { at = at +. window; action = Steady } :: !steps
+    end;
+    incr k;
+    t := !t +. hold +. 15.0 +. Rng.float rng 15.0
+  done;
+  { plan_name = "retry storm"; duration; steps = List.rev !steps }
+
 let standard_plans ?(duration = 1000.0) ~n ~seed () =
   let mix k = Int64.add seed (Int64.mul 7919L (Int64.of_int k)) in
   [
@@ -244,10 +306,18 @@ let standard_plans ?(duration = 1000.0) ~n ~seed () =
     coordinator_crash ~n ~duration ~seed:(mix 5);
   ]
 
+(* New plans append at the END: {!run_all} derives each plan's world seed
+   from its position in this list, so insertion in the middle would silently
+   re-seed every later campaign. Mix index 8 is taken by {!reconfig_plan}. *)
 let all_plans ?(duration = 1000.0) ~n ~seed () =
   let mix k = Int64.add seed (Int64.mul 7919L (Int64.of_int k)) in
   standard_plans ~duration ~n ~seed ()
-  @ [ clock_skew ~n ~duration ~seed:(mix 6); disk_full ~n ~duration ~seed:(mix 7) ]
+  @ [
+      clock_skew ~n ~duration ~seed:(mix 6);
+      disk_full ~n ~duration ~seed:(mix 7);
+      slow_replica ~n ~duration ~seed:(mix 9);
+      retry_storm ~n ~duration ~seed:(mix 10);
+    ]
 
 (* Faults aimed at the reconfiguration driver: brief single-representative
    partitions (cutting the victim from every node — clients, admin and
@@ -281,9 +351,9 @@ let reconfig_plan ~n ~n_nodes ~duration ~seed =
   { plan_name = "reconfig"; duration; steps = List.rev !steps }
 
 (* The registered campaigns — the single source of truth behind
-   [repdir plans]. The first seven run through {!run_plan} / {!run_all};
-   "reconfig" needs a membership-armed world and runs through
-   {!run_reconfig}. *)
+   [repdir plans]. All but "reconfig" (which needs a membership-armed world
+   and runs through {!run_reconfig}) run through {!run_plan} / {!run_all} —
+   nine plans in total. *)
 let plan_catalog =
   [
     ("crash storm", "standard", "waves of correlated representative crashes and recoveries");
@@ -301,6 +371,12 @@ let plan_catalog =
       "the coordinator vanishes inside the two-phase-commit window" );
     ("clock skew", "extended", "lease-scale virtual-clock skew and drift on representatives");
     ("disk full", "extended", "WAL appends fail with typed errors until the disk heals");
+    ( "slow replica",
+      "robustness",
+      "one representative turns gray (6-16x latency, never crashed), rotating victims" );
+    ( "retry storm",
+      "robustness",
+      "repeated short total outages deliver the accumulated retry wave to recovering nodes" );
     ( "reconfig",
       "membership",
       "online join and retire under partitions and bounces (runs via `repdir reconfig`)" );
@@ -389,6 +465,14 @@ let apply_step world ~duration action =
   | Steady -> Net.clear_faults net
   | Clock_skew (i, offset, rate) -> Sim_world.set_clock_skew world i ~offset ~rate
   | Disk_full (i, fault) -> if not (crashed i) then Sim_world.set_io_fault world i fault
+  | Slow (i, factor) ->
+      (* Every message to or from the victim rides a guaranteed latency
+         spike; links are symmetric, so one override per pair covers both
+         directions. [Steady] clears the overrides. *)
+      let slow = { Net.no_faults with spike = 1.0; spike_factor = factor } in
+      for j = 0 to Net.n_nodes net - 1 do
+        if j <> i then Net.set_link_faults net i j slow
+      done
 
 let audit_violations o =
   match o.audit with
@@ -397,14 +481,26 @@ let audit_violations o =
 
 let total_violations o = o.violations + audit_violations o
 
+(* Plans whose whole point is the overload/gray-failure machinery run with
+   the robustness stack armed by default; every pre-existing plan keeps the
+   bare world (and with it its exact historical event stream). *)
+let robust_plan_names = [ "slow replica"; "retry storm" ]
+
 let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
     ?(key_space = 30) ?(op_gap = 2.0) ?(lease = 60.0) ?(power_cycle = false)
-    ?(audit = false) ?(clients = 1) plan =
+    ?(audit = false) ?(clients = 1) ?robust plan =
   if clients < 1 then invalid_arg "Nemesis.run_plan: need at least one client";
   let n = Repdir_quorum.Config.n_reps config in
+  let robust =
+    match robust with
+    | Some r -> r
+    | None -> List.mem plan.plan_name robust_plan_names
+  in
   let world =
     Sim_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:4 ~rpc_backoff:2.0
-      ~two_phase:true ~n_clients:clients ~lease ~config ()
+      ~two_phase:true ~n_clients:clients ~lease
+      ?admission:(if robust then Some Rep.default_admission else None)
+      ~config ()
   in
   let sim = Sim_world.sim world in
   let net = Sim_world.net world in
@@ -426,13 +522,27 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
     end
     else None
   in
+  (* One shared health table: every client's observations feed it and every
+     client's picker reads it, so a gray representative spotted by one
+     client is avoided by all. *)
+  let health = if robust then Some (Picker.Health.create ~n ()) else None in
   let suites =
     Array.init clients (fun c ->
         Sim_world.suite_for_client
           ?recorder:(if audit then Some recorders.(c) else None)
+          ?picker:(Option.map (fun h -> Picker.Healthy h) health)
+          ?health
+          ?op_deadline:(if robust then Some 30.0 else None)
+          ?hedge:(if robust then Some 2.0 else None)
           world c)
   in
   let suite = suites.(0) in
+  (* Per-client retry budgets: sustained unavailability dries a client's
+     retries up instead of letting it amplify the storm. *)
+  let budgets =
+    Array.init clients (fun _ ->
+        if robust then Some (Suite.Retry_budget.create ()) else None)
+  in
   let rng = Rng.create (Int64.add seed 1L) in
   let retry_rng = Rng.create (Int64.add seed 2L) in
   let model : (string, string) Hashtbl.t = Hashtbl.create 64 in
@@ -452,7 +562,8 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
     let value = Printf.sprintf "v%d-%f" !attempted (Sim.now sim) in
     let kind = Rng.int rng 4 in
     try
-      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim) ~rng:retry_rng
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ?budget:budgets.(0)
+        ~sleep:(Sim.sleep sim) ~rng:retry_rng
         (fun () ->
           match kind with
           | 0 -> (
@@ -476,6 +587,10 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
       incr succeeded
     with
     | Suite.Unavailable _ -> incr unavailable
+    | Suite.Deadline_exceeded _ ->
+        (* The operation burned its whole deadline budget (client-side or
+           rejected by a representative); it aborted cleanly, no effect. *)
+        incr unavailable
     | Repdir_txn.Txn.Abort _ ->
         (* Retries exhausted on a transient abort — e.g. a disk-full window
            outlasting the backoff budget. The operation had no effect. *)
@@ -491,15 +606,16 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
     let value = Printf.sprintf "c%d-v%d-%f" c !attempted (Sim.now sim) in
     let kind = Rng.int rng_c 4 in
     try
-      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim)
-        ~rng:retry_rng_c (fun () ->
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ?budget:budgets.(c)
+        ~sleep:(Sim.sleep sim) ~rng:retry_rng_c (fun () ->
           match kind with
           | 0 -> ignore (Suite.lookup suite_c key : (_ * string) option)
           | 1 -> ignore (Suite.insert suite_c key value : (unit, _) result)
           | 2 -> ignore (Suite.update suite_c key value : (unit, _) result)
           | _ -> ignore (Suite.delete suite_c key : Suite.delete_report));
       incr succeeded
-    with Suite.Unavailable _ | Repdir_txn.Txn.Abort _ -> incr unavailable
+    with Suite.Unavailable _ | Suite.Deadline_exceeded _ | Repdir_txn.Txn.Abort _ ->
+      incr unavailable
   in
   let quiesce () =
       (* The dust settles: faults off, everyone up, stragglers delivered. *)
@@ -547,7 +663,7 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
               | Some (_, v), Some v' when String.equal v v' -> ()
               | None, None -> ()
               | _ -> incr violations)
-        | exception Suite.Unavailable _ ->
+        | exception (Suite.Unavailable _ | Suite.Deadline_exceeded _) ->
             (* Everything is healed; failing to read here is itself a bug. *)
             incr violations
       done

@@ -43,6 +43,10 @@ type action =
       (** arm ([Some fault]) or heal ([None]) the representative's WAL write
           failure; while armed, mutating transactions abort cleanly and the
           representative stays up *)
+  | Slow of int * float
+      (** gray failure: every link touching the representative multiplies
+          its latency by the factor — the node stays up and answers
+          everything, just late. [Steady] restores it. *)
 
 type step = { at : float; action : action }
 
@@ -91,12 +95,28 @@ val disk_full : n:int -> duration:float -> seed:int64 -> plan
     while reads keep flowing, and a post-heal bounce must replay exactly the
     acknowledged prefix. *)
 
+val slow_replica : n:int -> duration:float -> seed:int64 -> plan
+(** One representative at a time turns gray — alive and answering, but 6-16x
+    slow on every link — for long windows, rotating victims. {!run_plan}
+    arms the robustness stack for this plan by default, so health-scored
+    quorum selection and hedging must keep the workload's latency flat. *)
+
+val retry_storm : n:int -> duration:float -> seed:int64 -> plan
+(** Repeated short total outages (all representatives but one crash) leave
+    every client's retry schedule primed; recovery delivers the accumulated
+    wave to freshly-restarted nodes. Admission control, retry budgets and
+    deadline propagation (armed by default via {!run_plan}) must absorb it
+    without a metastable collapse; occasional duplicate-heavy windows stress
+    the dedup cache's bounded eviction mid-storm. *)
+
 val standard_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
 (** The five original plans (crash storm, rolling partition, flaky links,
     torn-WAL crashes, coordinator crash), with seeds derived from [seed]. *)
 
 val all_plans : ?duration:float -> n:int -> seed:int64 -> unit -> plan list
-(** {!standard_plans} plus {!clock_skew} and {!disk_full} — seven plans. *)
+(** {!standard_plans} plus {!clock_skew}, {!disk_full}, {!slow_replica} and
+    {!retry_storm} — nine plans. New plans append at the end: {!run_all}
+    seeds each plan's world from its position in this list. *)
 
 val reconfig_plan : n:int -> n_nodes:int -> duration:float -> seed:int64 -> plan
 (** Faults aimed at a running reconfiguration: brief single-representative
@@ -108,8 +128,10 @@ val reconfig_plan : n:int -> n_nodes:int -> duration:float -> seed:int64 -> plan
 val plan_catalog : (string * string * string) list
 (** Every registered campaign as [(name, family, description)] — the single
     source of truth behind [repdir plans]. Families: ["standard"] (run by
-    default), ["extended"] (opt-in via [--all]), ["membership"] (the
-    reconfiguration campaign, which needs its own runner). *)
+    default), ["extended"] (opt-in via [--all]), ["robustness"] (opt-in via
+    [--all]; runs with the overload/gray-failure stack armed), and
+    ["membership"] (the reconfiguration campaign, which needs its own
+    runner). *)
 
 (* --- running -------------------------------------------------------------------- *)
 
@@ -170,6 +192,7 @@ val run_plan :
   ?power_cycle:bool ->
   ?audit:bool ->
   ?clients:int ->
+  ?robust:bool ->
   plan ->
   outcome
 (** Defaults: the paper's 3-2-2 suite, 30 keys, exponential think time with
@@ -177,6 +200,14 @@ val run_plan :
     (default false) restores the retired cleanup behaviour — restarting
     every representative before the final audit — for A/B comparison
     against the termination protocol.
+
+    [robust] arms the whole overload/gray-failure stack: representative
+    admission control ({!Repdir_rep.Rep.default_admission}), a shared
+    health-score table driving the [Healthy] picker, hedged reads (2.0-unit
+    floor), a 30-unit per-operation deadline budget, and per-client retry
+    budgets. It defaults to [true] exactly for the plans whose point that
+    stack is ({!slow_replica}, {!retry_storm}) and [false] for every
+    pre-existing plan, whose historical event streams are unchanged.
 
     [audit] (default false) attaches a history recorder to every client and
     feeds the completed events to the online strict-serializability checker;
@@ -268,9 +299,9 @@ val run_all :
   ?all:bool ->
   unit ->
   outcome list
-(** Run the standard plans — all seven (with {!clock_skew} and {!disk_full})
-    when [all] is true — each in a fresh world with a seed derived from
-    [seed]. *)
+(** Run the standard plans — all nine (adding {!clock_skew}, {!disk_full},
+    {!slow_replica} and {!retry_storm}) when [all] is true — each in a fresh
+    world with a seed derived from [seed]. *)
 
 val table_of_outcomes : outcome list -> Repdir_util.Table.t
 

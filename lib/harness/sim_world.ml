@@ -56,6 +56,56 @@ let parallel_fanout sim =
   in
   { Transport.map }
 
+(* First-success-wins race between a primary call and a hedge that starts
+   only after a delay ({!Transport.race}). Both branches run as simulator
+   processes; the caller suspends until one succeeds or every started branch
+   has failed. The losing branch runs to completion in the background — its
+   result and exceptions are discarded, as a real hedged RPC's late reply
+   would be. *)
+let parallel_race sim =
+  let run : 'r. (unit -> 'r) -> after:float -> (unit -> 'r) -> 'r =
+   fun primary ~after backup ->
+    let result = ref None in
+    let primary_error = ref None in
+    let primary_done = ref false in
+    let backup_started = ref false in
+    let backup_done = ref false in
+    let wake = ref ignore in
+    let settled () = Option.is_some !result in
+    Sim.spawn sim (fun () ->
+        (match primary () with
+        | r -> if not (settled ()) then result := Some r
+        | exception e -> primary_error := Some e);
+        primary_done := true;
+        !wake ());
+    Sim.at sim
+      (Sim.now sim +. after)
+      (fun () ->
+        if not (!primary_done || settled ()) then begin
+          backup_started := true;
+          Sim.spawn sim (fun () ->
+              (match backup () with
+              | r -> if not (settled ()) then result := Some r
+              | exception _ -> ());
+              backup_done := true;
+              !wake ())
+        end);
+    let finished () =
+      settled () || (!primary_done && ((not !backup_started) || !backup_done))
+    in
+    while not (finished ()) do
+      Sim.suspend sim (fun w -> wake := w)
+    done;
+    (* A branch still running must not resume the caller again after the
+       race is decided: neutralize the stored continuation. *)
+    wake := ignore;
+    match !result with
+    | Some r -> r
+    | None -> (
+        match !primary_error with Some e -> raise e | None -> assert false)
+  in
+  { Transport.run }
+
 (* Termination queries from an in-doubt representative [r]: ask the
    coordinator for its decision; if it is unreachable, ask the peer
    representatives what they know. Runs inside a simulator process (it
@@ -93,7 +143,7 @@ let resolver_for t r ~coord txn =
 
 let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
     ?(rpc_backoff = 5.0) ?(n_clients = 1) ?(parallel_rpc = true) ?(two_phase = false)
-    ?lease ?group_commit ~config () =
+    ?lease ?group_commit ?admission ~config () =
   if rpc_attempts < 1 then invalid_arg "Sim_world: need at least one RPC attempt";
   let sim = Sim.create ~seed () in
   let n = Config.n_reps config in
@@ -121,7 +171,7 @@ let create ?(seed = 1L) ?latency ?(rpc_timeout = 50.0) ?(rpc_attempts = 1)
   let reps =
     Array.init n (fun i ->
         Rep.create ~waiter ~lock_group ~timers:(timers_for i) ?lease ?group_commit
-          ~name:(Printf.sprintf "rep%d" i) ())
+          ?admission ~name:(Printf.sprintf "rep%d" i) ())
   in
   let t =
     {
@@ -162,12 +212,21 @@ let client_node t i =
   if i < 0 || i >= t.n_clients then invalid_arg "Sim_world: no such client";
   Config.n_reps t.config + i
 
-let client_transport t i =
+let client_transport ?health t i =
   let src = client_node t i in
   (* Backoff jitter draws only happen on retries, so the stream (and with it
      every pre-existing single-attempt experiment) is untouched unless
      messages are actually lost. *)
   let jitter_rng = Repdir_util.Rng.create (Int64.add t.seed (Int64.of_int (0x5e7 + src))) in
+  (* Health observations see the call as the client does: latency includes
+     retransmissions and timeout waits, [ok] means "the representative
+     answered" (an application exception is a timely answer; a timeout,
+     crash or overload rejection is not a useful one). *)
+  let observe r t0 ok =
+    match health with
+    | None -> ()
+    | Some h -> Picker.Health.observe h r ~latency:(Sim.now t.sim -. t0) ~ok
+  in
   let rec transport =
     lazy
       {
@@ -176,6 +235,7 @@ let client_transport t i =
         incarnation = (fun r -> Rep.incarnation t.reps.(r));
         call =
           (fun r f ->
+            let t0 = Sim.now t.sim in
             match
               Rpc.call_at_most_once t.net ~src ~dst:r ~server:t.servers.(r)
                 ~timeout:t.rpc_timeout ~attempts:t.rpc_attempts ~backoff:t.rpc_backoff
@@ -185,14 +245,32 @@ let client_transport t i =
                   tr.Transport.retry_count <- tr.Transport.retry_count + 1;
                   (* A retransmission is a real wire message even though it is
                      not a fresh call. *)
-                  tr.Transport.msg_count <- tr.Transport.msg_count + 1)
+                  tr.Transport.msg_count <- tr.Transport.msg_count + 1;
+                  (* Each timeout is an early gray-failure signal: feed it to
+                     the score table now rather than waiting out the whole
+                     retry schedule, so one bad call is enough to demote a
+                     slow representative. *)
+                  observe r t0 false)
                 (fun () -> f t.reps.(r))
             with
-            | Ok v -> Ok v
-            | Error Rpc.Timeout -> Error Transport.Timeout
-            | exception Rep.Crashed name -> Error (Transport.Down name));
+            | Ok v ->
+                observe r t0 true;
+                Ok v
+            | Error Rpc.Timeout ->
+                observe r t0 false;
+                Error Transport.Timeout
+            | exception Rep.Crashed name ->
+                observe r t0 false;
+                Error (Transport.Down name)
+            | exception Rep.Overloaded name ->
+                observe r t0 false;
+                Error (Transport.Overloaded name)
+            | exception e ->
+                observe r t0 true;
+                raise e);
         fanout =
           (if t.parallel_rpc then parallel_fanout t.sim else Transport.sequential_fanout);
+        race = (if t.parallel_rpc then Some (parallel_race t.sim) else None);
         rpc_count = 0;
         retry_count = 0;
         msg_count = 0;
@@ -204,17 +282,17 @@ let coordinator t i =
   if i < 0 || i >= t.n_clients then invalid_arg "Sim_world: no such client";
   t.coordinators.(i)
 
-let suite_for_client ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership t
-    i =
+let suite_for_client ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership
+    ?health ?op_deadline ?hedge t i =
   let timers =
     {
       Rep.now = (fun () -> Sim.now t.sim);
       after = (fun d k -> Sim.spawn t.sim ~at:(Sim.now t.sim +. d) k);
     }
   in
-  Suite.create ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership ~timers
-    ~two_phase:t.two_phase ~coordinator:t.coordinators.(i) ~config:t.config
-    ~transport:(client_transport t i) ~txns:t.txns ()
+  Suite.create ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership
+    ?op_deadline ?hedge ~timers ~two_phase:t.two_phase ~coordinator:t.coordinators.(i)
+    ~config:t.config ~transport:(client_transport ?health t i) ~txns:t.txns ()
 
 let recorder_for_client ?cap t i =
   ignore (client_node t i);
@@ -243,7 +321,12 @@ let make_sync ?config ?(seed = 0xa11_075eedL) t =
           | Ok v -> v
           | Error Rpc.Timeout ->
               raise
-                (Repdir_sync.Sync.Unreachable (Printf.sprintf "rep%d: rpc timeout" r)));
+                (Repdir_sync.Sync.Unreachable (Printf.sprintf "rep%d: rpc timeout" r))
+          | exception Rep.Overloaded name ->
+              (* Anti-entropy is exactly the maintenance work the admission
+                 controller sheds first; the session fails cleanly and a
+                 later round retries when the pressure is off. *)
+              raise (Repdir_sync.Sync.Unreachable (name ^ ": overloaded")));
     }
   in
   Repdir_sync.Sync.create ?config ~seed

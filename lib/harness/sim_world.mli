@@ -25,6 +25,7 @@ val create :
   ?two_phase:bool ->
   ?lease:float ->
   ?group_commit:float ->
+  ?admission:Rep.admission ->
   config:Config.t ->
   unit ->
   t
@@ -50,6 +51,14 @@ val create :
     waits that long in sim time, and syncs once for every force that arrived
     meanwhile (see {!Repdir_rep.Rep.create}). Keep it well below [lease].
 
+    [admission] (default: none — every request is admitted, the seed
+    behaviour) arms the sliding-window admission controller at every
+    representative (see {!Repdir_rep.Rep.create}): requests beyond the
+    window cap are rejected with {!Repdir_rep.Rep.Overloaded}, which client
+    transports surface as [Error (Transport.Overloaded _)] and the suite
+    treats as a non-quorum-eligible representative; maintenance traffic
+    (anti-entropy, keepalives) is shed first.
+
     All client RPCs go through {!Repdir_sim.Rpc.call_at_most_once}: each
     representative node keeps a request-id dedup cache (reset when it
     crashes), and a call timing out is retransmitted up to [rpc_attempts]
@@ -67,9 +76,17 @@ val coordinator : t -> int -> Coordinator.t
 (** Client [i]'s two-phase-commit decision log (it lives at the client's
     node; in-doubt participants reach it by RPC). *)
 
-val client_transport : t -> int -> Transport.t
+val client_transport : ?health:Picker.Health.t -> t -> int -> Transport.t
 (** Transport for client [i] (0-based, [i < n_clients]). Calls must be made
-    from inside a simulator process. *)
+    from inside a simulator process. [health] (default: none — no
+    observations, the seed behaviour) feeds every call's outcome into a
+    gray-failure score table (see {!Picker.Health}): latency is measured as
+    the client saw it (retransmissions and timeout waits included) and a
+    call counts as ok when the representative answered — an application
+    exception is a timely answer; a timeout, crash or overload rejection is
+    not. When the world runs with [parallel_rpc] (the default) the transport
+    also offers {!Transport.race}, so suites created with a hedge delay can
+    race a spare against a suspected-slow representative. *)
 
 val suite_for_client :
   ?picker:Picker.strategy ->
@@ -79,6 +96,9 @@ val suite_for_client :
   ?notice_window:float ->
   ?recorder:Repdir_audit.History.recorder ->
   ?membership:Repdir_member.Member.record ->
+  ?health:Picker.Health.t ->
+  ?op_deadline:float ->
+  ?hedge:float ->
   t ->
   int ->
   Suite.t
@@ -90,7 +110,12 @@ val suite_for_client :
     {!Suite.create}); build one with {!recorder_for_client}. [membership]
     arms dynamic membership on the suite: quorums follow the record's
     view(s) and every representative call is epoch-stamped and fenced (see
-    {!Suite.create}). *)
+    {!Suite.create}). [health] is threaded to {!client_transport} so the
+    suite's transport feeds the score table; pair it with
+    [~picker:(Picker.Healthy health)] to let quorum selection avoid
+    suspected-gray representatives. [op_deadline] and [hedge] are passed to
+    {!Suite.create} verbatim (per-operation deadline budget; hedged
+    slowest-member reads — the latter requires the [Healthy] picker). *)
 
 val recorder_for_client : ?cap:int -> t -> int -> Repdir_audit.History.recorder
 (** A history recorder for client [i], stamping events with this world's

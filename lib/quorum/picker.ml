@@ -1,9 +1,119 @@
 open Repdir_util
 
+module Health = struct
+  (* Cheap, local, per-replica gray-failure signal: an EWMA of observed call
+     latency and success rate, plus a small ring of recent latency samples
+     for deriving a hedging delay from the healthy-population p99. All state
+     is client-side; nothing is exchanged between clients. *)
+
+  type rep_stats = { mutable lat : float; mutable ok_rate : float; mutable samples : int }
+
+  type t = {
+    reps : rep_stats array;
+    ring : (int * float) array;  (* (rep, latency) of recent observations *)
+    mutable ring_len : int;
+    mutable ring_pos : int;
+    alpha : float;
+    outlier_factor : float;
+    min_samples : int;
+  }
+
+  let create ?(alpha = 0.2) ?(outlier_factor = 3.0) ?(min_samples = 4) ~n () =
+    if n < 1 then invalid_arg "Picker.Health.create: need at least one representative";
+    {
+      reps = Array.init n (fun _ -> { lat = 0.0; ok_rate = 1.0; samples = 0 });
+      ring = Array.make 128 (0, 0.0);
+      ring_len = 0;
+      ring_pos = 0;
+      alpha;
+      outlier_factor;
+      min_samples;
+    }
+
+  let n_reps t = Array.length t.reps
+
+  let observe t i ~latency ~ok =
+    let r = t.reps.(i) in
+    if r.samples = 0 then begin
+      r.lat <- latency;
+      r.ok_rate <- (if ok then 1.0 else 0.0)
+    end
+    else begin
+      r.lat <- r.lat +. (t.alpha *. (latency -. r.lat));
+      r.ok_rate <- r.ok_rate +. (t.alpha *. ((if ok then 1.0 else 0.0) -. r.ok_rate))
+    end;
+    r.samples <- r.samples + 1;
+    t.ring.(t.ring_pos) <- (i, latency);
+    t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+    if t.ring_len < Array.length t.ring then t.ring_len <- t.ring_len + 1
+
+  let latency t i = t.reps.(i).lat
+  let ok_rate t i = t.reps.(i).ok_rate
+  let samples t i = t.reps.(i).samples
+
+  (* Median EWMA latency of the *other* sampled representatives: the healthy
+     baseline a suspect is compared against. *)
+  let peer_median t i =
+    let lats =
+      Array.to_list t.reps
+      |> List.filteri (fun j r -> j <> i && r.samples >= t.min_samples)
+      |> List.map (fun r -> r.lat)
+      |> List.sort compare
+    in
+    match lats with
+    | [] -> None
+    | _ ->
+        let a = Array.of_list lats in
+        Some a.(Array.length a / 2)
+
+  let outlier t i =
+    let r = t.reps.(i) in
+    r.samples >= t.min_samples
+    && (r.ok_rate < 0.5
+       ||
+       match peer_median t i with
+       | None -> false
+       | Some m -> r.lat > t.outlier_factor *. m)
+
+  (* Pairwise early-warning version of {!outlier}: [i] already looks gray
+     next to [against] — the same factor apart — even before either side has
+     [min_samples] observations. The hedging path uses this to cover the
+     detection lag, when a replica that will be flagged a few observations
+     from now can still land in a quorum. *)
+  let suspect t i ~against =
+    let a = t.reps.(i) and b = t.reps.(against) in
+    a.samples > 0 && b.samples > 0 && a.lat > t.outlier_factor *. b.lat
+
+  (* p99 of recent latency samples from currently non-outlier representatives
+     (an outlier's own samples would inflate the hedging delay it is supposed
+     to bound). Falls back to all samples when everything looks sick. *)
+  let p99 t =
+    if t.ring_len < 16 then None
+    else begin
+      let take pred =
+        let xs = ref [] in
+        for k = 0 to t.ring_len - 1 do
+          let i, l = t.ring.(k) in
+          if pred i then xs := l :: !xs
+        done;
+        !xs
+      in
+      let healthy = take (fun i -> not (outlier t i)) in
+      let xs = if healthy = [] then take (fun _ -> true) else healthy in
+      let a = Array.of_list (List.sort compare xs) in
+      let n = Array.length a in
+      if n = 0 then None else Some a.(min (n - 1) (n * 99 / 100))
+    end
+
+  let hedge_delay ?(floor = 1.0) t =
+    match p99 t with None -> floor | Some p -> Float.max floor p
+end
+
 type strategy =
   | Random
   | Fixed of int array
   | Locality of { local : int array; remote : int array }
+  | Healthy of Health.t
 
 let pp_strategy ppf = function
   | Random -> Format.pp_print_string ppf "random"
@@ -12,6 +122,7 @@ let pp_strategy ppf = function
         (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') Format.pp_print_int)
         (Array.to_seq order)
   | Locality _ -> Format.pp_print_string ppf "locality"
+  | Healthy _ -> Format.pp_print_string ppf "healthy"
 
 (* Walk candidates in order, accumulating voting members until the quorum is
    reached. Zero-vote representatives contribute nothing and are skipped. *)
@@ -32,6 +143,19 @@ let shuffled_indices rng config =
   Rng.shuffle rng idx;
   Array.to_list idx
 
+(* Healthy ordering: uniformly shuffled like Random, then within each
+   preference class representatives currently flagged as latency/outcome
+   outliers are moved to the back. Outliers are demoted, never excluded —
+   when the healthy population cannot reach the quorum the walk falls
+   through to them, so termination is exactly Random's. *)
+let healthy_order health prefer candidates =
+  let preferred, rest = List.partition prefer candidates in
+  let demote l =
+    let good, bad = List.partition (fun i -> not (Health.outlier health i)) l in
+    good @ bad
+  in
+  demote preferred @ demote rest
+
 let collect ?(prefer = fun _ -> false) strategy rng config ~available ~quorum =
   match strategy with
   | Random ->
@@ -42,6 +166,9 @@ let collect ?(prefer = fun _ -> false) strategy rng config ~available ~quorum =
          preference never overrides them. *)
       let preferred, rest = List.partition prefer (shuffled_indices rng config) in
       take_until_quorum config ~available ~quorum (preferred @ rest)
+  | Healthy health ->
+      take_until_quorum config ~available ~quorum
+        (healthy_order health prefer (shuffled_indices rng config))
   | Fixed order -> take_until_quorum config ~available ~quorum (Array.to_list order)
   | Locality { local; remote } ->
       (* Local representatives first; the remainder spread uniformly over the
@@ -96,6 +223,7 @@ let collect_joint ?(prefer = fun _ -> false) strategy rng targets ~available =
               List.partition prefer (shuffled_indices rng first_config)
             in
             preferred @ other
+        | Healthy health -> healthy_order health prefer (shuffled_indices rng first_config)
         | Fixed order -> Array.to_list order
         | Locality { local; remote } ->
             let remote_order =

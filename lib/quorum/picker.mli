@@ -9,6 +9,61 @@
 
 open Repdir_util
 
+(** Per-replica gray-failure signal: client-local EWMA latency and success
+    rate per representative, plus a ring of recent latency samples for
+    deriving a hedging delay from the healthy population's p99. Feed it from
+    the transport ({!observe}); consult it through the {!strategy.Healthy}
+    collection policy, {!outlier}, and {!hedge_delay}. Nothing is exchanged
+    between clients — a replica that is slow only on some paths (classic
+    gray failure) is judged by each client from its own vantage point. *)
+module Health : sig
+  type t
+
+  val create :
+    ?alpha:float -> ?outlier_factor:float -> ?min_samples:int -> n:int -> unit -> t
+  (** [n] representatives, all initially healthy. [alpha] (default 0.2) is
+      the EWMA gain; a representative with at least [min_samples] (default
+      4 — gray windows are short, so detection must be quick) observations
+      is an {!outlier} when its smoothed latency exceeds
+      [outlier_factor] (default 3.0) times the median smoothed latency of
+      its sampled peers, or when its smoothed success rate drops below
+      one half. *)
+
+  val n_reps : t -> int
+
+  val observe : t -> int -> latency:float -> ok:bool -> unit
+  (** Record one call to representative [i]: its duration as seen by this
+      client (queueing and transport included) and whether it produced a
+      reply (a timeout or crash is [ok:false]; an application-level error in
+      a prompt reply is still [ok:true]). *)
+
+  val latency : t -> int -> float
+  (** Smoothed latency (0.0 before any sample). *)
+
+  val ok_rate : t -> int -> float
+  val samples : t -> int -> int
+
+  val outlier : t -> int -> bool
+  (** Whether representative [i] currently looks gray — see {!create}.
+      Always false until [min_samples] observations have accumulated, and
+      false when no peer has enough samples to define a baseline. *)
+
+  val suspect : t -> int -> against:int -> bool
+  (** Pairwise early warning: [i]'s smoothed latency is [outlier_factor]
+      above [against]'s, judged as soon as each side has a single sample —
+      before {!outlier} can fire. Hedging uses this to cover the detection
+      lag between a replica turning gray and it accumulating [min_samples]
+      bad observations. *)
+
+  val p99 : t -> float option
+  (** 99th-percentile latency over the recent samples of currently
+      non-outlier representatives; [None] until enough samples exist. *)
+
+  val hedge_delay : ?floor:float -> t -> float
+  (** The delay after which a hedged request fires its backup: the healthy
+      p99 ({!p99}), never below [floor] (default 1.0). *)
+end
+
 type strategy =
   | Random
       (** Uniformly random minimal quorum among available representatives. *)
@@ -19,6 +74,13 @@ type strategy =
       (** Reads collect the local representatives first; writes take all
           needed local representatives and spread the remainder uniformly
           over remote ones (Figure 16). *)
+  | Healthy of Health.t
+      (** Uniformly random like {!Random}, but representatives the health
+          tracker currently flags as outliers are ordered last (within each
+          preference class), so quorums avoid gray replicas whenever the
+          healthy ones can muster the votes — and still fall back to them
+          when they cannot. Termination is identical to {!Random}: demoted,
+          never excluded. *)
 
 val pp_strategy : Format.formatter -> strategy -> unit
 

@@ -7,11 +7,26 @@ module Wal_replay = Wal.Replay (Btree)
 
 exception Crashed of string
 
+exception Overloaded of string
+
+exception Deadline_exceeded of string
+
 exception Stale_epoch of { rep : string; epoch : int; record : string }
 
 type waiter = ((unit -> unit) -> unit) -> unit
 
 type timers = { now : unit -> float; after : float -> (unit -> unit) -> unit }
+
+(* Admission control: a sliding arrival window standing in for the request
+   queue of a real server. [cap] is the hard admission bound (everything
+   past it is pushed back [Overloaded]); [shed_at] is the breaker threshold
+   at which non-quorum-critical work (anti-entropy, keepalives) is shed
+   first, keeping headroom for the operations quorums depend on. *)
+type admission = { window : float; cap : int; shed_at : int }
+
+let default_admission = { window = 10.0; cap = 96; shed_at = 64 }
+
+type work_class = [ `Critical | `Maintenance ]
 
 type resolution_source = By_coordinator | By_peer
 
@@ -36,6 +51,10 @@ type counters = {
   mutable batch_ops : int;
   mutable notices_applied : int;
   mutable readonly_finishes : int;
+  mutable admitted : int;
+  mutable overload_rejects : int;
+  mutable shed_rejects : int;
+  mutable expired_rejects : int;
 }
 
 (* Volatile per-transaction lease state. *)
@@ -68,6 +87,8 @@ type t = {
   mutable wal_records_repaired : int;
   group_window : float option;
   group : Wal.Group.group;
+  admission : admission option;
+  arrivals : float Queue.t;  (* admission window: admit times of recent work *)
   counters : counters;
 }
 
@@ -76,7 +97,7 @@ let no_waiter _register =
 
 let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
     ?(lock_group = Lock_manager.new_group ()) ?timers ?lease ?resolver ?group_commit
-    ~name () =
+    ?admission ~name () =
   {
     name;
     branching;
@@ -99,6 +120,8 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
     wal_records_repaired = 0;
     group_window = group_commit;
     group = Wal.Group.create ();
+    admission;
+    arrivals = Queue.create ();
     counters =
       {
         lookups = 0;
@@ -119,6 +142,10 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
         batch_ops = 0;
         notices_applied = 0;
         readonly_finishes = 0;
+        admitted = 0;
+        overload_rejects = 0;
+        shed_rejects = 0;
+        expired_rejects = 0;
       };
   }
 
@@ -366,11 +393,61 @@ let touch t ~txn =
           arm_lease_timer t ~txn ~at:a.deadline)
   | _ -> ()
 
+(* Admission control, charged once per operation. The sliding window of
+   recent admit times models the request queue of a server whose service is
+   instantaneous in the simulation: its length is the backlog an arrival
+   would join. At [cap] everything is pushed back ([Overloaded] — the client
+   excludes this representative and re-collects its quorum elsewhere);
+   from [shed_at] up, the breaker sheds [`Maintenance] work (anti-entropy
+   transfers, keepalives) while still admitting quorum-critical operations.
+   Termination traffic (prepare/commit/abort/outcome queries, notices) is
+   never charged: shedding it would strand locks and in-doubt transactions,
+   making the overload worse. Off (and free) unless both an [admission]
+   policy and [timers] were configured. *)
+let admission_charge t ~cls =
+  match (t.admission, t.timers) with
+  | Some adm, Some timers ->
+      let now = timers.now () in
+      while
+        (not (Queue.is_empty t.arrivals)) && Queue.peek t.arrivals +. adm.window <= now
+      do
+        ignore (Queue.pop t.arrivals)
+      done;
+      let depth = Queue.length t.arrivals in
+      if depth >= adm.cap then begin
+        t.counters.overload_rejects <- t.counters.overload_rejects + 1;
+        raise (Overloaded t.name)
+      end;
+      (match cls with
+      | `Maintenance when depth >= adm.shed_at ->
+          t.counters.shed_rejects <- t.counters.shed_rejects + 1;
+          raise (Overloaded t.name)
+      | `Maintenance | `Critical -> ());
+      Queue.push now t.arrivals;
+      t.counters.admitted <- t.counters.admitted + 1
+  | _ -> ()
+
+(* Deadline propagation's receiving end: work whose client-stamped absolute
+   deadline has already passed is refused instead of executed — under
+   overload the backlog's oldest (expired) requests are the ones dropped,
+   which is what LIFO draining buys a real server. Needs a clock; without
+   timers the stamp is ignored. *)
+let reject_expired t ~deadline =
+  check_alive t;
+  match t.timers with
+  | Some timers when timers.now () > deadline ->
+      t.counters.expired_rejects <- t.counters.expired_rejects + 1;
+      raise
+        (Deadline_exceeded
+           (Printf.sprintf "%s: deadline exceeded by %.1f" t.name (timers.now () -. deadline)))
+  | _ -> ()
+
 (* Every operation runs under this guard: a transaction the termination
    protocol has already decided (or holds in doubt) must not execute new
    operations — its retry/duplicate RPCs surface as aborts at the client. *)
-let check_txn_open t ~txn =
+let check_txn_open ?(cls = `Critical) t ~txn =
   check_alive t;
+  admission_charge t ~cls;
   if Hashtbl.mem t.indoubt txn then
     raise (Txn.Abort (Txn.Unavailable (t.name ^ ": transaction is in doubt")));
   (match Hashtbl.find_opt t.outcomes txn with
@@ -544,24 +621,24 @@ let coalesce t ~txn ~lo ~hi version =
 module Gm = Repdir_gapmap.Gapmap_intf
 
 let digest_range t ~txn ~lo ~hi =
-  check_txn_open t ~txn;
+  check_txn_open ~cls:`Maintenance t ~txn;
   t.counters.digests <- t.counters.digests + 1;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
   Btree.digest_range t.map ~lo ~hi
 
 let split_range t ~txn ~lo ~hi ~arity =
-  check_txn_open t ~txn;
+  check_txn_open ~cls:`Maintenance t ~txn;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
   Btree.split_range t.map ~lo ~hi ~arity
 
 let pull_range t ~txn ~lo ~hi =
-  check_txn_open t ~txn;
+  check_txn_open ~cls:`Maintenance t ~txn;
   t.counters.pulls <- t.counters.pulls + 1;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
   Btree.pull_range t.map ~lo ~hi
 
 let apply_range t ~txn (tr : Gm.transfer) =
-  check_txn_open t ~txn;
+  check_txn_open ~cls:`Maintenance t ~txn;
   t.counters.sync_applies <- t.counters.sync_applies + 1;
   lock_blocking t ~txn Mode.Rep_modify (Bound.Interval.make tr.t_lo tr.t_hi);
   let plan = Btree.plan_transfer t.map tr in
@@ -609,7 +686,7 @@ let root_digest t =
 (* A lease heartbeat for long-running sessions: [check_txn_open] touches the
    lease (creating it on first contact) and rejects already-terminated
    transactions, which is exactly the contract. *)
-let keepalive t ~txn = check_txn_open t ~txn
+let keepalive t ~txn = check_txn_open ~cls:`Maintenance t ~txn
 
 (* --- transaction boundary --------------------------------------------------- *)
 
@@ -825,6 +902,7 @@ let in_doubt_txns t =
 let in_doubt_count t = Hashtbl.length t.indoubt
 let locks_held t = Lock_manager.granted_count t.locks
 let lock_waiters t = Lock_manager.waiting_count t.locks
+let admission_depth t = Queue.length t.arrivals
 
 (* --- crash and recovery ------------------------------------------------------ *)
 
@@ -842,6 +920,7 @@ let crash t =
   Hashtbl.reset t.actives;
   Hashtbl.reset t.outcomes;
   Hashtbl.reset t.indoubt;
+  Queue.clear t.arrivals;
   (* The epoch cache is volatile too; recovery restores it from the log. *)
   t.m_epoch <- 0;
   t.m_record <- ""

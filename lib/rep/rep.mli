@@ -27,6 +27,18 @@ open Repdir_gapmap
 exception Crashed of string
 (** Raised by every operation while the representative is crashed. *)
 
+exception Overloaded of string
+(** Raised (carrying the representative's name) when the admission
+    controller pushes a request back instead of executing it — the
+    representative is alive but shedding load. Clients treat it like a
+    transport failure: exclude this representative and collect the quorum
+    elsewhere. Only raised when an {!admission} policy is configured. *)
+
+exception Deadline_exceeded of string
+(** Raised by {!reject_expired} when a request's client-stamped deadline has
+    already passed on arrival: executing it would waste server capacity on
+    work whose client has given up. *)
+
 exception Stale_epoch of { rep : string; epoch : int; record : string }
 (** Raised by {!fence_check} when the caller's membership epoch is older
     than this representative's: the request is rejected, and the exception
@@ -45,6 +57,22 @@ type timers = { now : unit -> float; after : float -> (unit -> unit) -> unit }
     units from now (it may block, e.g. on RPC). Without timers the
     representative never expires leases and never self-resolves in-doubt
     transactions. *)
+
+(** Admission-control policy (off by default; needs [timers]). The
+    representative keeps a sliding [window]-long record of admitted work as a
+    stand-in for its request queue; an arrival finding [cap] or more entries
+    is rejected {!Overloaded}, and from [shed_at] entries up the breaker
+    sheds non-quorum-critical ([`Maintenance]) work — anti-entropy transfers
+    and keepalives — first, keeping headroom for the operations quorums
+    depend on. Termination traffic (prepare/commit/abort/outcome queries,
+    notices) is never charged: shedding it would strand locks and in-doubt
+    transactions and make the overload worse. *)
+type admission = { window : float; cap : int; shed_at : int }
+
+val default_admission : admission
+(** [{ window = 10.0; cap = 96; shed_at = 64 }]. *)
+
+type work_class = [ `Critical | `Maintenance ]
 
 type resolution_source = By_coordinator | By_peer
 
@@ -78,6 +106,10 @@ type counters = {
   mutable batch_ops : int;  (** individual ops run inside those batches *)
   mutable notices_applied : int;  (** piggybacked termination notices applied *)
   mutable readonly_finishes : int;  (** transactions released by {!finish_readonly} *)
+  mutable admitted : int;  (** operations charged and admitted by admission control *)
+  mutable overload_rejects : int;  (** arrivals pushed back at the admission cap *)
+  mutable shed_rejects : int;  (** maintenance work shed by the overload breaker *)
+  mutable expired_rejects : int;  (** requests refused because their deadline had passed *)
 }
 
 val create :
@@ -88,6 +120,7 @@ val create :
   ?lease:float ->
   ?resolver:resolver ->
   ?group_commit:float ->
+  ?admission:admission ->
   name:string ->
   unit ->
   t
@@ -104,7 +137,12 @@ val create :
     long, and every force requested meanwhile rides on its single sync —
     coalescing the per-transaction forced writes under concurrent load. Must
     be well below [lease]: forcers block through the window while holding
-    their locks. *)
+    their locks.
+
+    [admission] (off by default; needs [timers]) arms admission control over
+    every Figure-6 operation, anti-entropy endpoint and keepalive — see
+    {!admission}. Absent, no admission state is kept and the operation paths
+    are byte-identical to a representative built before this knob existed. *)
 
 val set_resolver : t -> resolver -> unit
 
@@ -137,6 +175,19 @@ val install_epoch : t -> epoch:int -> record:string -> bool
     ignored (returns [true]: the fence is already at least this new);
     returns [false] only when the log refuses the append (injected io
     fault). *)
+
+(* --- overload and deadline pushback ---------------------------------------- *)
+
+val reject_expired : t -> deadline:float -> unit
+(** Refuse work whose client-stamped absolute [deadline] (on this
+    representative's clock) has already passed: raises {!Deadline_exceeded}
+    instead of letting the operation execute. The suite calls this at the
+    head of every deadline-stamped RPC. A representative without [timers]
+    ignores the stamp. Raises {!Crashed} while down. *)
+
+val admission_depth : t -> int
+(** Entries currently in the admission window (stale entries are pruned
+    lazily, on the next charge). 0 when admission control is off. *)
 
 (* --- Figure 6 operations -------------------------------------------------- *)
 

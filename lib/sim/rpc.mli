@@ -41,7 +41,12 @@ val server : ?cap:int -> ?ttl:float -> unit -> server
     then enforces the [cap] backstop (default 512, oldest first), so the
     cache is bounded at [cap] finished entries plus whatever is in flight no
     matter how long the server lives. Eviction happens only on request
-    arrival — it schedules no timer events and draws no randomness. Choose
+    arrival — it schedules no timer events and draws no randomness — and its
+    per-arrival cost is constant: the cap backstop pops at most one entry
+    per arrival in steady state, and TTL expiry is limited to a handful of
+    pops per arrival, so a retry storm arriving after an idle stretch drains
+    a stale backlog across the storm instead of stalling its first request
+    on an O(cap) scan. Choose
     [ttl] comfortably above the client's worst-case retransmission horizon
     ([timeout] and backoff sum across [attempts]); an evicted entry merely
     re-opens the idempotent re-execution window that a crash-reset opens

@@ -198,8 +198,8 @@ let test_disk_full_rep_aborts_cleanly () =
 
 let check_audited ~seed outcomes =
   Alcotest.(check int)
-    (Printf.sprintf "seed %Ld: seven plans" seed)
-    7 (List.length outcomes);
+    (Printf.sprintf "seed %Ld: nine plans" seed)
+    9 (List.length outcomes);
   List.iter
     (fun o ->
       let label what = Printf.sprintf "seed %Ld, %s: %s" seed o.Nemesis.plan what in
