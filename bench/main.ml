@@ -413,14 +413,163 @@ let print_counters counters =
     counters;
   Repdir_util.Table.print table
 
+(* --- version-validated client cache: bytes/op and latency ------------------------ *)
+
+(* The cache's savings are wire bytes, and the simulator charges latency per
+   message, not per byte — so the A/B below measures estimated bytes on the
+   wire directly (Transport.bytes_count) and, for a latency headline, reports
+   a modeled p50 on top of the virtual one: virtual latency plus bytes/op at
+   a stated byte budget of [bytes_per_unit] wire bytes per virtual time unit
+   (~100 KB/s if one unit is a millisecond). Both figures are labelled for
+   what they are.
+
+   The workload is the cache's home turf, deliberately: a single client,
+   two-phase + batched, ~90/10 read/write over a preloaded working set of
+   64-byte values, measured after one warming pass. Write-heavy or cold
+   workloads pay for validation without reaping hits — the QCheck
+   differential covers those for correctness; this bench gates the read-path
+   economics. *)
+
+type cache_run = {
+  k_ops : int;
+  k_bytes_per_op : float;
+  k_vmean : float;  (* virtual time units, successful measured ops *)
+  k_vp50 : float;
+  k_vp90 : float;
+  k_vp99 : float;
+  k_hit_rate : float;  (* nan with the cache off *)
+}
+
+let cache_phase ?(seed = 1983L) ?(keys = 40) ?(ops = 2_000) ~cache () =
+  let module Sim = Repdir_sim.Sim in
+  let module Sim_world = Repdir_harness.Sim_world in
+  let open Repdir_core in
+  let module Rng = Repdir_util.Rng in
+  let world = Sim_world.create ~seed ~two_phase:true ~n_clients:1 ~config:cfg_322 () in
+  let sim = Sim_world.sim world in
+  let client_cache = if cache then Some (Repdir_cache.Cache.create ()) else None in
+  let suite = Sim_world.suite_for_client ~batching:true ?cache:client_cache world 0 in
+  let transport = Suite.transport suite in
+  let value i = Printf.sprintf "%064d" i in
+  let rng = Rng.create (Int64.add seed 100L) in
+  let lats = ref [] in
+  let bytes_start = ref 0 in
+  Sim.spawn sim (fun () ->
+      for i = 0 to keys - 1 do
+        match Suite.insert suite (Key.of_int i) (value i) with
+        | Ok () -> ()
+        | Error `Already_present -> assert false
+      done;
+      (* One warming pass: the steady state being measured is a working set
+         the client has already seen, not a cold start. The identical pass
+         runs cache-off too, so the measured windows stay comparable. *)
+      for i = 0 to keys - 1 do
+        ignore (Suite.lookup suite (Key.of_int i) : (_ * string) option)
+      done;
+      bytes_start := transport.Transport.bytes_count;
+      for op = 1 to ops do
+        let k = Key.of_int (Rng.int rng keys) in
+        let write = Rng.int rng 10 = 0 in
+        let t0 = Sim.now sim in
+        (if write then ignore (Suite.update suite k (value op) : (unit, _) result)
+         else ignore (Suite.lookup suite k : (_ * string) option));
+        lats := (Sim.now sim -. t0) :: !lats
+      done);
+  Sim.run sim;
+  let bytes = transport.Transport.bytes_count - !bytes_start in
+  let a = Array.of_list !lats in
+  Array.sort compare a;
+  let n = Array.length a in
+  let pct p = if n = 0 then nan else a.(min (n - 1) (n * p / 100)) in
+  let mean =
+    if n = 0 then nan else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+  in
+  {
+    k_ops = n;
+    k_bytes_per_op = (if n = 0 then nan else float_of_int bytes /. float_of_int n);
+    k_vmean = mean;
+    k_vp50 = pct 50;
+    k_vp90 = pct 90;
+    k_vp99 = pct 99;
+    k_hit_rate =
+      (match client_cache with
+      | None -> nan
+      | Some c -> Repdir_cache.Cache.hit_rate c);
+  }
+
+(* Modeled p50: the virtual p50 plus the measured bytes/op at the stated
+   byte budget. The virtual component is identical machinery either way;
+   only the byte term separates the arms. *)
+let cache_bytes_per_unit = 100.0
+
+let cache_modeled_p50 r = r.k_vp50 +. (r.k_bytes_per_op /. cache_bytes_per_unit)
+
+let cache_bench ?(out = "BENCH_pr9.json") () =
+  section
+    "Version-validated client cache: bytes/op A/B (3-2-2, 2pc+batch, 90/10 reads, 64B \
+     values)";
+  let off = cache_phase ~cache:false () in
+  let on = cache_phase ~cache:true () in
+  let ratio = on.k_bytes_per_op /. off.k_bytes_per_op in
+  let line tag r =
+    Printf.printf
+      "%-10s %6.1f bytes/op  virtual p50 %.2fu p90 %.2fu p99 %.2fu  modeled p50 %.2fu%s\n"
+      tag r.k_bytes_per_op r.k_vp50 r.k_vp90 r.k_vp99 (cache_modeled_p50 r)
+      (if Float.is_nan r.k_hit_rate then ""
+       else Printf.sprintf "  hit-rate %.1f%%" (100.0 *. r.k_hit_rate))
+  in
+  line "cache off:" off;
+  line "cache on:" on;
+  Printf.printf "bytes/op with cache: %.0f%% of uncached (gate: <= 60%%)\n"
+    (100.0 *. ratio);
+  Printf.printf
+    "modeled p50 (virtual + bytes at %.0f B/u): %.2fu cached vs %.2fu uncached (gate: \
+     improved)\n%!"
+    cache_bytes_per_unit (cache_modeled_p50 on) (cache_modeled_p50 off);
+  let vrow tag r =
+    {
+      name = Printf.sprintf "cache/%s op-latency (virtual, 1u=1ms)" tag;
+      ns = r.k_vmean *. 1.0e6;
+      p50 = r.k_vp50 *. 1.0e6;
+      p90 = r.k_vp90 *. 1.0e6;
+      p99 = r.k_vp99 *. 1.0e6;
+    }
+  in
+  write_bench_json ~path:out
+    ~counters:
+      [
+        ("cache/off bytes-per-op", off.k_bytes_per_op);
+        ("cache/on bytes-per-op", on.k_bytes_per_op);
+        ("cache/on-vs-off bytes pct", 100.0 *. ratio);
+        ("cache/on hit-rate pct", 100.0 *. on.k_hit_rate);
+        ("cache/off modeled-p50 (1u=1ms, 100B-per-u)", cache_modeled_p50 off);
+        ("cache/on modeled-p50 (1u=1ms, 100B-per-u)", cache_modeled_p50 on);
+      ]
+    [ vrow "off" off; vrow "on" on ];
+  let failed = ref false in
+  if Float.is_nan ratio || ratio > 0.60 then begin
+    Printf.eprintf "cache bench FAIL: cached bytes/op %.0f%% of uncached > 60%%\n%!"
+      (100.0 *. ratio);
+    failed := true
+  end;
+  if not (cache_modeled_p50 on < cache_modeled_p50 off) then begin
+    Printf.eprintf "cache bench FAIL: modeled p50 not improved (%.2fu vs %.2fu)\n%!"
+      (cache_modeled_p50 on) (cache_modeled_p50 off);
+    failed := true
+  end;
+  if !failed then exit 1;
+  Printf.printf "cache bench OK\n%!"
+
 (* --- CI smoke -------------------------------------------------------------------- *)
 
 (* Fast regression gate: the batched two-phase path must not be slower than
    the unbatched one, batching must cut true messages per insert and per
-   delete at 3-2-2 by at least half, and history recording (the consistency
-   auditor's hook in every suite operation) must cost under 10%. The timing
-   rows and counters land in BENCH_pr8_smoke.json (earlier PRs wrote this
-   file as BENCH_pr6.json — see EXPERIMENTS.md on the numbering drift). *)
+   delete at 3-2-2 by at least half, history recording (the consistency
+   auditor's hook in every suite operation) must cost under 10%, and the
+   version-validated client cache must not send MORE bytes than the uncached
+   path on its home read-heavy workload. The timing rows and counters land
+   in BENCH_pr8_smoke.json (earlier PRs wrote this file as BENCH_pr6.json —
+   see EXPERIMENTS.md on the numbering drift). *)
 let smoke ?(out = "BENCH_pr8_smoke.json") () =
   section "Bench smoke";
   let rows =
@@ -447,13 +596,23 @@ let smoke ?(out = "BENCH_pr8_smoke.json") () =
     /. v (Printf.sprintf "messages(3-2-2)/%s+2pc+batch" kind)
   in
   let audit_overhead = (audited_ns /. unbatched_ns -. 1.0) *. 100.0 in
+  let cache_off = cache_phase ~ops:300 ~cache:false () in
+  let cache_on = cache_phase ~ops:300 ~cache:true () in
   Printf.printf "\n2pc insert+delete ns/op: unbatched %.0f, batched %.0f, audited %.0f\n"
     unbatched_ns batched_ns audited_ns;
   Printf.printf "msgs/op reduction: insert %.2fx, delete %.2fx\n" (ratio "insert")
     (ratio "delete");
-  Printf.printf "auditor recording overhead: %+.1f%%\n%!" audit_overhead;
+  Printf.printf "auditor recording overhead: %+.1f%%\n" audit_overhead;
+  Printf.printf "cache bytes/op (read-heavy): on %.1f vs off %.1f\n%!"
+    cache_on.k_bytes_per_op cache_off.k_bytes_per_op;
   write_bench_json ~path:out
-    ~counters:(counters @ [ ("audit/recording-overhead-pct", audit_overhead) ])
+    ~counters:
+      (counters
+      @ [
+          ("audit/recording-overhead-pct", audit_overhead);
+          ("cache/off bytes-per-op", cache_off.k_bytes_per_op);
+          ("cache/on bytes-per-op", cache_on.k_bytes_per_op);
+        ])
     rows;
   let failures = ref [] in
   let check cond msg = if not cond then failures := msg :: !failures in
@@ -471,6 +630,11 @@ let smoke ?(out = "BENCH_pr8_smoke.json") () =
     ((not (Float.is_nan audited_ns)) && audited_ns <= unbatched_ns *. 1.10)
     (Printf.sprintf "history recording overhead over 10%%: %.0f ns vs %.0f ns" audited_ns
        unbatched_ns);
+  check
+    ((not (Float.is_nan cache_on.k_bytes_per_op))
+    && cache_on.k_bytes_per_op <= cache_off.k_bytes_per_op)
+    (Printf.sprintf "cached read path sent more bytes/op than uncached: %.1f vs %.1f"
+       cache_on.k_bytes_per_op cache_off.k_bytes_per_op);
   match !failures with
   | [] -> Printf.printf "smoke OK\n%!"
   | fs ->
@@ -634,6 +798,9 @@ let reconfig ?(out = "BENCH_pr7.json") () =
 
 type overload_phase = {
   ph_goodput : float;  (* successful ops per 100 time units, post-warmup *)
+  ph_mean : float;  (* mean op latency, successful post-warmup ops *)
+  ph_p50 : float;
+  ph_p90 : float;
   ph_p99 : float;  (* p99 op latency, successful post-warmup ops *)
   ph_attempted : int;
   ph_succeeded : int;
@@ -717,18 +884,22 @@ let overload_phase ?(seed = 1983L) ?(duration = 800.0) ?(warmup = 100.0) ~client
         done)
   done;
   Sim.run sim;
-  let p99 =
-    let a = Array.of_list !lats in
-    Array.sort compare a;
-    let n = Array.length a in
-    if n = 0 then nan else a.(min (n - 1) (n * 99 / 100))
+  let a = Array.of_list !lats in
+  Array.sort compare a;
+  let n_lat = Array.length a in
+  let pct p = if n_lat = 0 then nan else a.(min (n_lat - 1) (n_lat * p / 100)) in
+  let mean =
+    if n_lat = 0 then nan else Array.fold_left ( +. ) 0.0 a /. float_of_int n_lat
   in
   let sum f =
     Array.fold_left (fun acc r -> acc + f (Rep.counters r)) 0 (Sim_world.reps world)
   in
   {
     ph_goodput = 100.0 *. float_of_int !measured_ok /. (duration -. warmup);
-    ph_p99 = p99;
+    ph_mean = mean;
+    ph_p50 = pct 50;
+    ph_p90 = pct 90;
+    ph_p99 = pct 99;
     ph_attempted = !attempted;
     ph_succeeded = !succeeded;
     ph_written_off = !written_off;
@@ -746,10 +917,10 @@ let overload ?(out = "BENCH_pr8.json") () =
   let p99_ratio = gray.ph_p99 /. steady.ph_p99 in
   let line tag p =
     Printf.printf
-      "%-12s goodput %6.2f ops/100u  p99 %6.2f u  (ok %d/%d, written off %d, hedged %d, \
-       overload rejects %d, shed %d)\n"
-      tag p.ph_goodput p.ph_p99 p.ph_succeeded p.ph_attempted p.ph_written_off p.ph_hedged
-      p.ph_overload_rejects p.ph_shed_rejects
+      "%-12s goodput %6.2f ops/100u  p50 %5.2f p90 %5.2f p99 %6.2f u  (ok %d/%d, written \
+       off %d, hedged %d, overload rejects %d, shed %d)\n"
+      tag p.ph_goodput p.ph_p50 p.ph_p90 p.ph_p99 p.ph_succeeded p.ph_attempted
+      p.ph_written_off p.ph_hedged p.ph_overload_rejects p.ph_shed_rejects
   in
   line "steady:" steady;
   line "2x offered:" doubled;
@@ -757,6 +928,18 @@ let overload ?(out = "BENCH_pr8.json") () =
   Printf.printf "goodput under 2x offered: %.0f%% of steady (gate: >= 60%%)\n"
     (100.0 *. goodput_ratio);
   Printf.printf "p99 with one gray rep: %.2fx fault-free (gate: <= 3x)\n%!" p99_ratio;
+  (* Benchmark rows for the JSON: per-phase operation latency, virtual time
+     units reported as if one unit were a millisecond so the shared schema's
+     ns fields stay meaningful; the name says so. *)
+  let vrow tag p =
+    {
+      name = Printf.sprintf "overload/%s op-latency (virtual, 1u=1ms)" tag;
+      ns = p.ph_mean *. 1.0e6;
+      p50 = p.ph_p50 *. 1.0e6;
+      p90 = p.ph_p90 *. 1.0e6;
+      p99 = p.ph_p99 *. 1.0e6;
+    }
+  in
   write_bench_json ~path:out
     ~counters:
       [
@@ -770,7 +953,7 @@ let overload ?(out = "BENCH_pr8.json") () =
         ("overload/2x overload rejects", float_of_int doubled.ph_overload_rejects);
         ("overload/2x shed rejects", float_of_int doubled.ph_shed_rejects);
       ]
-    [];
+    [ vrow "steady" steady; vrow "2x-offered" doubled; vrow "gray-rep0" gray ];
   let failed = ref false in
   if Float.is_nan goodput_ratio || goodput_ratio < 0.6 then begin
     Printf.eprintf "overload bench FAIL: goodput under 2x offered load %.0f%% of steady < 60%%\n%!"
@@ -796,4 +979,5 @@ let () =
   if Array.exists (( = ) "--smoke") Sys.argv then smoke ?out ()
   else if Array.exists (( = ) "--reconfig") Sys.argv then reconfig ?out ()
   else if Array.exists (( = ) "--overload") Sys.argv then overload ?out ()
+  else if Array.exists (( = ) "--cache") Sys.argv then cache_bench ?out ()
   else full ?out ()

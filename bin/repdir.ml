@@ -194,6 +194,20 @@ let report_campaign_failures ~seed ~duration ~keys ~clients ~n ~r ~w outcomes =
     failed;
   failed
 
+let report_cache_stats outcomes =
+  List.iter
+    (fun o ->
+      match o.Nemesis.cache_stats with
+      | None -> ()
+      | Some c ->
+          let reads = c.Repdir_cache.Cache.hits + c.misses + c.mismatches in
+          let rate =
+            if reads = 0 then 0.0 else float_of_int c.hits /. float_of_int reads
+          in
+          Format.printf "cache %-24s %a hit-rate=%.1f%%@." o.Nemesis.plan
+            Repdir_cache.Cache.pp_counters c (100.0 *. rate))
+    outcomes
+
 let warn_unchecked_keys outcomes =
   List.iter
     (fun o ->
@@ -217,7 +231,15 @@ let nemesis_cmd =
   let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
   let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
   let w_t = Arg.(value & opt int 2 & info [ "w" ] ~docv:"W" ~doc:"Write quorum.") in
-  let run seed duration keys n r w =
+  let cache_t =
+    Arg.(value & vflag false
+           [ (true, info [ "cache" ]
+                ~doc:"Attach a version-validated client cache (weak representative) to \
+                      every client; reads validate version tags against the quorum and \
+                      fetch payload only on miss or mismatch.");
+             (false, info [ "no-cache" ] ~doc:"Run without client caches (default).") ])
+  in
+  let run seed duration keys n r w cache =
     let config = Repdir_quorum.Config.simple ~n ~r ~w in
     Printf.printf
       "Nemesis campaign (%s suite): crash storm, rolling partition, flaky links, torn-WAL \
@@ -228,8 +250,11 @@ let nemesis_cmd =
        Quiesce audit (no power cycle): zero violations, zero orphaned locks, zero open \
        in-doubt transactions.\n"
       (Repdir_quorum.Config.to_string config);
-    let outcomes = Nemesis.run_all ~seed ~config ~duration ~key_space:keys ~audit:true () in
+    let outcomes =
+      Nemesis.run_all ~seed ~config ~duration ~key_space:keys ~audit:true ~cache ()
+    in
     print_table (Nemesis.table_of_outcomes outcomes);
+    report_cache_stats outcomes;
     warn_unchecked_keys outcomes;
     let failed = report_campaign_failures ~seed ~duration ~keys ~clients:1 ~n ~r ~w outcomes in
     if failed <> [] then begin
@@ -240,7 +265,7 @@ let nemesis_cmd =
   Cmd.v
     (Cmd.info "nemesis"
        ~doc:"Adversarial fault campaign: the suite must stay consistent through all of it")
-    Term.(const run $ seed_t $ duration_t $ keys_t $ n_t $ r_t $ w_t)
+    Term.(const run $ seed_t $ duration_t $ keys_t $ n_t $ r_t $ w_t $ cache_t)
 
 let audit_cmd =
   let duration_t =
@@ -262,7 +287,15 @@ let audit_cmd =
   let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
   let r_t = Arg.(value & opt int 2 & info [ "r" ] ~docv:"R" ~doc:"Read quorum.") in
   let w_t = Arg.(value & opt int 2 & info [ "w" ] ~docv:"W" ~doc:"Write quorum.") in
-  let run seed duration keys clients plan_filter n r w =
+  let cache_t =
+    Arg.(value & vflag false
+           [ (true, info [ "cache" ]
+                ~doc:"Attach a version-validated client cache (weak representative) to \
+                      every client; the auditor's obligations are unchanged — the \
+                      checker and scrubber must stay exactly as clean as without it.");
+             (false, info [ "no-cache" ] ~doc:"Run without client caches (default).") ])
+  in
+  let run seed duration keys clients plan_filter n r w cache =
     let config = Repdir_quorum.Config.simple ~n ~r ~w in
     let plans = Nemesis.all_plans ~duration ~n ~seed () in
     let indexed = List.mapi (fun i p -> (i, p)) plans in
@@ -292,10 +325,12 @@ let audit_cmd =
           (* The same world-seed schedule as the full campaign, so a single
              --plan run replays its plan bit-for-bit. *)
           let world_seed = Int64.add seed (Int64.mul 1000003L (Int64.of_int i)) in
-          Nemesis.run_plan ~seed:world_seed ~config ~key_space:keys ~audit:true ~clients p)
+          Nemesis.run_plan ~seed:world_seed ~config ~key_space:keys ~audit:true ~clients
+            ~cache p)
         selected
     in
     print_table (Nemesis.table_of_outcomes outcomes);
+    report_cache_stats outcomes;
     warn_unchecked_keys outcomes;
     let failed = report_campaign_failures ~seed ~duration ~keys ~clients ~n ~r ~w outcomes in
     if failed <> [] then begin
@@ -315,7 +350,8 @@ let audit_cmd =
     (Cmd.info "audit"
        ~doc:"Consistency auditor: audited fault campaigns with strict-serializability \
              checking and replica scrubbing")
-    Term.(const run $ seed_t $ duration_t $ keys_t $ clients_t $ plan_t $ n_t $ r_t $ w_t)
+    Term.(const run $ seed_t $ duration_t $ keys_t $ clients_t $ plan_t $ n_t $ r_t $ w_t
+          $ cache_t)
 
 let latency_cmd =
   let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in

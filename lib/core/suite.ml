@@ -6,6 +6,7 @@ open Repdir_rep
 module Gi = Repdir_gapmap.Gapmap_intf
 module History = Repdir_audit.History
 module Member = Repdir_member.Member
+module Cache = Repdir_cache.Cache
 
 type value = string
 
@@ -97,12 +98,27 @@ type t = {
      target and the spare) and a transport with a race primitive. *)
   hedge : float option;
   mutable hedged : int;  (* hedge backups actually launched *)
+  (* Version-validated client cache (a weak representative). When set, the
+     quorum read path collects version tags instead of payloads and fetches
+     the full entry from at most one member, only on a miss or mismatch; a
+     hit plus quorum version agreement is a zero-payload round. [None] is
+     the seed read path, byte-identical. *)
+  cache : Cache.t option;
+  (* Cache stores staged per transaction and applied only at commit: a line
+     learned from a transaction's own uncommitted write must die with an
+     abort, or its (aborted) version number could later collide with a
+     committed write of the same version and serve the wrong payload. *)
+  pending_cache : (Txn.id, cache_update list ref) Hashtbl.t;
 }
+
+and cache_update =
+  | C_store of Bound.t * Cache.line
+  | C_invalidate_range of Bound.t * Bound.t
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     ?coordinator ?(batch_depth = 1) ?sync ?(batching = false) ?timers
-    ?(notice_window = 5.0) ?recorder ?membership ?op_deadline ?hedge ~config ~transport
-    ~txns () =
+    ?(notice_window = 5.0) ?recorder ?membership ?op_deadline ?hedge ?cache ~config
+    ~transport ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
@@ -144,6 +160,8 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     op_deadline;
     hedge;
     hedged = 0;
+    cache;
+    pending_cache = Hashtbl.create 8;
   }
 
 (* --- history recording ---------------------------------------------------------- *)
@@ -179,10 +197,19 @@ let config t = t.config
 let membership t = t.membership
 let epoch t = match t.membership with None -> 0 | Some m -> Member.epoch_of m
 
+(* A membership change invalidates the whole cache: version tags prove a
+   line current only against quorums of the view that produced it, so lines
+   learned under an older epoch must not survive into the new one. *)
+let cache_sync_epoch t =
+  match t.cache with
+  | None -> ()
+  | Some c -> Cache.sync_epoch c ~epoch:(epoch t)
+
 let set_membership t m =
   if Config.n_reps (Member.current m).Member.config <> t.transport.Transport.n_reps then
     invalid_arg "Suite.set_membership: record and transport disagree on slot count";
-  t.membership <- Some m
+  t.membership <- Some m;
+  cache_sync_epoch t
 
 (* Adopt the configuration a fencing representative handed back — but only
    forward: a delayed rejection must never roll the suite's view back. *)
@@ -192,13 +219,53 @@ let adopt t record =
   | Ok m -> (
       match t.membership with
       | Some cur when Member.epoch_of cur >= Member.epoch_of m -> ()
-      | Some _ | None -> t.membership <- Some m)
+      | Some _ | None ->
+          t.membership <- Some m;
+          cache_sync_epoch t)
 
 let transport t = t.transport
 let coordinator t = t.coordinator
 let batching t = t.batching
 let sync t = t.sync
 let hedged_count t = t.hedged
+let cache t = t.cache
+let cache_counters t = Option.map Cache.counters t.cache
+
+(* --- staged cache updates ------------------------------------------------------ *)
+
+let cache_stage t txn upd =
+  match t.cache with
+  | None -> ()
+  | Some _ ->
+      let l =
+        match Hashtbl.find_opt t.pending_cache txn with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.pending_cache txn l;
+            l
+      in
+      l := upd :: !l
+
+(* Apply a committed transaction's staged lines, in operation order. Every
+   line describes committed state as of this transaction's serialization
+   point: reads were validated (or fetched) under quorum read locks, writes
+   are the transaction's own now-committed effects. *)
+let cache_apply t txn =
+  match t.cache with
+  | None -> ()
+  | Some c -> (
+      match Hashtbl.find_opt t.pending_cache txn with
+      | None -> ()
+      | Some l ->
+          Hashtbl.remove t.pending_cache txn;
+          List.iter
+            (function
+              | C_store (b, line) -> Cache.store c ~epoch:(epoch t) b line
+              | C_invalidate_range (lo, hi) -> Cache.invalidate_range c ~lo ~hi)
+            (List.rev !l))
+
+let cache_drop t txn = Hashtbl.remove t.pending_cache txn
 
 (* --- deferred termination notices --------------------------------------------- *)
 
@@ -230,6 +297,62 @@ let requeue_notices t i ns =
 let pending_notice_count t =
   Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.pending 0
 
+(* --- wire-byte accounting ------------------------------------------------------ *)
+
+(* A fixed serialization model charging [Transport.bytes_count] with the
+   estimated request and reply bytes of every message the suite puts on the
+   wire. The absolute numbers are a model (nothing here really serializes);
+   what matters is that the model is applied identically with and without
+   the client cache, so the bytes/op delta isolates exactly what the cache
+   changes: full values versus version tags on the read path. *)
+module Wire = struct
+  let header = 16 (* per-message envelope: src/dst/txn/request id *)
+  let ver = 8
+  let tag = ver + 1 (* version + presence discriminant *)
+  let bound = function
+    | Bound.Key k -> String.length k + 2
+    | Bound.Low | Bound.High -> 1
+
+  let value v = String.length v + 4
+
+  let lookup_r = function
+    | Gi.Present { value = v; _ } -> 1 + ver + value v
+    | Gi.Absent _ -> 1 + ver
+
+  let neighbor (n : Gi.neighbor) = bound n.Gi.key + ver + ver
+  let chain ns = List.fold_left (fun a n -> a + neighbor n) 1 ns
+
+  let op = function
+    | Rep.B_lookup b | Rep.B_validate b | Rep.B_predecessor b | Rep.B_successor b ->
+        1 + bound b
+    | Rep.B_predecessor_chain (b, _) | Rep.B_successor_chain (b, _) -> 1 + bound b + 4
+    | Rep.B_insert (k, _, v) | Rep.B_insert_if_absent (k, _, v) ->
+        1 + bound (Bound.Key k) + ver + value v
+    | Rep.B_coalesce (lo, hi, _) -> 1 + bound lo + bound hi + ver
+    | Rep.B_prepare _ -> 1 + 4
+    | Rep.B_finish_readonly -> 1
+
+  let result = function
+    | Rep.R_lookup l -> lookup_r l
+    | Rep.R_tag _ -> tag
+    | Rep.R_neighbor n -> neighbor n
+    | Rep.R_chain ns -> chain ns
+    | Rep.R_unit | Rep.R_inserted _ | Rep.R_finished _ -> 1
+    | Rep.R_removed _ -> 4
+
+  let msg body = header + body
+  let ops l = List.fold_left (fun a o -> a + op o) 0 l
+  let results l = List.fold_left (fun a r -> a + result r) 0 l
+
+  (* Termination and notice traffic: a txn id plus a discriminant. *)
+  let control = 9
+end
+
+let acct t n = Transport.add_bytes t.transport n
+
+(* A termination-round message ([Transport.send]) and its short ack. *)
+let acct_send t body = acct t (Wire.msg body + Wire.msg 1)
+
 (* Deliver every queued notice in a dedicated message per representative.
    Failures re-queue: notices are idempotent (duplicate commit/abort
    delivery is a no-op) and the termination protocol settles any
@@ -241,6 +364,7 @@ let flush_notices t =
       | [] -> ()
       | ns -> (
           l := [];
+          acct_send t (Wire.control * List.length ns);
           match Transport.send t.transport i (fun rep -> Rep.deliver_notices rep ns) with
           | Ok () -> ()
           | Error _ -> requeue_notices t i ns
@@ -391,7 +515,70 @@ let call ctx i f =
 
 (* One message, many representative ops (the §4 observation that calls
    "batch into few messages"). *)
-let exec ctx i ops = call ctx i (fun rep -> Rep.execute rep ~txn:ctx.txn ops)
+let exec ctx i ops =
+  let t = ctx.suite in
+  acct t (Wire.msg (Wire.ops ops));
+  let rs = call ctx i (fun rep -> Rep.execute rep ~txn:ctx.txn ops) in
+  acct t (Wire.msg (Wire.results rs));
+  rs
+
+(* Direct (unbatched) representative calls, wrapped so every site charges its
+   request and reply to the byte model. *)
+let rep_lookup ctx i bound =
+  let t = ctx.suite in
+  acct t (Wire.msg (Wire.op (Rep.B_lookup bound)));
+  let r = call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn bound) in
+  acct t (Wire.msg (Wire.lookup_r r));
+  r
+
+let rep_validate ctx i bound =
+  let t = ctx.suite in
+  acct t (Wire.msg (Wire.op (Rep.B_validate bound)));
+  let r =
+    call ctx i (fun rep ->
+        match Rep.validate_versions rep ~txn:ctx.txn [ bound ] with
+        | [ t ] -> t
+        | _ -> assert false)
+  in
+  acct t (Wire.msg Wire.tag);
+  r
+
+let rep_neighbor ctx i ~pred bound =
+  let t = ctx.suite in
+  acct t
+    (Wire.msg (Wire.op (if pred then Rep.B_predecessor bound else Rep.B_successor bound)));
+  let r =
+    call ctx i (fun rep ->
+        if pred then Rep.predecessor rep ~txn:ctx.txn bound
+        else Rep.successor rep ~txn:ctx.txn bound)
+  in
+  acct t (Wire.msg (Wire.neighbor r));
+  r
+
+let rep_chain ctx i ~pred bound ~depth =
+  let t = ctx.suite in
+  acct t
+    (Wire.msg
+       (Wire.op
+          (if pred then Rep.B_predecessor_chain (bound, depth)
+           else Rep.B_successor_chain (bound, depth))));
+  let r =
+    call ctx i (fun rep ->
+        if pred then Rep.predecessor_chain rep ~txn:ctx.txn bound ~depth
+        else Rep.successor_chain rep ~txn:ctx.txn bound ~depth)
+  in
+  acct t (Wire.msg (Wire.chain r));
+  r
+
+let rep_insert ctx i key ver value =
+  let t = ctx.suite in
+  acct t (Wire.msg (Wire.op (Rep.B_insert (key, ver, value))) + Wire.msg 1);
+  call ctx i (fun rep -> Rep.insert rep ~txn:ctx.txn key ver value)
+
+let rep_coalesce ctx i ~lo ~hi ver =
+  let t = ctx.suite in
+  acct t (Wire.msg (Wire.op (Rep.B_coalesce (lo, hi, ver))) + Wire.msg 4);
+  call ctx i (fun rep -> Rep.coalesce rep ~txn:ctx.txn ~lo ~hi ver)
 
 let available ctx i =
   ctx.suite.transport.Transport.is_up i && not (Int_set.mem i ctx.excluded)
@@ -525,12 +712,9 @@ let hedged_fanout ctx quorum callf =
 (* Send DirRepLookup to a read quorum; believe the highest version number.
    Works over bounds so the real-predecessor walk can look up LOW/HIGH,
    which every representative reports present at the lowest version. *)
-let suite_lookup_bound ctx bound =
+let suite_lookup_payload ctx bound =
   let quorum = collect_read_quorum ctx in
-  let replies =
-    hedged_fanout ctx quorum (fun i ->
-        call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn bound))
-  in
+  let replies = hedged_fanout ctx quorum (fun i -> rep_lookup ctx i bound) in
   Array.fold_left
     (fun ((_, bestv, _) as best) reply ->
       let ((_, v, _) as candidate) =
@@ -541,6 +725,79 @@ let suite_lookup_bound ctx bound =
       if v > bestv then candidate else best)
     (false, Version.lowest - 1, "")
     replies
+
+(* The winning tag of a validation round, with the tie-break of the payload
+   fold (first maximal reply in quorum order): the index into [quorum] whose
+   tag carries the highest version, scanning left to right with strict
+   improvement. *)
+let winning_tag tags =
+  let version_of = function Rep.Tag_entry v | Rep.Tag_gap v -> v in
+  let best = ref 0 in
+  Array.iteri
+    (fun j t -> if version_of t > version_of tags.(!best) then best := j)
+    tags;
+  (!best, tags.(!best))
+
+(* Version-validated quorum read (Gifford's weak-representative validation):
+   collect the read quorum as version tags — same locks, same serialization
+   point, no payload — and serve the cached line when the winning tag agrees
+   with it. Otherwise fetch the payload from exactly one member holding the
+   winning version (the healthiest one when EWMA scores exist) and install
+   the result. Absence needs no payload at all: the winning gap tag *is* the
+   result. Hedging covers the validation leg — the fan-out below is the same
+   [hedged_fanout] the payload path uses. *)
+let suite_lookup_validated ctx bound c =
+  let t = ctx.suite in
+  let cached = Cache.find c ~epoch:(epoch t) bound in
+  let quorum = collect_read_quorum ctx in
+  let tags = hedged_fanout ctx quorum (fun i -> rep_validate ctx i bound) in
+  let _, tag = winning_tag tags in
+  match tag with
+  | Rep.Tag_gap gv ->
+      (match cached with
+      | Some (Cache.Gap { version }) when version = gv -> Cache.note c `Hit
+      | Some _ -> Cache.note c `Mismatch
+      | None -> Cache.note c `Miss);
+      cache_stage t ctx.txn (C_store (bound, Cache.Gap { version = gv }));
+      (false, gv, "")
+  | Rep.Tag_entry v -> (
+      match cached with
+      | Some (Cache.Entry { version; value }) when version = v ->
+          Cache.note c `Hit;
+          (true, v, value)
+      | prior -> (
+          Cache.note c (match prior with Some _ -> `Mismatch | None -> `Miss);
+          (* Everyone whose tag carries the winning version holds the same
+             committed (key, version, value) triple — fetch from the
+             healthiest of them. The validation already locked the key at
+             every quorum member, so the entry cannot change under us. *)
+          let holders =
+            let l = ref [] in
+            Array.iteri
+              (fun j tg -> if tg = Rep.Tag_entry v then l := quorum.(j) :: !l)
+              tags;
+            Array.of_list (List.rev !l)
+          in
+          let source =
+            match t.picker with
+            | Picker.Healthy h -> (
+                match Picker.Health.best h holders with
+                | Some i -> i
+                | None -> quorum.(0))
+            | _ -> if Array.length holders > 0 then holders.(0) else quorum.(0)
+          in
+          match rep_lookup ctx source bound with
+          | Gi.Present { version = v'; value } ->
+              cache_stage t ctx.txn (C_store (bound, Cache.Entry { version = v'; value }));
+              (true, v', value)
+          | Gi.Absent { gap_version } ->
+              (* Unreachable under the held validation lock; stay total. *)
+              (false, gap_version, "")))
+
+let suite_lookup_bound ctx bound =
+  match ctx.suite.cache with
+  | None -> suite_lookup_payload ctx bound
+  | Some c -> suite_lookup_validated ctx bound c
 
 (* --- RealPredecessor / RealSuccessor (Figure 12) ------------------------------- *)
 
@@ -563,7 +820,7 @@ let pred_from_cache ctx depth i cache k =
   match covered with
   | Some n -> n
   | None -> (
-      let chain = call ctx i (fun rep -> Rep.predecessor_chain rep ~txn:ctx.txn k ~depth) in
+      let chain = rep_chain ctx i ~pred:true k ~depth in
       cache := chain;
       match chain with n :: _ -> n | [] -> assert false)
 
@@ -574,7 +831,7 @@ let succ_from_cache ctx depth i cache k =
   match covered with
   | Some n -> n
   | None -> (
-      let chain = call ctx i (fun rep -> Rep.successor_chain rep ~txn:ctx.txn k ~depth) in
+      let chain = rep_chain ctx i ~pred:false k ~depth in
       cache := chain;
       match chain with n :: _ -> n | [] -> assert false)
 
@@ -585,10 +842,7 @@ let real_predecessor_batched ctx depth x =
   let caches =
     fanout ctx
       (fun i ->
-        ( i,
-          ref
-            (call ctx i (fun rep ->
-                 Rep.predecessor_chain rep ~txn:ctx.txn (Bound.Key x) ~depth)) ))
+        (i, ref (rep_chain ctx i ~pred:true (Bound.Key x) ~depth)))
       quorum
   in
   let rec walk k =
@@ -610,10 +864,7 @@ let real_successor_batched ctx depth x =
   let caches =
     fanout ctx
       (fun i ->
-        ( i,
-          ref
-            (call ctx i (fun rep ->
-                 Rep.successor_chain rep ~txn:ctx.txn (Bound.Key x) ~depth)) ))
+        (i, ref (rep_chain ctx i ~pred:false (Bound.Key x) ~depth)))
       quorum
   in
   let rec walk k =
@@ -634,7 +885,7 @@ let real_predecessor_single ctx x =
   let maxv = ref Version.lowest in
   let rec walk k =
     let neighbours =
-      fanout ctx (fun i -> call ctx i (fun rep -> Rep.predecessor rep ~txn:ctx.txn k)) quorum
+      fanout ctx (fun i -> rep_neighbor ctx i ~pred:true k) quorum
     in
     let pred = ref Bound.Low in
     Array.iter
@@ -652,7 +903,7 @@ let real_successor_single ctx x =
   let maxv = ref Version.lowest in
   let rec walk k =
     let neighbours =
-      fanout ctx (fun i -> call ctx i (fun rep -> Rep.successor rep ~txn:ctx.txn k)) quorum
+      fanout ctx (fun i -> rep_neighbor ctx i ~pred:false k) quorum
     in
     let succ = ref Bound.High in
     Array.iter
@@ -679,7 +930,7 @@ let real_successor ctx x =
    — the read-only release travel in one message per quorum member. A member
    that grants the release ([R_finished true]) is done with the transaction;
    refusals simply fall back to the normal termination round. *)
-let suite_lookup_finishing ctx bound =
+let suite_lookup_finishing_payload ctx bound =
   let quorum = collect_read_quorum ctx in
   let ops = [ Rep.B_lookup bound; Rep.B_finish_readonly ] in
   let replies =
@@ -705,6 +956,69 @@ let suite_lookup_finishing ctx bound =
       if v > bestv then candidate else best)
     (false, Version.lowest - 1, "")
     replies
+
+let line_of_result (isin, v, value) =
+  if isin then Cache.Entry { version = v; value } else Cache.Gap { version = v }
+
+(* Cached variant of the finishing lookup: the validation piggybacks on the
+   read-only release, so a cache hit stays a single zero-payload round. A
+   version mismatch on a present entry discards the round — the granted
+   releases are rolled back client-side so round 2 re-locks at every member
+   it touches and termination still reaches anyone left holding locks — and
+   falls back to the plain payload round, whose locks define the
+   serialization point (sound here: the finishing path is only used by
+   single-operation implicit transactions, which have no earlier reads to
+   stay consistent with). A winning gap tag never needs the fallback: the
+   tag is the whole answer. *)
+let suite_lookup_finishing_validated ctx bound c =
+  let t = ctx.suite in
+  let fallback note =
+    Cache.note c note;
+    let r = suite_lookup_finishing_payload ctx bound in
+    cache_stage t ctx.txn (C_store (bound, line_of_result r));
+    r
+  in
+  match Cache.find c ~epoch:(epoch t) bound with
+  | None -> fallback `Miss
+  | Some line -> (
+      let quorum = collect_read_quorum ctx in
+      let granted = ref Int_set.empty in
+      let ops = [ Rep.B_validate bound; Rep.B_finish_readonly ] in
+      let tags =
+        fanout ctx
+          (fun i ->
+            match exec ctx i ops with
+            | [ Rep.R_tag tag; Rep.R_finished fin ] ->
+                if fin then begin
+                  let s = session_of ctx in
+                  s.finished <- Int_set.add i s.finished;
+                  granted := Int_set.add i !granted
+                end;
+                tag
+            | _ -> assert false)
+          quorum
+      in
+      let _, tag = winning_tag tags in
+      match (tag, line) with
+      | Rep.Tag_gap gv, Cache.Gap { version } when version = gv ->
+          Cache.note c `Hit;
+          (false, gv, "")
+      | Rep.Tag_gap gv, _ ->
+          Cache.note c `Mismatch;
+          cache_stage t ctx.txn (C_store (bound, Cache.Gap { version = gv }));
+          (false, gv, "")
+      | Rep.Tag_entry v, Cache.Entry { version; value } when version = v ->
+          Cache.note c `Hit;
+          (true, v, value)
+      | Rep.Tag_entry _, _ ->
+          let s = session_of ctx in
+          Int_set.iter (fun i -> s.finished <- Int_set.remove i s.finished) !granted;
+          fallback `Mismatch)
+
+let suite_lookup_finishing ctx bound =
+  match ctx.suite.cache with
+  | None -> suite_lookup_finishing_payload ctx bound
+  | Some c -> suite_lookup_finishing_validated ctx bound c
 
 let do_lookup ctx key =
   let isin, v, value =
@@ -759,13 +1073,16 @@ let do_write ctx memo key value ~must_exist =
              end;
              rs)
            quorum);
+      cache_stage t ctx.txn (C_store (Bound.Key key, Cache.Entry { version = ver'; value }));
       Ok ()
   | Ok ver' ->
       let quorum = collect_write_quorum ctx in
       ignore
         (fanout ctx
-           (fun i -> call ctx i (fun rep -> Rep.insert rep ~txn:ctx.txn key ver' value))
+           (fun i -> rep_insert ctx i key ver' value)
            quorum);
+      cache_stage ctx.suite ctx.txn
+        (C_store (Bound.Key key, Cache.Entry { version = ver'; value }));
       Ok ()
 
 (* Fused neighbour walks for the batched delete: round 1 sends the
@@ -922,6 +1239,11 @@ let do_delete_batched ctx key =
       if has_x then incr present_x;
       total_removed := !total_removed + removed)
     per_member;
+  (* The coalesce turns the whole open interval (pred, succ) into one gap at
+     [Version.next ver]: drop every cached line inside it and remember the
+     victim's new gap version. *)
+  cache_stage t ctx.txn (C_invalidate_range (pred, succ));
+  cache_stage t ctx.txn (C_store (x, Cache.Gap { version = Version.next ver }));
   {
     was_present = isin;
     removed_per_rep = Array.map (fun (i, _, _, removed) -> (i, removed)) per_member;
@@ -947,24 +1269,24 @@ let do_delete_unbatched ctx key =
         let repairs = ref 0 in
         (match succ with
         | Bound.Key sk ->
-            (match call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn succ) with
+            (match rep_lookup ctx i succ with
             | Gi.Present _ -> ()
             | Gi.Absent _ ->
                 incr repairs;
-                call ctx i (fun rep -> Rep.insert rep ~txn:ctx.txn sk sver svalue))
+                rep_insert ctx i sk sver svalue)
         | Bound.Low | Bound.High -> ());
         (match pred with
         | Bound.Key pk ->
-            (match call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn pred) with
+            (match rep_lookup ctx i pred with
             | Gi.Present _ -> ()
             | Gi.Absent _ ->
                 incr repairs;
-                call ctx i (fun rep -> Rep.insert rep ~txn:ctx.txn pk pver pvalue))
+                rep_insert ctx i pk pver pvalue)
         | Bound.Low | Bound.High -> ());
         (* Not part of Figure 13: observe whether the victim is physically
            present here, to separate ghost deletions in the statistics. *)
         let has_x =
-          match call ctx i (fun rep -> Rep.lookup rep ~txn:ctx.txn x) with
+          match rep_lookup ctx i x with
           | Gi.Present _ -> true
           | Gi.Absent _ -> false
         in
@@ -981,11 +1303,12 @@ let do_delete_unbatched ctx key =
   (* Coalesce the range in each member with a dominating gap version. *)
   let removed =
     fanout ctx
-      (fun i ->
-        (i, call ctx i (fun rep -> Rep.coalesce rep ~txn:ctx.txn ~lo:pred ~hi:succ (Version.next ver))))
+      (fun i -> (i, rep_coalesce ctx i ~lo:pred ~hi:succ (Version.next ver)))
       quorum
   in
   let total_removed = Array.fold_left (fun acc (_, n) -> acc + n) 0 removed in
+  cache_stage ctx.suite ctx.txn (C_invalidate_range (pred, succ));
+  cache_stage ctx.suite ctx.txn (C_store (x, Cache.Gap { version = Version.next ver }));
   {
     was_present = isin;
     removed_per_rep = removed;
@@ -1006,6 +1329,7 @@ let abort_touched t txn =
   | Some s ->
       Int_set.iter
         (fun i ->
+          acct_send t Wire.control;
           match Transport.send t.transport i (fun rep -> Rep.abort rep ~txn) with
           | Ok () | Error _ -> ()
           | exception Txn.Abort _ ->
@@ -1026,6 +1350,7 @@ let abort_touched t txn =
 let commit_one_phase t txn s =
   Int_set.iter
     (fun i ->
+      acct_send t Wire.control;
       match Transport.send t.transport i (fun rep -> Rep.commit rep ~txn) with
       | Ok () | Error _ -> ()
       | exception Txn.Abort _ ->
@@ -1069,6 +1394,7 @@ let commit_two_phase t txn s =
     else
       Int_set.filter
         (fun i ->
+          acct_send t Wire.control;
           match Transport.send t.transport i (fun rep -> Rep.finish_readonly rep ~txn) with
           | Ok true ->
               s.finished <- Int_set.add i s.finished;
@@ -1081,15 +1407,17 @@ let commit_two_phase t txn s =
     Int_set.for_all
       (fun i ->
         same_incarnation i
-        &&
-        match Transport.send t.transport i (fun rep -> Rep.prepare rep ~txn ~coord) with
+        && begin
+             acct_send t (Wire.control + 4);
+             match Transport.send t.transport i (fun rep -> Rep.prepare rep ~txn ~coord) with
         | Ok () -> same_incarnation i
         | Error _ -> false
         | exception Txn.Abort _ ->
             (* The representative refused the vote (it lost this
                transaction's effects in a crash, or already aborted it
                unilaterally when its lease expired). *)
-            false)
+            false
+           end)
       unprepared
   in
   let participants = Int_set.diff s.reps s.finished in
@@ -1120,6 +1448,7 @@ let commit_two_phase t txn s =
         else
           Int_set.iter
             (fun i ->
+              acct_send t Wire.control;
               match Transport.send t.transport i (fun rep -> Rep.commit rep ~txn) with
               | Ok () | Error _ ->
                   (* A participant that crashed here is in doubt; its recovery
@@ -1150,14 +1479,21 @@ let with_txn t f =
       match commit_touched t txn with
       | () ->
           Txn.Manager.commit t.txns txn;
+          (* Only now are the transaction's writes committed facts; applying
+             the staged cache lines any earlier would let an aborted write
+             poison the cache with a version number a later committed write
+             can legitimately reuse. *)
+          cache_apply t txn;
           record_finish t ~txn `Ok;
           result
       | exception e ->
           (* Two-phase commit already aborted the participants. *)
+          cache_drop t txn;
           Txn.Manager.abort t.txns txn;
           record_finish t ~txn (failed_commit_status t txn);
           raise e)
   | exception e ->
+      cache_drop t txn;
       abort_touched t txn;
       Txn.Manager.abort t.txns txn;
       record_finish t ~txn `Failed;
@@ -1337,7 +1673,7 @@ let first ?txn t =
       let quorum = collect_read_quorum ctx in
       let neighbours =
         fanout ctx
-          (fun i -> call ctx i (fun rep -> Rep.successor rep ~txn:ctx.txn Bound.Low))
+          (fun i -> rep_neighbor ctx i ~pred:false Bound.Low)
           quorum
       in
       let candidate =
@@ -1355,7 +1691,7 @@ let last ?txn t =
       let quorum = collect_read_quorum ctx in
       let neighbours =
         fanout ctx
-          (fun i -> call ctx i (fun rep -> Rep.predecessor rep ~txn:ctx.txn Bound.High))
+          (fun i -> rep_neighbor ctx i ~pred:true Bound.High)
           quorum
       in
       let candidate =
@@ -1390,7 +1726,7 @@ let to_alist ?txn t =
       let quorum = collect_read_quorum ctx in
       let neighbours =
         fanout ctx
-          (fun i -> call ctx i (fun rep -> Rep.successor rep ~txn:ctx.txn Bound.Low))
+          (fun i -> rep_neighbor ctx i ~pred:false Bound.Low)
           quorum
       in
       match

@@ -75,6 +75,7 @@ val create :
   ?membership:Repdir_member.Member.record ->
   ?op_deadline:float ->
   ?hedge:float ->
+  ?cache:Repdir_cache.Cache.t ->
   config:Config.t ->
   transport:Transport.t ->
   txns:Txn.Manager.t ->
@@ -165,7 +166,23 @@ val create :
     {!Picker.strategy.Healthy} picker (which supplies the latency scores;
     [Invalid_argument] otherwise), a transport with a {!Transport.race}
     primitive, [timers], and static membership — with any of those missing,
-    lookups simply fan out unhedged. *)
+    lookups simply fan out unhedged.
+
+    [cache] (off by default — the seed behaviour) attaches a version-
+    validated client cache ({!Repdir_cache.Cache}) of entries {e and} gaps,
+    turning quorum reads into Gifford-style weak-representative
+    validations: the read quorum is still collected — same members, same
+    {!Repdir_rep.Rep.validate_versions} point locks, same serialization
+    point — but the members return version tags with no payload, and the
+    full value travels from at most one (healthiest) member, only when the
+    cached line is missing or its version disagrees with the winning tag. A
+    cache hit on a present entry, and {e every} read of an absent key (the
+    winning gap tag is the whole answer), complete with zero payload bytes
+    on the wire. Cached lines are installed and invalidated only when the
+    writing transaction commits, are dropped when the membership epoch
+    advances, and are tagged with the epoch they were read under — so
+    caching is observationally invisible: every operation returns exactly
+    what the uncached suite would have returned. *)
 
 val config : t -> Config.t
 
@@ -210,6 +227,12 @@ val sync : t -> Repdir_sync.Sync.t option
 val hedged_count : t -> int
 (** Hedge backups actually launched by this suite (0 unless [hedge] is
     armed and the p99 delay has fired with a spare available). *)
+
+val cache : t -> Repdir_cache.Cache.t option
+(** The attached client cache, if any. *)
+
+val cache_counters : t -> Repdir_cache.Cache.counters option
+(** Hit/miss/mismatch/invalidation counters of the attached cache. *)
 
 val sync_counters : t -> Repdir_sync.Sync.counters option
 (** Sync-traffic counters of the attached anti-entropy actor, if any. *)

@@ -25,6 +25,7 @@ type t = {
   mutable rpc_count : int;
   mutable retry_count : int;
   mutable msg_count : int;
+  mutable bytes_count : int;
 }
 
 let local reps =
@@ -42,7 +43,10 @@ let local reps =
     rpc_count = 0;
     retry_count = 0;
     msg_count = 0;
+    bytes_count = 0;
   }
+
+let add_bytes t n = t.bytes_count <- t.bytes_count + n
 
 let call_exn t i f =
   t.rpc_count <- t.rpc_count + 1;

@@ -76,6 +76,14 @@ type t = {
           historical meaning (operation calls only), so the §4 tables can
           report calls and true messages side by side. A batched round is one
           message however many ops it carries. *)
+  mutable bytes_count : int;
+      (** estimated payload bytes put on the wire (requests and replies),
+          accounted by the suite with {!add_bytes} from a fixed serialization
+          model — the currency the version-validated cache saves: a
+          validation reply carries a version tag where a lookup reply carries
+          the full value. Retransmissions are not re-counted (the model
+          tracks the client's logical traffic, which is what cache on/off
+          comparisons need to hold constant elsewhere). *)
 }
 
 val local : Rep.t array -> t
@@ -90,3 +98,6 @@ val send : t -> int -> (Rep.t -> 'r) -> ('r, error) result
 (** Like [call] but counted in [msg_count] only: a termination-round message
     (prepare/commit/abort/notice flush), which the historical [rpc_count]
     never included. *)
+
+val add_bytes : t -> int -> unit
+(** Charge [n] estimated wire bytes to [bytes_count]. *)

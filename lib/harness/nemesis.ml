@@ -417,6 +417,7 @@ type outcome = {
   indoubt_recovered : int;
   orphan_locks : int;
   indoubt_open : int;
+  cache_stats : Repdir_cache.Cache.counters option;
   audit : audit option;
 }
 
@@ -488,7 +489,7 @@ let robust_plan_names = [ "slow replica"; "retry storm" ]
 
 let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
     ?(key_space = 30) ?(op_gap = 2.0) ?(lease = 60.0) ?(power_cycle = false)
-    ?(audit = false) ?(clients = 1) ?robust plan =
+    ?(audit = false) ?(clients = 1) ?robust ?(cache = false) plan =
   if clients < 1 then invalid_arg "Nemesis.run_plan: need at least one client";
   let n = Repdir_quorum.Config.n_reps config in
   let robust =
@@ -526,6 +527,13 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
      client's picker reads it, so a gray representative spotted by one
      client is avoided by all. *)
   let health = if robust then Some (Picker.Health.create ~n ()) else None in
+  (* Per-client caches: one weak representative per client, so stale lines
+     from one client's vantage are validated (and corrected) against the
+     same quorums every other client writes through. *)
+  let caches =
+    if cache then Array.init clients (fun _ -> Repdir_cache.Cache.create ())
+    else [||]
+  in
   let suites =
     Array.init clients (fun c ->
         Sim_world.suite_for_client
@@ -534,6 +542,7 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
           ?health
           ?op_deadline:(if robust then Some 30.0 else None)
           ?hedge:(if robust then Some 2.0 else None)
+          ?cache:(if cache then Some caches.(c) else None)
           world c)
   in
   let suite = suites.(0) in
@@ -737,6 +746,12 @@ let run_plan ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w
        or queued is an orphan the termination protocol failed to clean up. *)
     orphan_locks = sum Repdir_rep.Rep.locks_held + sum Repdir_rep.Rep.lock_waiters;
     indoubt_open = sum Repdir_rep.Rep.in_doubt_count;
+    cache_stats =
+      (if cache then
+         Some
+           (Repdir_cache.Cache.sum_counters
+              (Array.to_list (Array.map Repdir_cache.Cache.counters caches)))
+       else None);
     audit = audit_report;
   }
 
@@ -1225,6 +1240,7 @@ let run_reconfig ?(seed = 1983L) ?(duration = 1500.0) ?(key_space = 24) ?(op_gap
       indoubt_recovered = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_recovered);
       orphan_locks = sum Repdir_rep.Rep.locks_held + sum Repdir_rep.Rep.lock_waiters;
       indoubt_open = sum Repdir_rep.Rep.in_doubt_count;
+      cache_stats = None;
       audit = audit_report;
     }
   in
@@ -1246,7 +1262,7 @@ let run_reconfig ?(seed = 1983L) ?(duration = 1500.0) ?(key_space = 24) ?(op_gap
   (outcome, report)
 
 let run_all ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2)
-    ?(duration = 1000.0) ?key_space ?op_gap ?lease ?power_cycle ?audit ?clients
+    ?(duration = 1000.0) ?key_space ?op_gap ?lease ?power_cycle ?audit ?clients ?cache
     ?(all = false) () =
   let n = Repdir_quorum.Config.n_reps config in
   let plans =
@@ -1256,7 +1272,7 @@ let run_all ?(seed = 1983L) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:
     (fun i plan ->
       let world_seed = Int64.add seed (Int64.mul 1000003L (Int64.of_int i)) in
       run_plan ~seed:world_seed ~config ?key_space ?op_gap ?lease ?power_cycle ?audit
-        ?clients plan)
+        ?clients ?cache plan)
     plans
 
 let table_of_outcomes outcomes =

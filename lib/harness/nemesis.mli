@@ -174,6 +174,8 @@ type outcome = {
   orphan_locks : int;
       (** locks still granted or queued anywhere at quiesce — must be 0 *)
   indoubt_open : int;  (** transactions still in doubt at quiesce — must be 0 *)
+  cache_stats : Repdir_cache.Cache.counters option;
+      (** aggregated client-cache counters; present iff [~cache:true] *)
   audit : audit option;  (** present iff the plan ran with [~audit:true] *)
 }
 
@@ -193,6 +195,7 @@ val run_plan :
   ?audit:bool ->
   ?clients:int ->
   ?robust:bool ->
+  ?cache:bool ->
   plan ->
   outcome
 (** Defaults: the paper's 3-2-2 suite, 30 keys, exponential think time with
@@ -220,7 +223,13 @@ val run_plan :
     client every response is checked against the inline sequential model
     (the seed behaviour); with more, the interleavings make that model
     meaningless, so the inline checks are skipped and the history checker
-    is the oracle (run with [~audit:true]). *)
+    is the oracle (run with [~audit:true]).
+
+    [cache] (default false) attaches a version-validated client cache
+    ({!Repdir_cache.Cache}) to every client's suite — the whole point being
+    that the inline model, the checker, and the scrubber must stay exactly
+    as clean as without it. Aggregated cache counters land in
+    [cache_stats]. *)
 
 (* --- the reconfiguration campaign ----------------------------------------------- *)
 
@@ -296,6 +305,7 @@ val run_all :
   ?power_cycle:bool ->
   ?audit:bool ->
   ?clients:int ->
+  ?cache:bool ->
   ?all:bool ->
   unit ->
   outcome list

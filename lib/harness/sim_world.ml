@@ -274,6 +274,7 @@ let client_transport ?health t i =
         rpc_count = 0;
         retry_count = 0;
         msg_count = 0;
+        bytes_count = 0;
       }
   in
   Lazy.force transport
@@ -283,7 +284,7 @@ let coordinator t i =
   t.coordinators.(i)
 
 let suite_for_client ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership
-    ?health ?op_deadline ?hedge t i =
+    ?health ?op_deadline ?hedge ?cache t i =
   let timers =
     {
       Rep.now = (fun () -> Sim.now t.sim);
@@ -291,8 +292,9 @@ let suite_for_client ?picker ?seed ?sync ?batching ?notice_window ?recorder ?mem
     }
   in
   Suite.create ?picker ?seed ?sync ?batching ?notice_window ?recorder ?membership
-    ?op_deadline ?hedge ~timers ~two_phase:t.two_phase ~coordinator:t.coordinators.(i)
-    ~config:t.config ~transport:(client_transport ?health t i) ~txns:t.txns ()
+    ?op_deadline ?hedge ?cache ~timers ~two_phase:t.two_phase
+    ~coordinator:t.coordinators.(i) ~config:t.config
+    ~transport:(client_transport ?health t i) ~txns:t.txns ()
 
 let recorder_for_client ?cap t i =
   ignore (client_node t i);

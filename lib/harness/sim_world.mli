@@ -99,6 +99,7 @@ val suite_for_client :
   ?health:Picker.Health.t ->
   ?op_deadline:float ->
   ?hedge:float ->
+  ?cache:Repdir_cache.Cache.t ->
   t ->
   int ->
   Suite.t
@@ -115,7 +116,8 @@ val suite_for_client :
     [~picker:(Picker.Healthy health)] to let quorum selection avoid
     suspected-gray representatives. [op_deadline] and [hedge] are passed to
     {!Suite.create} verbatim (per-operation deadline budget; hedged
-    slowest-member reads — the latter requires the [Healthy] picker). *)
+    slowest-member reads — the latter requires the [Healthy] picker), as is
+    [cache] (the version-validated client cache). *)
 
 val recorder_for_client : ?cap:int -> t -> int -> Repdir_audit.History.recorder
 (** A history recorder for client [i], stamping events with this world's

@@ -62,6 +62,13 @@ module Health : sig
   val hedge_delay : ?floor:float -> t -> float
   (** The delay after which a hedged request fires its backup: the healthy
       p99 ({!p99}), never below [floor] (default 1.0). *)
+
+  val best : t -> int array -> int option
+  (** Among [candidates], the representative with the lowest smoothed
+      latency, preferring non-outliers; ties (including a cold score table)
+      resolve to the first candidate. [None] on an empty array. The suite
+      uses this to aim a cache miss's single payload fetch at the healthiest
+      member holding the winning version. *)
 end
 
 type strategy =

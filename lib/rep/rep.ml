@@ -55,6 +55,7 @@ type counters = {
   mutable overload_rejects : int;
   mutable shed_rejects : int;
   mutable expired_rejects : int;
+  mutable validates : int;
 }
 
 (* Volatile per-transaction lease state. *)
@@ -146,6 +147,7 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
         overload_rejects = 0;
         shed_rejects = 0;
         expired_rejects = 0;
+        validates = 0;
       };
   }
 
@@ -488,6 +490,24 @@ let lookup t ~txn bound =
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.point bound);
   Btree.lookup t.map bound
 
+(* Version-only read, for validating a client cache (a weak representative):
+   same lock, same serialization point as [lookup] — only the reply sheds its
+   payload. The version tag of a key is its entry's version when present, or
+   its containing gap's version when absent, so a tag fully determines
+   whether a cached entry (or cached absence) is still current. *)
+type version_tag = Tag_entry of Version.t | Tag_gap of Version.t
+
+let validate_one t ~txn bound =
+  t.counters.validates <- t.counters.validates + 1;
+  lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.point bound);
+  match Btree.lookup t.map bound with
+  | Repdir_gapmap.Gapmap_intf.Present { version; _ } -> Tag_entry version
+  | Repdir_gapmap.Gapmap_intf.Absent { gap_version } -> Tag_gap gap_version
+
+let validate_versions t ~txn bounds =
+  check_txn_open t ~txn;
+  List.map (validate_one t ~txn) bounds
+
 (* DirRepPredecessor locks RepLookup(y, x) where y is the key returned — but
    y is only known after reading. We read, lock [y, x], and re-read; if a
    concurrent transaction changed the predecessor before our lock was
@@ -819,6 +839,7 @@ let finish_readonly t ~txn =
 
 type batch_op =
   | B_lookup of Bound.t
+  | B_validate of Bound.t
   | B_predecessor of Bound.t
   | B_successor of Bound.t
   | B_predecessor_chain of Bound.t * int
@@ -831,6 +852,7 @@ type batch_op =
 
 type batch_result =
   | R_lookup of Gm.lookup
+  | R_tag of version_tag
   | R_neighbor of Gm.neighbor
   | R_chain of Gm.neighbor list
   | R_unit
@@ -858,6 +880,10 @@ let run_batch_op t ~txn op =
   t.counters.batch_ops <- t.counters.batch_ops + 1;
   match op with
   | B_lookup b -> R_lookup (lookup t ~txn b)
+  | B_validate b -> (
+      match validate_versions t ~txn [ b ] with
+      | [ tag ] -> R_tag tag
+      | _ -> assert false)
   | B_predecessor b -> R_neighbor (predecessor t ~txn b)
   | B_successor b -> R_neighbor (successor t ~txn b)
   | B_predecessor_chain (b, depth) -> R_chain (predecessor_chain t ~txn b ~depth)

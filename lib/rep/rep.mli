@@ -110,6 +110,7 @@ type counters = {
   mutable overload_rejects : int;  (** arrivals pushed back at the admission cap *)
   mutable shed_rejects : int;  (** maintenance work shed by the overload breaker *)
   mutable expired_rejects : int;  (** requests refused because their deadline had passed *)
+  mutable validates : int;  (** version-only tag reads served ({!validate_versions}) *)
 }
 
 val create :
@@ -192,6 +193,20 @@ val admission_depth : t -> int
 (* --- Figure 6 operations -------------------------------------------------- *)
 
 val lookup : t -> txn:Repdir_txn.Txn.id -> Bound.t -> Gapmap_intf.lookup
+
+(** A key's version tag with the payload shed: the entry's version when
+    present, the containing gap's version when absent. Because every key —
+    present or absent — has exactly one version here, a tag is a complete
+    currency proof for a client-cached entry or gap line. *)
+type version_tag = Tag_entry of Repdir_key.Version.t | Tag_gap of Repdir_key.Version.t
+
+val validate_versions :
+  t -> txn:Repdir_txn.Txn.id -> Bound.t list -> version_tag list
+(** Version tags for the given keys, positionally. Takes the same
+    RepLookup(point) lock as {!lookup} for each key — the serialization
+    point of a cache-validated read is identical to a payload read's; only
+    the reply bytes differ. *)
+
 val predecessor : t -> txn:Repdir_txn.Txn.id -> Bound.t -> Gapmap_intf.neighbor
 val successor : t -> txn:Repdir_txn.Txn.id -> Bound.t -> Gapmap_intf.neighbor
 val predecessor_chain :
@@ -262,6 +277,9 @@ val keepalive : t -> txn:Repdir_txn.Txn.id -> unit
     single {!execute} RPC instead of one RPC per call. *)
 type batch_op =
   | B_lookup of Bound.t
+  | B_validate of Bound.t
+      (** Version-only lookup ({!validate_versions} for one key), for
+          piggybacking cache validations on a batched round. *)
   | B_predecessor of Bound.t
   | B_successor of Bound.t
   | B_predecessor_chain of Bound.t * int  (** bound, depth *)
@@ -283,6 +301,7 @@ type batch_op =
 
 type batch_result =
   | R_lookup of Gapmap_intf.lookup
+  | R_tag of version_tag  (** [B_validate]: the key's version tag *)
   | R_neighbor of Gapmap_intf.neighbor
   | R_chain of Gapmap_intf.neighbor list
   | R_unit
