@@ -107,8 +107,11 @@ type t = {
   (* Cache stores staged per transaction and applied only at commit: a line
      learned from a transaction's own uncommitted write must die with an
      abort, or its (aborted) version number could later collide with a
-     committed write of the same version and serve the wrong payload. *)
-  pending_cache : (Txn.id, cache_update list ref) Hashtbl.t;
+     committed write of the same version and serve the wrong payload. Each
+     staged update carries the suite epoch at stage time: a line proven
+     current against old-view quorums must not be installed as if learned
+     under a view adopted between the operation and the commit. *)
+  pending_cache : (Txn.id, (int * cache_update) list ref) Hashtbl.t;
 }
 
 and cache_update =
@@ -245,12 +248,17 @@ let cache_stage t txn upd =
             Hashtbl.replace t.pending_cache txn l;
             l
       in
-      l := upd :: !l
+      l := (epoch t, upd) :: !l
 
 (* Apply a committed transaction's staged lines, in operation order. Every
    line describes committed state as of this transaction's serialization
    point: reads were validated (or fetched) under quorum read locks, writes
-   are the transaction's own now-committed effects. *)
+   are the transaction's own now-committed effects. Stores are applied only
+   if the suite still runs the epoch they were staged under — a membership
+   adopted mid-transaction (set_membership / adopt) must not inherit lines
+   proven current only against the old view's quorums, or they would
+   survive the flush sync_epoch guarantees. Invalidations are conservative
+   and always safe to apply. *)
 let cache_apply t txn =
   match t.cache with
   | None -> ()
@@ -259,9 +267,12 @@ let cache_apply t txn =
       | None -> ()
       | Some l ->
           Hashtbl.remove t.pending_cache txn;
+          let now = epoch t in
           List.iter
-            (function
-              | C_store (b, line) -> Cache.store c ~epoch:(epoch t) b line
+            (fun (staged_epoch, upd) ->
+              match upd with
+              | C_store (b, line) ->
+                  if staged_epoch = now then Cache.store c ~epoch:now b line
               | C_invalidate_range (lo, hi) -> Cache.invalidate_range c ~lo ~hi)
             (List.rev !l))
 
@@ -652,7 +663,10 @@ let collect_write_quorum ctx =
    client-side. Active only when all the machinery is present: a hedge
    window, a transport race primitive, a [Healthy] picker (for the scores),
    a clock, and static membership (joint-quorum vote accounting would need
-   per-view spares). *)
+   per-view spares). NB for callers: when the hedge fires and the spare wins,
+   the slow member's slot in the result array holds the *spare's* reply — a
+   caller that must know which representative produced a reply has to pair it
+   inside [callf] ([fun i -> (i, ...)]); indexing [quorum] is not sound. *)
 let hedged_fanout ctx quorum callf =
   let t = ctx.suite in
   match (t.hedge, t.transport.Transport.race, t.picker, t.timers, t.membership) with
@@ -726,6 +740,9 @@ let suite_lookup_payload ctx bound =
     (false, Version.lowest - 1, "")
     replies
 
+let line_of_result (isin, v, value) =
+  if isin then Cache.Entry { version = v; value } else Cache.Gap { version = v }
+
 (* The winning tag of a validation round, with the tie-break of the payload
    fold (first maximal reply in quorum order): the index into [quorum] whose
    tag carries the highest version, scanning left to right with strict
@@ -750,7 +767,11 @@ let suite_lookup_validated ctx bound c =
   let t = ctx.suite in
   let cached = Cache.find c ~epoch:(epoch t) bound in
   let quorum = collect_read_quorum ctx in
-  let tags = hedged_fanout ctx quorum (fun i -> rep_validate ctx i bound) in
+  (* Pair every reply with the representative that actually produced it:
+     under hedging the slow member's slot may carry the spare's tag, so a
+     reply's position in [quorum] does not identify its source. *)
+  let replies = hedged_fanout ctx quorum (fun i -> (i, rep_validate ctx i bound)) in
+  let tags = Array.map snd replies in
   let _, tag = winning_tag tags in
   match tag with
   | Rep.Tag_gap gv ->
@@ -769,13 +790,14 @@ let suite_lookup_validated ctx bound c =
           Cache.note c (match prior with Some _ -> `Mismatch | None -> `Miss);
           (* Everyone whose tag carries the winning version holds the same
              committed (key, version, value) triple — fetch from the
-             healthiest of them. The validation already locked the key at
-             every quorum member, so the entry cannot change under us. *)
+             healthiest of them, identified by responder id, never by
+             quorum slot. The validation locked the key at every member it
+             reached, so the entry cannot change under us. *)
           let holders =
             let l = ref [] in
-            Array.iteri
-              (fun j tg -> if tg = Rep.Tag_entry v then l := quorum.(j) :: !l)
-              tags;
+            Array.iter
+              (fun (src, tg) -> if tg = Rep.Tag_entry v then l := src :: !l)
+              replies;
             Array.of_list (List.rev !l)
           in
           let source =
@@ -787,12 +809,19 @@ let suite_lookup_validated ctx bound c =
             | _ -> if Array.length holders > 0 then holders.(0) else quorum.(0)
           in
           match rep_lookup ctx source bound with
-          | Gi.Present { version = v'; value } ->
+          | Gi.Present { version = v'; value } when v' = v ->
               cache_stage t ctx.txn (C_store (bound, Cache.Entry { version = v'; value }));
               (true, v', value)
-          | Gi.Absent { gap_version } ->
-              (* Unreachable under the held validation lock; stay total. *)
-              (false, gap_version, "")))
+          | Gi.Present _ | Gi.Absent _ ->
+              (* The fetched copy contradicts the validated quorum — only
+                 possible if source selection escaped the validation's lock
+                 coverage (e.g. a hedge spare that answered for a slot but
+                 lost a later race). Never serve it: fall back to the full
+                 payload quorum read, whose own fold returns the committed
+                 maximum, and cache that instead. *)
+              let r = suite_lookup_payload ctx bound in
+              cache_stage t ctx.txn (C_store (bound, line_of_result r));
+              r))
 
 let suite_lookup_bound ctx bound =
   match ctx.suite.cache with
@@ -956,9 +985,6 @@ let suite_lookup_finishing_payload ctx bound =
       if v > bestv then candidate else best)
     (false, Version.lowest - 1, "")
     replies
-
-let line_of_result (isin, v, value) =
-  if isin then Cache.Entry { version = v; value } else Cache.Gap { version = v }
 
 (* Cached variant of the finishing lookup: the validation piggybacks on the
    read-only release, so a cache hit stays a single zero-payload round. A

@@ -165,6 +165,40 @@ let test_membership_change_flushes () =
   | Some (_, "v") -> ()
   | _ -> Alcotest.fail "lookup after epoch change"
 
+(* A membership adopted between an operation and its commit: cache lines
+   staged under the old epoch were proven current only against old-view
+   quorums, so commit must drop them rather than install them as if they
+   had been learned under the new epoch (which would let them survive the
+   flush sync_epoch guarantees). *)
+let test_mid_txn_epoch_change_drops_staged () =
+  let world = make_world () in
+  let roster = Array.make 3 Member.Active in
+  let m0 = Member.initial ~config:world.config ~roster in
+  let cache = Cache.create () in
+  let suite =
+    Suite.create ~cache ~membership:m0 ~picker:Picker.Random ~config:world.config
+      ~transport:world.transport ~txns:world.txns ()
+  in
+  (match Suite.insert suite "k" "v" with Ok () -> () | Error _ -> Alcotest.fail "insert");
+  Cache.flush cache;
+  let v1 =
+    match Member.make_view ~epoch:1 ~config:world.config ~roster with
+    | Ok v -> v
+    | Error e -> Alcotest.fail e
+  in
+  Suite.with_txn suite (fun txn ->
+      (* Misses the flushed cache, so a fresh line is staged under epoch 0. *)
+      (match Suite.lookup ~txn suite "k" with
+      | Some (_, "v") -> ()
+      | _ -> Alcotest.fail "lookup in txn");
+      Suite.set_membership suite (Member.Stable v1));
+  Alcotest.(check int) "old-epoch staged line dropped at commit" 0 (Cache.length cache);
+  Alcotest.(check int) "cache on the new epoch" 1 (Cache.epoch cache);
+  (* The key still reads correctly under the new view (miss, repopulate). *)
+  match Suite.lookup suite "k" with
+  | Some (_, "v") -> ()
+  | _ -> Alcotest.fail "lookup after mid-txn epoch change"
+
 (* A deliberately stale cache: client A caches a line, client B (same world,
    own cache) updates the key behind A's back. A's next read must validate,
    detect the version mismatch, and return B's value. *)
@@ -344,6 +378,8 @@ let () =
             test_delete_invalidates_range;
           Alcotest.test_case "membership change flushes" `Quick
             test_membership_change_flushes;
+          Alcotest.test_case "mid-txn epoch change drops staged lines" `Quick
+            test_mid_txn_epoch_change_drops_staged;
           Alcotest.test_case "stale cache corrected across clients" `Quick
             test_stale_cache_corrected_across_clients;
         ] );
