@@ -775,6 +775,124 @@ let reconfig ?(out = "BENCH_pr7.json") () =
   end;
   Printf.printf "reconfig bench OK\n%!"
 
+(* --- horizontal sharding: scaling and during-split goodput ----------------------- *)
+
+(* Uniform goodput of a [groups]-group sharded deployment under a client
+   population that saturates a single group. Every representative runs a
+   deliberately tight admission cap standing in for per-node service
+   capacity, so a single group's throughput is pinned at its capacity and
+   aggregate throughput can only grow by adding groups — the property the
+   shard layer exists to buy. The same seeds, clients and key space are used
+   at every group count; only the shard map differs. *)
+let shard_scaling_phase ?(seed = 1983L) ?(duration = 600.0) ?(warmup = 100.0) ~groups
+    ~clients () =
+  let module Sim = Repdir_sim.Sim in
+  let module Shard_world = Repdir_harness.Shard_world in
+  let module Router = Repdir_shard.Router in
+  let module Shard_map = Repdir_shard.Shard_map in
+  let module Rep = Repdir_rep.Rep in
+  let module Key = Repdir_key.Key in
+  let open Repdir_core in
+  let module Rng = Repdir_util.Rng in
+  let key_space = 64 in
+  let admission = { Rep.window = 10.0; cap = 8; shed_at = 1_000 } in
+  let world =
+    Shard_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:4 ~rpc_backoff:2.0
+      ~two_phase:true ~n_clients:clients ~lease:60.0 ~admission ~config:cfg_322 ~groups ()
+  in
+  let sim = Shard_world.sim world in
+  let cuts =
+    List.init (groups - 1) (fun i -> Key.of_int ((i + 1) * key_space / groups))
+  in
+  let map = Shard_map.initial ~cuts in
+  let routers = Array.init clients (fun c -> Shard_world.router_for_client world c ~map) in
+  let ok = ref 0 in
+  for c = 0 to clients - 1 do
+    let rng = Rng.create (Int64.add seed (Int64.of_int (100 + c))) in
+    let retry_rng = Rng.create (Int64.add seed (Int64.of_int (200 + c))) in
+    let router = routers.(c) in
+    let one_op () =
+      let key = Key.of_int (Rng.int rng key_space) in
+      let value = Printf.sprintf "c%d-%f" c (Sim.now sim) in
+      let kind = Rng.int rng 4 in
+      let t0 = Sim.now sim in
+      match
+        Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim) ~rng:retry_rng
+          (fun () ->
+            match kind with
+            | 0 -> ignore (Router.lookup router key : (_ * string) option)
+            | 1 -> ignore (Router.insert router key value : (unit, _) result)
+            | 2 -> ignore (Router.update router key value : (unit, _) result)
+            | _ -> ignore (Router.delete router key : Suite.delete_report))
+      with
+      | () -> if t0 >= warmup then incr ok
+      | exception (Suite.Unavailable _ | Repdir_txn.Txn.Abort _) -> ()
+    in
+    Sim.spawn sim (fun () ->
+        while Sim.now sim < duration do
+          one_op ();
+          Sim.sleep sim (Rng.exponential rng ~mean:4.0)
+        done)
+  done;
+  Sim.run sim;
+  100.0 *. float_of_int !ok /. (duration -. warmup)
+
+(* Two gates: a 4-group deployment must carry >= 2.5x the uniform goodput of
+   a single group at the same offered load, and a live range migration
+   (fault-free split campaign) must keep bystander goodput at >= 50% of
+   steady state — writes to the moving slice are refused while it is frozen,
+   so this bounds what the freeze window costs the workload overall. *)
+let shard_bench ?(out = "BENCH_pr10.json") () =
+  section "Horizontal sharding: throughput scaling and during-split goodput (virtual time)";
+  let clients = 24 in
+  let g1 = shard_scaling_phase ~groups:1 ~clients () in
+  let g4 = shard_scaling_phase ~groups:4 ~clients () in
+  let scale = g4 /. g1 in
+  Printf.printf
+    "uniform goodput, %d clients: 1 group %.1f ops/100u, 4 groups %.1f ops/100u (%.2fx)\n%!"
+    clients g1 g4 scale;
+  let _outcome, r = Repdir_harness.Nemesis.run_shard ~faults:false () in
+  let per100 ops span = if span <= 0.0 then nan else 100.0 *. float_of_int ops /. span in
+  let steady =
+    per100 r.Repdir_harness.Nemesis.split_steady_ops r.Repdir_harness.Nemesis.split_steady_span
+  in
+  let during =
+    per100 r.Repdir_harness.Nemesis.during_split_ops r.Repdir_harness.Nemesis.during_split_span
+  in
+  let ratio = during /. steady in
+  Printf.printf
+    "split: steady %.1f ops/100u, during the migration %.1f ops/100u (%.0f%%; flip \
+     completed: %b)\n%!"
+    steady during (100.0 *. ratio)
+    (r.Repdir_harness.Nemesis.flipped_at <> None);
+  write_bench_json ~path:out
+    ~counters:
+      [
+        ("shard/1-group goodput ops-per-100u", g1);
+        ("shard/4-group goodput ops-per-100u", g4);
+        ("shard/4-group-vs-1-group scale", scale);
+        ("shard/split steady ops-per-100u", steady);
+        ("shard/during-split ops-per-100u", during);
+        ("shard/during-split-vs-steady pct", 100.0 *. ratio);
+      ]
+    [];
+  let failed = ref false in
+  if r.Repdir_harness.Nemesis.flipped_at = None then begin
+    Printf.eprintf "shard bench FAIL: the split did not complete\n%!";
+    failed := true
+  end;
+  if Float.is_nan scale || scale < 2.5 then begin
+    Printf.eprintf "shard bench FAIL: 4-group goodput %.2fx single group < 2.5x\n%!" scale;
+    failed := true
+  end;
+  if Float.is_nan ratio || ratio < 0.5 then begin
+    Printf.eprintf "shard bench FAIL: during-split goodput %.0f%% of steady < 50%%\n%!"
+      (100.0 *. ratio);
+    failed := true
+  end;
+  if !failed then exit 1;
+  Printf.printf "shard bench OK\n%!"
+
 (* --- overload and gray failure: goodput and tail-latency gates ------------------- *)
 
 (* Three phases on identically-seeded simulated worlds, all with the full
@@ -980,4 +1098,5 @@ let () =
   else if Array.exists (( = ) "--reconfig") Sys.argv then reconfig ?out ()
   else if Array.exists (( = ) "--overload") Sys.argv then overload ?out ()
   else if Array.exists (( = ) "--cache") Sys.argv then cache_bench ?out ()
+  else if Array.exists (( = ) "--shard") Sys.argv then shard_bench ?out ()
   else full ?out ()

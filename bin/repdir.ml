@@ -220,6 +220,63 @@ let warn_unchecked_keys outcomes =
       | _ -> ())
     outcomes
 
+(* Shared by `repdir shard` and the --shards option of audit/nemesis. *)
+let shard_campaign seed duration keys clients groups faults =
+  Printf.printf
+    "Horizontal sharding campaign (%d groups): split the top key range onto a fresh \
+     replica group under a live audited workload%s.\n\
+     Epoch-stamped shard map with fencing on every RPC, sliced anti-entropy \
+     catch-up, converge-gated flip; the strict-serializability checker and the \
+     per-group scrubbers must stay clean across every map epoch.\n"
+    groups
+    (if faults then " with partitions and bounces" else "");
+  let outcome, report =
+    Nemesis.run_shard ~seed ~duration ~key_space:keys ~clients ~groups ~faults ()
+  in
+  print_table (Nemesis.table_of_outcomes [ outcome ]);
+  Format.printf "%a@." Nemesis.pp_shard_report report;
+  warn_unchecked_keys [ outcome ];
+  let unsafe =
+    Nemesis.total_violations outcome > 0
+    || outcome.Nemesis.orphan_locks > 0
+    || outcome.Nemesis.indoubt_open > 0
+  in
+  let incomplete =
+    report.Nemesis.flipped_at = None
+    || (not report.Nemesis.shard_gate_ok)
+    || (not report.Nemesis.epoch_agreed)
+  in
+  if unsafe then begin
+    (match outcome.Nemesis.audit with
+    | Some a ->
+        List.iter (Printf.printf "  checker: %s\n") a.Nemesis.checker_violations;
+        List.iter (Printf.printf "  scrub: %s\n") a.Nemesis.scrub_violations;
+        let path = Printf.sprintf "audit-history-shard-%Ld.txt" seed in
+        a.Nemesis.dump path;
+        Printf.printf "  history window dumped to %s\n" path
+    | None -> ());
+    Printf.printf "\nFAILED: consistency violations or residue under sharding\n"
+  end;
+  if incomplete then
+    Printf.printf
+      "\nFAILED: the split did not complete (flip %s, converge gate %s, final shard \
+       epoch %d %s)\n"
+      (if report.Nemesis.flipped_at = None then "missing" else "done")
+      (if report.Nemesis.shard_gate_ok then "ok" else "failed")
+      report.Nemesis.final_shard_epoch
+      (if report.Nemesis.epoch_agreed then "agreed everywhere" else "NOT agreed");
+  if unsafe || incomplete then begin
+    Printf.printf
+      "  reproduce: dune exec bin/repdir.exe -- shard --seed %Ld --duration %g --keys \
+       %d --clients %d --groups %d%s\n"
+      seed duration keys clients groups (if faults then "" else " --no-faults");
+    exit 1
+  end;
+  Printf.printf
+    "Split clean: the range migrated and flipped under %s with zero \
+     strict-serializability violations and one agreed shard-map epoch.\n"
+    (if faults then "faults" else "a live workload")
+
 let nemesis_cmd =
   let duration_t =
     Arg.(value & opt float 1000.0 & info [ "duration" ] ~docv:"T"
@@ -239,7 +296,15 @@ let nemesis_cmd =
                       fetch payload only on miss or mismatch.");
              (false, info [ "no-cache" ] ~doc:"Run without client caches (default).") ])
   in
-  let run seed duration keys n r w cache =
+  let shards_t =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"With N > 1, run the horizontal-sharding split campaign over N replica \
+                 groups instead of the single-group plan sweep (same as `repdir shard \
+                 --groups N`).")
+  in
+  let run seed duration keys n r w cache shards =
+    if shards > 1 then shard_campaign seed duration keys 1 shards true
+    else begin
     let config = Repdir_quorum.Config.simple ~n ~r ~w in
     Printf.printf
       "Nemesis campaign (%s suite): crash storm, rolling partition, flaky links, torn-WAL \
@@ -261,11 +326,12 @@ let nemesis_cmd =
       Printf.printf "\nFAILED: %d of %d plans\n" (List.length failed) (List.length outcomes);
       exit 1
     end
+    end
   in
   Cmd.v
     (Cmd.info "nemesis"
        ~doc:"Adversarial fault campaign: the suite must stay consistent through all of it")
-    Term.(const run $ seed_t $ duration_t $ keys_t $ n_t $ r_t $ w_t $ cache_t)
+    Term.(const run $ seed_t $ duration_t $ keys_t $ n_t $ r_t $ w_t $ cache_t $ shards_t)
 
 let audit_cmd =
   let duration_t =
@@ -295,7 +361,15 @@ let audit_cmd =
                       checker and scrubber must stay exactly as clean as without it.");
              (false, info [ "no-cache" ] ~doc:"Run without client caches (default).") ])
   in
-  let run seed duration keys clients plan_filter n r w cache =
+  let shards_t =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"With N > 1, run the audited horizontal-sharding split campaign over N \
+                 replica groups instead of the single-group plan sweep (same as `repdir \
+                 shard --groups N`).")
+  in
+  let run seed duration keys clients plan_filter n r w cache shards =
+    if shards > 1 then shard_campaign seed duration keys clients shards true
+    else begin
     let config = Repdir_quorum.Config.simple ~n ~r ~w in
     let plans = Nemesis.all_plans ~duration ~n ~seed () in
     let indexed = List.mapi (fun i p -> (i, p)) plans in
@@ -345,13 +419,14 @@ let audit_cmd =
     in
     Printf.printf "All %d plans clean: %d operations proven strictly serializable.\n"
       (List.length outcomes) checked
+    end
   in
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Consistency auditor: audited fault campaigns with strict-serializability \
              checking and replica scrubbing")
     Term.(const run $ seed_t $ duration_t $ keys_t $ clients_t $ plan_t $ n_t $ r_t $ w_t
-          $ cache_t)
+          $ cache_t $ shards_t)
 
 let latency_cmd =
   let n_t = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Representatives.") in
@@ -487,7 +562,8 @@ let plans_cmd =
     print_endline
       "\nStandard, extended and robustness plans run via `repdir nemesis` / `repdir \
        audit` (non-standard ones under audit's --plan or in its default all-plan \
-       sweep); the membership plan runs via `repdir reconfig`."
+       sweep); the membership plan runs via `repdir reconfig`; the sharding plan \
+       runs via `repdir shard` (or `repdir audit`/`repdir nemesis --shards N`)."
   in
   Cmd.v
     (Cmd.info "plans" ~doc:"List every registered nemesis fault plan")
@@ -562,6 +638,37 @@ let reconfig_cmd =
        ~doc:"Dynamic membership: audited online join/retire campaign under faults")
     Term.(const run $ seed_t $ duration_t $ keys_t $ clients_t)
 
+(* --- horizontal sharding ----------------------------------------------------------- *)
+
+let shard_cmd =
+  let duration_t =
+    Arg.(value & opt float 1500.0 & info [ "duration" ] ~docv:"T"
+           ~doc:"Virtual time the campaign runs for.")
+  in
+  let keys_t =
+    Arg.(value & opt int 24 & info [ "keys" ] ~docv:"N" ~doc:"Size of the key space.")
+  in
+  let clients_t =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent workload clients (the admin driver is separate).")
+  in
+  let groups_t =
+    Arg.(value & opt int 2 & info [ "groups" ] ~docv:"N"
+           ~doc:"Replica groups after the split (the last group starts empty and \
+                 receives the migrated range).")
+  in
+  let faults_t =
+    Arg.(value & vflag true
+           [ (true, info [ "faults" ]
+                ~doc:"Run the sharded-split fault plan alongside the migration (default).");
+             (false, info [ "no-faults" ] ~doc:"Fault-free split (bench-style).") ])
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Horizontal sharding: audited online range split/migration campaign")
+    Term.(const shard_campaign $ seed_t $ duration_t $ keys_t $ clients_t $ groups_t
+          $ faults_t)
+
 (* --- one-off simulation ------------------------------------------------------------ *)
 
 let simulate_cmd =
@@ -608,6 +715,7 @@ let () =
             audit_cmd;
             plans_cmd;
             reconfig_cmd;
+            shard_cmd;
             sync_cmd;
             latency_cmd;
             space_cmd;

@@ -59,6 +59,15 @@ type session = {
   incarnations : (int, int) Hashtbl.t;
 }
 
+(* Sharding hook. The multi-group router (lib/shard) attaches one of these
+   to each per-group suite; the closures read the router's current shard map
+   so this module never depends on the shard library. [shard_epoch] stamps
+   every representative call (fenced server-side with
+   [Rep.shard_fence_check], exactly parallel to the membership fence);
+   [shard_label] names the owned range and group in failure messages so a
+   sharded campaign's errors are attributable. *)
+type shard_info = { shard_label : unit -> string; shard_epoch : unit -> int }
+
 type t = {
   config : Config.t;
   (* Dynamic membership: when set, quorums are collected from the record's
@@ -68,6 +77,11 @@ type t = {
      preserves the static seed behaviour exactly — no stamping, no fencing,
      identical quorum selection and RNG consumption. *)
   mutable membership : Member.record option;
+  (* Sharding: when set, every representative call is additionally stamped
+     with the router's shard-map epoch, quorum failures name the shard, and
+     the cache epoch folds the shard epoch in. [None] is the seed (and
+     single-group) behaviour, byte-identical. *)
+  shard : shard_info option;
   picker : Picker.strategy;
   transport : Transport.t;
   txns : Txn.Manager.t;
@@ -120,8 +134,8 @@ and cache_update =
 
 let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
     ?coordinator ?(batch_depth = 1) ?sync ?(batching = false) ?timers
-    ?(notice_window = 5.0) ?recorder ?membership ?op_deadline ?hedge ?cache ~config
-    ~transport ~txns () =
+    ?(notice_window = 5.0) ?recorder ?membership ?shard ?op_deadline ?hedge ?cache
+    ~config ~transport ~txns () =
   if Config.n_reps config <> transport.Transport.n_reps then
     invalid_arg "Suite.create: config and transport disagree on representative count";
   if batch_depth < 1 then invalid_arg "Suite.create: batch_depth must be at least 1";
@@ -145,6 +159,7 @@ let create ?(picker = Picker.Random) ?(seed = 1L) ?(two_phase = false)
   {
     config;
     membership;
+    shard;
     picker;
     transport;
     txns;
@@ -199,14 +214,34 @@ let record_finish t ~txn status =
 let config t = t.config
 let membership t = t.membership
 let epoch t = match t.membership with None -> 0 | Some m -> Member.epoch_of m
+let shard_epoch t = match t.shard with None -> 0 | Some si -> si.shard_epoch ()
+
+(* What failure messages append so sharded campaign errors name the range
+   and group that failed; empty (message-identical to the seed) when the
+   suite is unsharded. *)
+let shard_suffix t =
+  match t.shard with None -> "" | Some si -> " at " ^ si.shard_label ()
 
 (* A membership change invalidates the whole cache: version tags prove a
    line current only against quorums of the view that produced it, so lines
-   learned under an older epoch must not survive into the new one. *)
+   learned under an older epoch must not survive into the new one. The same
+   argument applies to a shard-map change — a migrated range's lines were
+   proven current against the *old owning group's* quorums — so the cache
+   epoch folds both counters together: either advancing flushes every line.
+   Membership epochs stay far below the shift in practice (each
+   reconfiguration adds 2). *)
+let cache_epoch t = epoch t lor (shard_epoch t lsl 20)
+
 let cache_sync_epoch t =
   match t.cache with
   | None -> ()
-  | Some c -> Cache.sync_epoch c ~epoch:(epoch t)
+  | Some c -> Cache.sync_epoch c ~epoch:(cache_epoch t)
+
+(* The router's eager-flush hook when it adopts a newer shard map: [find]
+   and [store] would flush lazily anyway (they compare the line epoch), but
+   a migrated range must never even *hold* lines cached under the old
+   owning group once the router knows about the move. *)
+let sync_cache_epoch = cache_sync_epoch
 
 let set_membership t m =
   if Config.n_reps (Member.current m).Member.config <> t.transport.Transport.n_reps then
@@ -248,7 +283,7 @@ let cache_stage t txn upd =
             Hashtbl.replace t.pending_cache txn l;
             l
       in
-      l := (epoch t, upd) :: !l
+      l := (cache_epoch t, upd) :: !l
 
 (* Apply a committed transaction's staged lines, in operation order. Every
    line describes committed state as of this transaction's serialization
@@ -267,7 +302,7 @@ let cache_apply t txn =
       | None -> ()
       | Some l ->
           Hashtbl.remove t.pending_cache txn;
-          let now = epoch t in
+          let now = cache_epoch t in
           List.iter
             (fun (staged_epoch, upd) ->
               match upd with
@@ -466,6 +501,19 @@ let call ctx i f =
           Rep.fence_check rep ~epoch:e;
           f rep
   in
+  (* Shard-map fencing, exactly parallel: requests carry the router's shard
+     epoch, and a representative that has installed a newer map refuses the
+     operation (the range may no longer be served here). Unsharded suites
+     stamp nothing, keeping the seed path identical. *)
+  let f =
+    match t.shard with
+    | None -> f
+    | Some si ->
+        let e = si.shard_epoch () in
+        fun rep ->
+          Rep.shard_fence_check rep ~epoch:e;
+          f rep
+  in
   (* Deadline propagation: the operation's absolute deadline rides on every
      RPC; a representative whose clock says it has passed refuses the work
      instead of executing it ([Rep.Deadline_exceeded] unwinds the operation
@@ -597,12 +645,12 @@ let available ctx i =
 (* Which view failed, for debuggable nemesis logs during a transition: a
    joint record has two views, and "cannot collect a write quorum" alone
    does not say whether the old or the new epoch is starved. *)
-let quorum_failure m ~read k =
+let quorum_failure t m ~read k =
   let v = List.nth (Member.views m) k in
   Unavailable
-    (Format.asprintf "cannot collect a %s quorum in epoch %d (%a)"
+    (Format.asprintf "cannot collect a %s quorum in epoch %d (%a)%s"
        (if read then "read" else "write")
-       v.Member.epoch Member.pp_view v)
+       v.Member.epoch Member.pp_view v (shard_suffix t))
 
 let collect_read_quorum ctx =
   let t = ctx.suite in
@@ -610,7 +658,7 @@ let collect_read_quorum ctx =
   | None -> (
       match Picker.read_quorum t.picker t.rng t.config ~available:(available ctx) with
       | Some q -> q
-      | None -> raise (Unavailable "cannot collect a read quorum"))
+      | None -> raise (Unavailable ("cannot collect a read quorum" ^ shard_suffix t)))
   | Some m -> (
       match
         Picker.collect_joint t.picker t.rng
@@ -618,7 +666,7 @@ let collect_read_quorum ctx =
           ~available:(available ctx)
       with
       | Ok q -> q
-      | Error k -> raise (quorum_failure m ~read:true k))
+      | Error k -> raise (quorum_failure t m ~read:true k))
 
 let collect_write_quorum ctx =
   let t = ctx.suite in
@@ -638,7 +686,7 @@ let collect_write_quorum ctx =
         Picker.write_quorum ~prefer t.picker t.rng t.config ~available:(available ctx)
       with
       | Some q -> q
-      | None -> raise (Unavailable "cannot collect a write quorum"))
+      | None -> raise (Unavailable ("cannot collect a write quorum" ^ shard_suffix t)))
   | Some m -> (
       match
         Picker.collect_joint ~prefer t.picker t.rng
@@ -646,7 +694,7 @@ let collect_write_quorum ctx =
           ~available:(available ctx)
       with
       | Ok q -> q
-      | Error k -> raise (quorum_failure m ~read:false k))
+      | Error k -> raise (quorum_failure t m ~read:false k))
 
 (* --- DirSuiteLookup (Figure 8) ------------------------------------------------ *)
 
@@ -765,7 +813,7 @@ let winning_tag tags =
    [hedged_fanout] the payload path uses. *)
 let suite_lookup_validated ctx bound c =
   let t = ctx.suite in
-  let cached = Cache.find c ~epoch:(epoch t) bound in
+  let cached = Cache.find c ~epoch:(cache_epoch t) bound in
   let quorum = collect_read_quorum ctx in
   (* Pair every reply with the representative that actually produced it:
      under hedging the slow member's slot may carry the spare's tag, so a
@@ -1004,7 +1052,7 @@ let suite_lookup_finishing_validated ctx bound c =
     cache_stage t ctx.txn (C_store (bound, line_of_result r));
     r
   in
-  match Cache.find c ~epoch:(epoch t) bound with
+  match Cache.find c ~epoch:(cache_epoch t) bound with
   | None -> fallback `Miss
   | Some line -> (
       let quorum = collect_read_quorum ctx in
@@ -1387,12 +1435,14 @@ let commit_one_phase t txn s =
     (Int_set.diff s.reps s.finished);
   Hashtbl.remove t.touched txn
 
-(* Presumed-abort two-phase commit. The client is the coordinator: it runs an
-   explicit prepare round over the participants, force-logs a commit decision
-   in its own log before telling anyone, then runs the commit round. Any
-   prepare failure decides abort — recorded but never forced, because a
-   participant that finds no decision on file presumes abort anyway. *)
-let commit_two_phase t txn s =
+(* The prepare half of presumed-abort two-phase commit, shared between the
+   single-suite commit below and the cross-shard protocol ({!cross_prepare}):
+   release read-only participants, collect yes votes from the rest, and
+   report whether every remaining participant holds a durable vote bound to
+   this client's coordinator. Decides nothing — the caller owns the
+   decision record, which for a cross-shard transaction covers the prepare
+   results of *every* group's suite. *)
+let prepare_round t txn s =
   (* A yes-vote is only valid from the incarnation that executed the
      transaction's operations: a participant that restarted since first
      contact has lost volatile state (and a crash may have destroyed its
@@ -1429,23 +1479,58 @@ let commit_two_phase t txn s =
           | exception _ -> true)
         unprepared
   in
-  let all_prepared =
-    Int_set.for_all
+  Int_set.for_all
+    (fun i ->
+      same_incarnation i
+      && begin
+           acct_send t (Wire.control + 4);
+           match Transport.send t.transport i (fun rep -> Rep.prepare rep ~txn ~coord) with
+      | Ok () -> same_incarnation i
+      | Error _ -> false
+      | exception Txn.Abort _ ->
+          (* The representative refused the vote (it lost this
+             transaction's effects in a crash, or already aborted it
+             unilaterally when its lease expired). *)
+          false
+         end)
+    unprepared
+
+(* The commit half: deliver a committed decision to prepared participants.
+   Only ever called after the coordinator force-logged [Committed]. *)
+let commit_round t txn participants =
+  if t.batching then begin
+    (* Commit pipelining: every participant holds a durable yes vote
+       bound to this coordinator, so the commit notices can ride on
+       later messages (or the flush timer). Until one lands, the
+       participant's lease expiry resolves the transaction through
+       this coordinator's decision log — same verdict, just slower. *)
+    Int_set.iter (fun i -> enqueue_notice t i (Rep.N_commit txn)) participants;
+    arm_flush t
+  end
+  else
+    Int_set.iter
       (fun i ->
-        same_incarnation i
-        && begin
-             acct_send t (Wire.control + 4);
-             match Transport.send t.transport i (fun rep -> Rep.prepare rep ~txn ~coord) with
-        | Ok () -> same_incarnation i
-        | Error _ -> false
+        acct_send t Wire.control;
+        match Transport.send t.transport i (fun rep -> Rep.commit rep ~txn) with
+        | Ok () | Error _ ->
+            (* A participant that crashed here is in doubt; its recovery
+               re-locks our effects and resolves them by querying this
+               coordinator's decision log. *)
+            ()
         | exception Txn.Abort _ ->
-            (* The representative refused the vote (it lost this
-               transaction's effects in a crash, or already aborted it
-               unilaterally when its lease expired). *)
-            false
-           end)
-      unprepared
-  in
+            (* Impossible for a prepared participant (it cannot abort once
+               its vote is cast unless we decide so); kept total for
+               duplicate-delivery races. *)
+            ())
+      participants
+
+(* Presumed-abort two-phase commit. The client is the coordinator: it runs an
+   explicit prepare round over the participants, force-logs a commit decision
+   in its own log before telling anyone, then runs the commit round. Any
+   prepare failure decides abort — recorded but never forced, because a
+   participant that finds no decision on file presumes abort anyway. *)
+let commit_two_phase t txn s =
+  let all_prepared = prepare_round t txn s in
   let participants = Int_set.diff s.reps s.finished in
   if Int_set.is_empty participants then
     (* Fully read-only and fully released in-round: there is nothing to
@@ -1462,35 +1547,47 @@ let commit_two_phase t txn s =
     in
     match decision with
     | Coordinator.Committed ->
-        if t.batching then begin
-          (* Commit pipelining: every participant holds a durable yes vote
-             bound to this coordinator, so the commit notices can ride on
-             later messages (or the flush timer). Until one lands, the
-             participant's lease expiry resolves the transaction through
-             this coordinator's decision log — same verdict, just slower. *)
-          Int_set.iter (fun i -> enqueue_notice t i (Rep.N_commit txn)) participants;
-          arm_flush t
-        end
-        else
-          Int_set.iter
-            (fun i ->
-              acct_send t Wire.control;
-              match Transport.send t.transport i (fun rep -> Rep.commit rep ~txn) with
-              | Ok () | Error _ ->
-                  (* A participant that crashed here is in doubt; its recovery
-                     re-locks our effects and resolves them by querying this
-                     coordinator's decision log. *)
-                  ()
-              | exception Txn.Abort _ ->
-                  (* Impossible for a prepared participant (it cannot abort once
-                     its vote is cast unless we decide so); kept total for
-                     duplicate-delivery races. *)
-                  ())
-            participants;
+        commit_round t txn participants;
         Hashtbl.remove t.touched txn
     | Coordinator.Aborted ->
         abort_touched t txn;
-        raise (Unavailable "transaction aborted during two-phase commit")
+        raise (Unavailable ("transaction aborted during two-phase commit" ^ shard_suffix t))
+
+(* --- cross-shard two-phase commit ---------------------------------------------- *)
+
+(* A transaction that touched several shard groups spans several suites —
+   one per group, all sharing one transaction manager and one client
+   coordinator. The router drives the protocol: [cross_prepare] on every
+   touched suite, ONE [Coordinator.decide] (the client's single forced
+   decision record covers all groups' participants, who all recorded the
+   same coordinator id at prepare time), then [cross_commit] or
+   [cross_abort] on every suite. In-doubt resolution needs no changes: a
+   participant in any group queries the same coordinator log it would for a
+   single-group transaction. *)
+
+let has_participants t txn =
+  match Hashtbl.find_opt t.touched txn with
+  | None -> false
+  | Some s -> not (Int_set.is_empty (Int_set.diff s.reps s.finished))
+
+let cross_prepare t txn =
+  match Hashtbl.find_opt t.touched txn with
+  | None -> true
+  | Some s -> prepare_round t txn s
+
+let cross_commit t txn =
+  (match Hashtbl.find_opt t.touched txn with
+  | None -> ()
+  | Some s ->
+      commit_round t txn (Int_set.diff s.reps s.finished);
+      Hashtbl.remove t.touched txn);
+  (* Each group's suite staged its own cache lines; apply them now that the
+     transaction is a committed fact everywhere. *)
+  cache_apply t txn
+
+let cross_abort t txn =
+  cache_drop t txn;
+  abort_touched t txn
 
 let commit_touched t txn =
   match Hashtbl.find_opt t.touched txn with

@@ -61,6 +61,16 @@ end
 
 type t
 
+type shard_info = { shard_label : unit -> string; shard_epoch : unit -> int }
+(** Sharding hook, attached by the multi-group router
+    ({!Repdir_shard.Router}) to each per-group suite. The closures read the
+    router's current shard map, so this module never depends on the shard
+    library. [shard_epoch] stamps every representative call (fenced
+    server-side with {!Repdir_rep.Rep.shard_fence_check}, exactly parallel
+    to the membership fence); [shard_label] names the owned range and group,
+    appended to quorum-failure messages so a sharded campaign's
+    {!Unavailable} errors are attributable to a shard. *)
+
 val create :
   ?picker:Picker.strategy ->
   ?seed:int64 ->
@@ -73,6 +83,7 @@ val create :
   ?notice_window:float ->
   ?recorder:Repdir_audit.History.recorder ->
   ?membership:Repdir_member.Member.record ->
+  ?shard:shard_info ->
   ?op_deadline:float ->
   ?hedge:float ->
   ?cache:Repdir_cache.Cache.t ->
@@ -194,6 +205,17 @@ val membership : t -> Repdir_member.Member.record option
 val epoch : t -> int
 (** The current membership epoch (0 when membership is off). *)
 
+val shard_epoch : t -> int
+(** The shard-map epoch this suite currently stamps its calls with (0 when
+    no {!shard_info} is attached). *)
+
+val sync_cache_epoch : t -> unit
+(** Re-derive the attached cache's epoch tag from the current membership
+    {e and} shard epochs, flushing every line if either advanced. The suite
+    calls this itself on membership adoption; the shard router calls it when
+    it adopts a newer shard map, so lines cached under the old owning group
+    of a migrated range die immediately. No-op without a cache. *)
+
 val set_membership : t -> Repdir_member.Member.record -> unit
 (** Replace the suite's membership record — the reconfiguration driver's
     hook for advancing its own view after writing a new record. Client
@@ -300,6 +322,48 @@ val with_txn : t -> (Txn.id -> 'a) -> 'a
 (** Run several suite operations as one atomic transaction: 2PL locks are
     held across the whole body and released at the commit (or rollback on
     exception, which is then re-raised). *)
+
+(* --- cross-shard two-phase commit ------------------------------------------- *)
+
+(* A transaction that touched several shard groups spans several suites (one
+   per group), all sharing one transaction manager and one client
+   coordinator. The router ({!Repdir_shard.Router.with_txn}) drives the
+   protocol with the hooks below: [cross_prepare] on every touched suite,
+   ONE [Coordinator.decide] — the client's single forced decision record
+   covers all groups' participants, who all recorded the same coordinator id
+   at prepare time — then [cross_commit] or [cross_abort] on every suite.
+   Requires [two_phase] and a shared [coordinator] on all suites involved. *)
+
+val cross_prepare : t -> Txn.id -> bool
+(** Run this suite's prepare round for the transaction: release read-only
+    participants, collect durable yes votes from the rest. [true] when every
+    remaining participant voted yes (vacuously when the transaction never
+    touched this suite). Decides nothing. *)
+
+val cross_commit : t -> Txn.id -> unit
+(** Deliver the committed decision to this suite's prepared participants and
+    apply its staged cache lines. Only sound after the shared coordinator
+    force-logged [Committed] for this transaction. *)
+
+val cross_abort : t -> Txn.id -> unit
+(** Abort this suite's participants and drop its staged cache lines. *)
+
+val has_participants : t -> Txn.id -> bool
+(** Whether the transaction still has unreleased participants at this suite
+    — i.e. whether it did any (non-released) work here. *)
+
+val record_finish : t -> txn:Txn.id -> Repdir_audit.History.status -> unit
+(** Stamp the transaction's completion on this suite's recorder (no-op
+    without one). Single-suite transactions are stamped by {!with_txn};
+    the cross-shard driver stamps exactly once, through one suite, since
+    all of a client's per-group suites share one recorder. *)
+
+val failed_commit_status : t -> Txn.id -> Repdir_audit.History.status
+(** Outcome classification when a commit path raised: [`Failed] when the
+    shared coordinator's decision log shows a (presumed) abort, [`Ambiguous]
+    when a commit decision exists but the failure hid whether it was
+    delivered — the cross-shard driver's analogue of what {!with_txn} stamps
+    internally. *)
 
 (* --- client-level retry ----------------------------------------------------- *)
 

@@ -237,6 +237,40 @@ module Sync_ops (M : BASE) = struct
         h := C.int !h (Version.to_int g));
     { hash = !h; n_entries = !n }
 
+  (* Like {!digest_range} but without the version of the gap immediately
+     above [lo]. That gap can physically extend below [lo] (nothing pins an
+     entry at an arbitrary range boundary), so its version is shared with —
+     and bumped by — deletions outside [(lo, hi]]. A convergence gate over a
+     frozen slice must not depend on it: the slice's entries and its interior
+     absence proofs are frozen, the boundary gap's version is not. *)
+  let digest_interior_range m ~lo ~hi =
+    check_range ~what:"digest_interior_range" lo hi;
+    let h = ref C.init in
+    let n = ref 0 in
+    let fold_entry k v value g =
+      incr n;
+      let ks = Key.to_string k in
+      h := C.int !h (String.length ks);
+      h := C.string !h ks;
+      h := C.int !h (Version.to_int v);
+      h := C.int !h (String.length value);
+      h := C.string !h value;
+      h := C.int !h (Version.to_int g)
+    in
+    List.iter (fun (k, v, value, g) -> fold_entry k v value g) (M.entries_between m ~lo ~hi);
+    (match hi_state_of m hi with
+    | Hi_sentinel -> h := C.int !h 0
+    | Hi_entry (v, value) ->
+        incr n;
+        h := C.int !h 1;
+        h := C.int !h (Version.to_int v);
+        h := C.int !h (String.length value);
+        h := C.string !h value
+    | Hi_absent g ->
+        h := C.int !h 2;
+        h := C.int !h (Version.to_int g));
+    { hash = !h; n_entries = !n }
+
   let split_range m ~lo ~hi ~arity =
     check_range ~what:"split_range" lo hi;
     if arity < 2 then invalid_arg "Gapmap.split_range: arity must be >= 2";
@@ -440,6 +474,12 @@ module type SYNC = sig
   val digest_range : t -> lo:Bound.t -> hi:Bound.t -> digest
   (** Digest of the map's state over [(lo, hi]]; O(entries in the range).
       Raises [Invalid_argument] if [lo >= hi]. *)
+
+  val digest_interior_range : t -> lo:Bound.t -> hi:Bound.t -> digest
+  (** Like {!digest_range} but excluding the version of the gap immediately
+      above [lo], which can be shared with (and concurrently bumped by)
+      deletions below [lo]. Used by convergence gates over frozen slices
+      whose low boundary falls inside a live gap. *)
 
   val split_range : t -> lo:Bound.t -> hi:Bound.t -> arity:int -> Bound.t list
   (** Up to [arity - 1] distinct interior entry keys cutting the range into

@@ -8,6 +8,8 @@ module Member = Repdir_member.Member
 module Sync = Repdir_sync.Sync
 module Config = Repdir_quorum.Config
 module Picker = Repdir_quorum.Picker
+module Shard_map = Repdir_shard.Shard_map
+module Router = Repdir_shard.Router
 
 (* --- fault-plan DSL ---------------------------------------------------------------- *)
 
@@ -350,10 +352,39 @@ let reconfig_plan ~n ~n_nodes ~duration ~seed =
   done;
   { plan_name = "reconfig"; duration; steps = List.rev !steps }
 
+(* Faults aimed at the sharded deployment: brief single-representative
+   partitions rotating across every group's slots (cutting the victim from
+   all nodes — clients, admin and syncer included, hence [n_nodes]) and
+   occasional short bounces. The calm windows are shorter than reconfig's:
+   the migration driver's catch-up sessions are sliced to the moving range,
+   so a modest fault-free stretch lets a whole hub round plus the digest
+   gate complete. *)
+let shard_plan ~n_reps ~n_nodes ~duration ~seed =
+  let rng = Rng.create seed in
+  let steps = ref [] in
+  let t = ref 50.0 in
+  let cycle = ref 0 in
+  while !t < duration -. 80.0 do
+    let window = 10.0 +. Rng.float rng 8.0 in
+    let victim = !cycle mod n_reps in
+    let rest = List.filter (fun j -> j <> victim) (List.init n_nodes Fun.id) in
+    steps := { at = !t; action = Partition ([ victim ], rest) } :: !steps;
+    steps := { at = !t +. window; action = Heal } :: !steps;
+    if !cycle mod 3 = 1 then begin
+      let at = !t +. window +. 8.0 +. Rng.float rng 6.0 in
+      steps := { at; action = Crash victim } :: !steps;
+      steps := { at = at +. 8.0 +. Rng.float rng 6.0; action = Recover victim } :: !steps
+    end;
+    incr cycle;
+    t := !t +. window +. 160.0 +. Rng.float rng 40.0
+  done;
+  { plan_name = "sharded split"; duration; steps = List.rev !steps }
+
 (* The registered campaigns — the single source of truth behind
    [repdir plans]. All but "reconfig" (which needs a membership-armed world
-   and runs through {!run_reconfig}) run through {!run_plan} / {!run_all} —
-   nine plans in total. *)
+   and runs through {!run_reconfig}) and "sharded split" (a multi-group
+   {!Shard_world}, through {!run_shard}) run through {!run_plan} /
+   {!run_all} — nine plans there in total. *)
 let plan_catalog =
   [
     ("crash storm", "standard", "waves of correlated representative crashes and recoveries");
@@ -380,6 +411,10 @@ let plan_catalog =
     ( "reconfig",
       "membership",
       "online join and retire under partitions and bounces (runs via `repdir reconfig`)" );
+    ( "sharded split",
+      "sharding",
+      "a shard split migrates half the key range to a new group under partitions \
+       and bounces (runs via `repdir shard`)" );
   ]
 
 (* --- running a plan ------------------------------------------------------------------- *)
@@ -1257,6 +1292,560 @@ let run_reconfig ?(seed = 1983L) ?(duration = 1500.0) ?(key_space = 24) ?(op_gap
       steady_span = !join_started;
       during_join_ops = !during_join_ops;
       during_join_span = !join_ended -. !join_started;
+    }
+  in
+  (outcome, report)
+
+(* --- the sharding campaign ----------------------------------------------------------- *)
+
+type shard_report = {
+  split_started_at : float;
+  flipped_at : float option;
+  shard_gate_ok : bool;
+  catchup_sessions : int;
+  gate_attempts : int;
+  final_shard_epoch : int;
+  epoch_agreed : bool;
+  n_groups : int;
+  n_shards : int;
+  split_steady_ops : int;
+  split_steady_span : float;
+  during_split_ops : int;
+  during_split_span : float;
+}
+
+let pp_shard_report ppf r =
+  let stamp ppf = function
+    | Some t -> Format.fprintf ppf "t=%.1f" t
+    | None -> Format.pp_print_string ppf "never"
+  in
+  Format.fprintf ppf
+    "split started t=%.1f, flipped %a; slice digest gate %s (%d rounds, \
+     %d catch-up sessions); final shard epoch %d (%s across %d groups / %d shards); \
+     throughput %d ops/%.0fu steady, %d ops/%.0fu during split"
+    r.split_started_at stamp r.flipped_at
+    (if r.shard_gate_ok then "passed" else "FAILED")
+    r.gate_attempts r.catchup_sessions r.final_shard_epoch
+    (if r.epoch_agreed then "agreed" else "DISAGREED")
+    r.n_groups r.n_shards r.split_steady_ops r.split_steady_span
+    r.during_split_ops r.during_split_span
+
+(* {!apply_step} for a {!Shard_world}: the plan's node indices map to
+   (group, slot) through the grouped layout. {!shard_plan} only emits the
+   four actions handled below; anything else is a no-op on this world. *)
+let apply_shard_step world action =
+  let net = Shard_world.net world in
+  let n = Shard_world.reps_per_group world in
+  let rep_of node = (node / n, node mod n) in
+  let crashed node =
+    let g, i = rep_of node in
+    Rep.is_crashed (Shard_world.group_reps world g).(i)
+  in
+  match action with
+  | Crash node ->
+      if not (crashed node) then
+        let g, i = rep_of node in
+        Shard_world.crash_rep world ~g i
+  | Recover node ->
+      if crashed node then
+        let g, i = rep_of node in
+        Shard_world.recover_rep world ~g i
+  | Partition (a, b) -> Net.partition net a b
+  | Heal -> Net.heal_partition net
+  | Torn_crash _ | Flaky _ | Flaky_link _ | Steady | Clock_skew _ | Disk_full _
+  | Slow _ ->
+      ()
+
+(* One scripted shard split under faults, end to end:
+
+   - [groups] replica groups share one simulated network; groups
+     [0 .. groups-2] serve equal slices of the key space from epoch 0 and
+     group [groups-1] starts empty;
+   - at [split_at] the driver splits the last shard at the [groups-1]/[groups]
+     point of the key space: {!Shard_map.begin_split} puts the upper slice
+     into [Moving], and the new epoch is installed on a write quorum of the
+     source group's votes BEFORE the copy starts — from then on any write
+     quorum a stale client collects on the slice crosses a fencing
+     representative and aborts wholesale, so the slice is frozen;
+   - sliced {!Sync.session_between} hub rounds copy the slice into the
+     target group (and converge the source group's own replicas on it),
+     until the digest gate — every replica of both groups reports the same
+     {!Rep.digest_interior_range} over the slice — passes;
+   - {!Shard_map.finish_move} lands the slice on the target group; the new
+     epoch is installed on the source group FIRST (fencing the stale readers
+     still routed there), then the target, then broadcast to everyone at
+     quiesce, which bounds any client's staleness at one map.
+
+   The workload keeps running (and being recorded) throughout: single-key
+   operations, boundary [next] probes across the seam, and cross-shard
+   read-write transactions committed with the router's two-phase protocol.
+   A split that cannot pass its gate leaves the map [Moving] — reads keep
+   flowing from the source group, which is safe indefinitely. *)
+let run_shard ?(seed = 1983L) ?(duration = 1500.0) ?(key_space = 24) ?(op_gap = 2.0)
+    ?(lease = 60.0) ?(audit = true) ?(clients = 2) ?(faults = true) ?(groups = 2)
+    ?(split_at = 80.0) ?(config = Repdir_quorum.Config.simple ~n:3 ~r:2 ~w:2) () =
+  if clients < 1 then invalid_arg "Nemesis.run_shard: need at least one client";
+  if groups < 2 then invalid_arg "Nemesis.run_shard: need at least two groups";
+  if key_space < 2 * groups then invalid_arg "Nemesis.run_shard: key space too small";
+  let n = Config.n_reps config in
+  let n_reps = groups * n in
+  let n_nodes = n_reps + clients + 2 in
+  let plan =
+    shard_plan ~n_reps ~n_nodes ~duration ~seed:(Int64.add seed (Int64.mul 7919L 11L))
+  in
+  let world =
+    Shard_world.create ~seed ~rpc_timeout:10.0 ~rpc_attempts:4 ~rpc_backoff:2.0
+      ~n_clients:(clients + 1) ~lease ~config ~groups ()
+  in
+  let sim = Shard_world.sim world in
+  let net = Shard_world.net world in
+  Net.seed_faults net (Int64.add seed 77L);
+  let recorders =
+    if audit then Array.init clients (fun c -> Shard_world.recorder_for_client world c)
+    else [||]
+  in
+  let checker =
+    if audit then begin
+      let ch = Repdir_audit.Checker.create ~clients () in
+      Array.iter
+        (fun r -> Repdir_audit.History.set_sink r (Repdir_audit.Checker.feed ch))
+        recorders;
+      Some ch
+    end
+    else None
+  in
+  (* Groups [0 .. groups-2] each serve an equal initial slice; the split cut
+     sits at the [groups-1]/[groups] point, so after the flip every group —
+     the newcomer included — serves a 1/[groups] slice. *)
+  let cuts = List.init (groups - 2) (fun i -> Key.of_int ((i + 1) * key_space / groups)) in
+  let m0 = Shard_map.initial ~cuts in
+  let cut_int = (groups - 1) * key_space / groups in
+  let src_g = groups - 2 and dst_g = groups - 1 in
+  let routers =
+    Array.init clients (fun c ->
+        Shard_world.router_for_client
+          ?recorder:(if audit then Some recorders.(c) else None)
+          world c ~map:m0)
+  in
+  let router = routers.(0) in
+  (* The admin drives the migration from its own client slot (and node):
+     epoch installs and gate digests ride its per-group transports. *)
+  let admin = Shard_world.router_for_client world clients ~map:m0 in
+  let cross = Shard_world.make_cross_sync world ~from_g:src_g ~to_g:dst_g in
+  let rng = Rng.create (Int64.add seed 1L) in
+  let retry_rng = Rng.create (Int64.add seed 2L) in
+  let model : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let attempted = ref 0 and succeeded = ref 0 and unavailable = ref 0 in
+  let violations = ref 0 in
+  let final_keys_checked = ref 0 in
+  if faults then
+    List.iter
+      (fun s ->
+        if s.at < plan.duration then Sim.at sim s.at (fun () -> apply_shard_step world s.action))
+      plan.steps;
+  (* --- the migration driver ---------------------------------------------- *)
+  let map = ref m0 in
+  let phase = ref `Steady in
+  let steady_ops = ref 0 and during_split_ops = ref 0 in
+  let split_started = ref 0.0 and split_ended = ref 0.0 in
+  let flipped_at = ref None in
+  let gate_ok = ref false in
+  let gate_attempts = ref 0 and catchup_sessions = ref 0 in
+  let epoch_agreed = ref true in
+  let driver_deadline = plan.duration -. 30.0 in
+  let tr g = Suite.transport (Router.suite admin g) in
+  let install g r m =
+    match
+      Transport.send (tr g) r (fun rep ->
+          Rep.install_shard_epoch rep ~epoch:(Shard_map.epoch_of m)
+            ~record:(Shard_map.encode m))
+    with
+    | Ok acked -> acked
+    | Error _ -> false
+  in
+  (* Install [m]'s epoch on group [g] until the acknowledging set covers the
+     group's write quorum of votes: from then on any quorum a stale client
+     collects there crosses a fencing representative (reads too, since
+     R + W exceeds the total). *)
+  let install_group g m =
+    let cfg = Shard_world.group_config world g in
+    let acked = Array.make n false in
+    let covered () =
+      let sum = ref 0 in
+      Array.iteri (fun i ok -> if ok then sum := !sum + Config.votes_of cfg i) acked;
+      !sum >= cfg.Config.write_quorum
+    in
+    let rec loop () =
+      if not (covered ()) && Sim.now sim < driver_deadline then begin
+        for r = 0 to n - 1 do
+          if not acked.(r) then acked.(r) <- install g r m
+        done;
+        if not (covered ()) then begin
+          Sim.sleep sim 6.0;
+          loop ()
+        end
+      end
+    in
+    loop ();
+    covered ()
+  in
+  (* The copy slice: {!Sync.session_between} and {!Rep.digest_range} work on
+     half-open-at-the-low-side ranges [(lo, hi]], while the moving shard owns
+     [[cut, HIGH)] — so the slice starts just below the cut. The workload
+     only mints [Key.of_int] keys, so nothing lives strictly between
+     [cut - 1] and [cut] and the slice is exactly the frozen range. *)
+  let slice_lo = Bound.Key (Key.of_int (cut_int - 1)) in
+  let slice_hi = Bound.High in
+  let slice_digest g r =
+    let txns = Shard_world.txns world in
+    let txn = Repdir_txn.Txn.Manager.begin_txn txns in
+    let res =
+      Transport.send (tr g) r (fun rep ->
+          (* The interior digest: the gap immediately above [slice_lo]
+             extends below the cut, so its version keeps moving with live
+             deletions in the un-frozen half and would never agree between
+             source (bumped continuously) and target (as of the last
+             session). The fence freezes everything the flip hands over —
+             entries and interior absence proofs — and that is exactly what
+             this digest covers. *)
+          let d = Rep.digest_interior_range rep ~txn ~lo:slice_lo ~hi:slice_hi in
+          Rep.abort rep ~txn;
+          d)
+    in
+    Repdir_txn.Txn.Manager.abort txns txn;
+    match res with Ok d -> Some d | Error _ -> None
+  in
+  (* The gate: EVERY replica of both groups reports the same slice digest —
+     all of the source's (they may have diverged before the freeze; a read
+     quorum of any divergent pair dominates, and the hub rounds below push
+     the merged slice back out) and all of the target's (so after the flip
+     any read quorum there holds the full slice). Source-side writes are
+     frozen by the fence, so the per-replica snapshots compose soundly. *)
+  let gate_pass () =
+    let peers = List.init n (fun r -> (src_g, r)) @ List.init n (fun r -> (dst_g, r)) in
+    let ds =
+      List.filter_map
+        (fun (g, r) -> Option.map (fun d -> ((g * n) + r, d)) (slice_digest g r))
+        peers
+    in
+    List.length ds = 2 * n && Sync.digests_equal ds
+  in
+  (* One hub round: pull every peer's slice onto target replica 0, then push
+     the union back onto everyone — source and target replicas alike end up
+     holding the merged slice. *)
+  let hub = n in
+  let catchup_round () =
+    for p = 0 to (2 * n) - 1 do
+      if p <> hub && Sim.now sim < driver_deadline then begin
+        incr catchup_sessions;
+        ignore (Sync.session_between cross ~lo:slice_lo ~hi:slice_hi ~src:p ~dst:hub : bool);
+        Sim.sleep sim 3.0
+      end
+    done;
+    for p = 0 to (2 * n) - 1 do
+      if p <> hub && Sim.now sim < driver_deadline then begin
+        incr catchup_sessions;
+        ignore (Sync.session_between cross ~lo:slice_lo ~hi:slice_hi ~src:hub ~dst:p : bool);
+        Sim.sleep sim 3.0
+      end
+    done
+  in
+  let rec catchup_until () =
+    incr gate_attempts;
+    catchup_round ();
+    if gate_pass () then true
+    else if Sim.now sim < driver_deadline then begin
+      Sim.sleep sim 10.0;
+      catchup_until ()
+    end
+    else false
+  in
+  Sim.spawn sim (fun () ->
+      Sim.sleep sim split_at;
+      split_started := Sim.now sim;
+      phase := `Split;
+      (match
+         Shard_map.begin_split !map ~shard:(Shard_map.n_shards !map - 1)
+           ~at:(Key.of_int cut_int) ~to_g:dst_g
+       with
+      | Error _ -> ()
+      | Ok moving ->
+          let fenced = install_group src_g moving in
+          map := moving;
+          Router.set_map admin moving;
+          let ok = fenced && catchup_until () in
+          gate_ok := ok;
+          if ok then
+            match Shard_map.finish_move moving ~shard:(Shard_map.n_shards moving - 1) with
+            | Error _ -> ()
+            | Ok landed ->
+                (* Source first: stale readers of the slice — still routed to
+                   the source group while their map says [Moving] — are fenced
+                   into adopting the landed map before the target serves. *)
+                let on_src = install_group src_g landed in
+                let on_dst = install_group dst_g landed in
+                map := landed;
+                Router.set_map admin landed;
+                if on_src && on_dst then flipped_at := Some (Sim.now sim));
+      split_ended := Sim.now sim;
+      phase := `After);
+  (* --- the workload ------------------------------------------------------- *)
+  let bucket_op () =
+    match !phase with
+    | `Steady -> incr steady_ops
+    | `Split -> incr during_split_ops
+    | `After -> ()
+  in
+  let model_next probe =
+    Hashtbl.fold
+      (fun k v acc ->
+        if String.compare k probe > 0 then
+          match acc with
+          | Some (kb, _) when String.compare kb k <= 0 -> acc
+          | _ -> Some (k, v)
+        else acc)
+      model None
+  in
+  let cross_keys rng_c =
+    ( Key.of_int (Rng.int rng_c (max 1 cut_int)),
+      Key.of_int (cut_int + Rng.int rng_c (max 1 (key_space - cut_int))) )
+  in
+  let one_op () =
+    incr attempted;
+    let key = Key.of_int (Rng.int rng key_space) in
+    let value = Printf.sprintf "v%d-%f" !attempted (Sim.now sim) in
+    let kind = Rng.int rng 6 in
+    try
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim) ~rng:retry_rng
+        (fun () ->
+          match kind with
+          | 0 -> (
+              match (Router.lookup router key, Hashtbl.find_opt model key) with
+              | Some (_, v), Some v' when String.equal v v' -> ()
+              | None, None -> ()
+              | _ -> incr violations)
+          | 1 -> (
+              match Router.insert router key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Already_present ->
+                  if not (Hashtbl.mem model key) then incr violations)
+          | 2 -> (
+              match Router.update router key value with
+              | Ok () -> Hashtbl.replace model key value
+              | Error `Not_present -> if Hashtbl.mem model key then incr violations)
+          | 3 ->
+              let report = Router.delete router key in
+              if report.Suite.was_present <> Hashtbl.mem model key then incr violations;
+              Hashtbl.remove model key
+          | 4 ->
+              (* Boundary probe: a [next] walk from just below the split cut
+                 crosses the shard seam mid-migration. *)
+              let probe = Key.of_int (max 0 (cut_int - 1 - Rng.int rng 2)) in
+              (match (Router.next router probe, model_next probe) with
+              | Some (k1, _, v1), Some (k2, v2)
+                when String.equal k1 k2 && String.equal v1 v2 ->
+                  ()
+              | None, None -> ()
+              | _ -> incr violations)
+          | _ ->
+              (* Cross-shard transaction: read a low-half key and write a
+                 high-half key atomically across two groups' suites. *)
+              let k1, k2 = cross_keys rng in
+              let seen, wrote =
+                Router.with_txn router (fun txn ->
+                    let seen = Router.lookup ~txn router k1 in
+                    (seen, Router.update ~txn router k2 value))
+              in
+              (match (seen, Hashtbl.find_opt model k1) with
+              | Some (_, v), Some v' when String.equal v v' -> ()
+              | None, None -> ()
+              | _ -> incr violations);
+              (match wrote with
+              | Ok () -> Hashtbl.replace model k2 value
+              | Error `Not_present -> if Hashtbl.mem model k2 then incr violations));
+      incr succeeded;
+      bucket_op ()
+    with
+    | Suite.Unavailable _ -> incr unavailable
+    | Repdir_txn.Txn.Abort _ -> incr unavailable
+  in
+  let one_op_free c router_c rng_c retry_rng_c () =
+    incr attempted;
+    let key = Key.of_int (Rng.int rng_c key_space) in
+    let value = Printf.sprintf "c%d-v%d-%f" c !attempted (Sim.now sim) in
+    let kind = Rng.int rng_c 6 in
+    try
+      Suite.with_retries ~attempts:4 ~backoff:2.0 ~sleep:(Sim.sleep sim)
+        ~rng:retry_rng_c (fun () ->
+          match kind with
+          | 0 -> ignore (Router.lookup router_c key : (_ * string) option)
+          | 1 -> ignore (Router.insert router_c key value : (unit, _) result)
+          | 2 -> ignore (Router.update router_c key value : (unit, _) result)
+          | 3 -> ignore (Router.delete router_c key : Suite.delete_report)
+          | 4 ->
+              let probe = Key.of_int (max 0 (cut_int - 1 - Rng.int rng_c 2)) in
+              ignore (Router.next router_c probe : (_ * _ * string) option)
+          | _ ->
+              let k1, k2 = cross_keys rng_c in
+              ignore
+                (Router.with_txn router_c (fun txn ->
+                     ignore (Router.lookup ~txn router_c k1 : (_ * string) option);
+                     (Router.update ~txn router_c k2 value : (unit, _) result))));
+      incr succeeded;
+      bucket_op ()
+    with Suite.Unavailable _ | Repdir_txn.Txn.Abort _ -> incr unavailable
+  in
+  let quiesce () =
+    Net.clear_faults net;
+    Net.heal_partition net;
+    for g = 0 to groups - 1 do
+      for i = 0 to n - 1 do
+        if Rep.is_crashed (Shard_world.group_reps world g).(i) then
+          Shard_world.recover_rep world ~g i
+      done
+    done;
+    Sim.sleep sim 200.0;
+    Sim.sleep sim (lease +. 30.0);
+    (* Every representative of every group settles at the final map before
+       the audit — a single agreed shard epoch at quiesce is part of the
+       campaign's acceptance. The network is healed, so this terminates. *)
+    let rec broadcast g r tries =
+      if g < groups then
+        if r >= n then broadcast (g + 1) 0 0
+        else if install g r !map || tries > 20 then broadcast g (r + 1) 0
+        else begin
+          Sim.sleep sim 3.0;
+          broadcast g r (tries + 1)
+        end
+    in
+    broadcast 0 0 0;
+    let final_e = Shard_map.epoch_of !map in
+    for g = 0 to groups - 1 do
+      Array.iter
+        (fun rep -> if Rep.shard_epoch rep <> final_e then epoch_agreed := false)
+        (Shard_world.group_reps world g)
+    done;
+    for k = 0 to key_space - 1 do
+      incr final_keys_checked;
+      let key = Key.of_int k in
+      match
+        Suite.with_retries ~attempts:5 ~backoff:4.0 ~sleep:(Sim.sleep sim)
+          ~rng:retry_rng (fun () -> Router.lookup router key)
+      with
+      | result ->
+          if clients = 1 then (
+            match (result, Hashtbl.find_opt model key) with
+            | Some (_, v), Some v' when String.equal v v' -> ()
+            | None, None -> ()
+            | _ -> incr violations)
+      | exception Suite.Unavailable _ -> incr violations
+    done
+  in
+  let live = ref clients in
+  for c = 0 to clients - 1 do
+    let rng_c =
+      if c = 0 then rng else Rng.create (Int64.add seed (Int64.of_int (100 + c)))
+    in
+    let retry_rng_c =
+      if c = 0 then retry_rng else Rng.create (Int64.add seed (Int64.of_int (200 + c)))
+    in
+    Sim.spawn sim (fun () ->
+        while Sim.now sim < plan.duration do
+          (if clients = 1 then one_op () else one_op_free c routers.(c) rng_c retry_rng_c ());
+          Sim.sleep sim (Rng.exponential rng_c ~mean:op_gap)
+        done;
+        decr live;
+        if !live = 0 then quiesce ())
+  done;
+  Sim.run sim;
+  let reps =
+    Array.concat (List.init groups (fun g -> Shard_world.group_reps world g))
+  in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reps in
+  let sum_counter f = sum (fun r -> f (Repdir_rep.Rep.counters r)) in
+  let audit_report =
+    match checker with
+    | None -> None
+    | Some ch ->
+        Repdir_audit.Checker.finalize ch;
+        (* Each group is a complete directory in its own right (own
+           sentinels, own quorum invariants, frozen residue included), so
+           the scrubber sweeps them independently. *)
+        let scrub_violations =
+          List.concat
+            (List.init groups (fun g ->
+                 List.map
+                   (Printf.sprintf "g%d: %s" g)
+                   (Repdir_audit.Scrub.run
+                      ~config:(Shard_world.group_config world g)
+                      (Shard_world.group_reps world g))))
+        in
+        let stats = Repdir_audit.Checker.stats ch in
+        Some
+          {
+            checker_violations =
+              List.map
+                (Format.asprintf "%a" Repdir_audit.Checker.pp_violation)
+                (Repdir_audit.Checker.violations ch);
+            scrub_violations;
+            checked_ops = stats.Repdir_audit.Checker.ops_checked;
+            ambiguous_ops = stats.Repdir_audit.Checker.ambiguous_ops;
+            chunks_closed = stats.Repdir_audit.Checker.chunks_closed;
+            keys_given_up = List.length stats.Repdir_audit.Checker.given_up;
+            dump =
+              (fun path ->
+                Repdir_audit.History.dump_to_file ~path (Array.to_list recorders));
+          }
+  in
+  let rpc_retries =
+    let acc = ref 0 in
+    for g = 0 to groups - 1 do
+      acc := !acc + (Suite.transport (Router.suite router g)).Transport.retry_count
+    done;
+    !acc
+  in
+  let outcome =
+    {
+      plan = plan.plan_name;
+      world_seed = seed;
+      attempted = !attempted;
+      succeeded = !succeeded;
+      unavailable = !unavailable;
+      violations = !violations;
+      final_keys_checked = !final_keys_checked;
+      rpc_retries;
+      msgs_dropped = Net.messages_dropped net;
+      msgs_duplicated = Net.messages_duplicated net;
+      msgs_reordered = Net.messages_reordered net;
+      wal_records_repaired = sum Repdir_rep.Rep.wal_records_repaired;
+      sim_events = Sim.events_executed sim;
+      leases_expired = sum_counter (fun c -> c.Repdir_rep.Rep.leases_expired);
+      unilateral_aborts = sum_counter (fun c -> c.Repdir_rep.Rep.unilateral_aborts);
+      indoubt_by_coordinator =
+        sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_by_coordinator);
+      indoubt_by_peer = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_by_peer);
+      indoubt_recovered = sum_counter (fun c -> c.Repdir_rep.Rep.indoubt_recovered);
+      orphan_locks = sum Repdir_rep.Rep.locks_held + sum Repdir_rep.Rep.lock_waiters;
+      indoubt_open = sum Repdir_rep.Rep.in_doubt_count;
+      cache_stats = None;
+      audit = audit_report;
+    }
+  in
+  let report =
+    {
+      split_started_at = !split_started;
+      flipped_at = !flipped_at;
+      shard_gate_ok = !gate_ok;
+      catchup_sessions = !catchup_sessions;
+      gate_attempts = !gate_attempts;
+      final_shard_epoch = Shard_map.epoch_of !map;
+      epoch_agreed = !epoch_agreed;
+      n_groups = groups;
+      n_shards = Shard_map.n_shards !map;
+      split_steady_ops = !steady_ops;
+      split_steady_span = !split_started;
+      during_split_ops = !during_split_ops;
+      during_split_span = !split_ended -. !split_started;
     }
   in
   (outcome, report)

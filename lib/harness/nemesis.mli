@@ -125,13 +125,19 @@ val reconfig_plan : n:int -> n_nodes:int -> duration:float -> seed:int64 -> plan
     bounces, separated by calm windows the driver's retry loops can make
     progress in. Used by {!run_reconfig}. *)
 
+val shard_plan : n_reps:int -> n_nodes:int -> duration:float -> seed:int64 -> plan
+(** Faults aimed at a sharded deployment: the {!reconfig_plan} shape over
+    the grouped node layout — victims rotate across every group's [n_reps]
+    representative slots, with calm windows sized for the migration driver's
+    sliced catch-up rounds. Used by {!run_shard}. *)
+
 val plan_catalog : (string * string * string) list
 (** Every registered campaign as [(name, family, description)] — the single
     source of truth behind [repdir plans]. Families: ["standard"] (run by
     default), ["extended"] (opt-in via [--all]), ["robustness"] (opt-in via
-    [--all]; runs with the overload/gray-failure stack armed), and
+    [--all]; runs with the overload/gray-failure stack armed),
     ["membership"] (the reconfiguration campaign, which needs its own
-    runner). *)
+    runner), and ["sharding"] (the shard-split campaign, ditto). *)
 
 (* --- running -------------------------------------------------------------------- *)
 
@@ -294,6 +300,79 @@ val run_reconfig :
     partition-induced unavailability). [join_at] (default 80) is the
     virtual time the driver starts the join — the benchmark raises it to
     widen the steady-state measurement window. *)
+
+(* --- the sharding campaign ------------------------------------------------------- *)
+
+type shard_report = {
+  split_started_at : float;  (** virtual time the split began *)
+  flipped_at : float option;
+      (** when the landed map's epoch covered a write quorum of both the
+          source and target groups' votes; [None] if the driver could not
+          finish in time (the map stays [Moving] — safe indefinitely) *)
+  shard_gate_ok : bool;
+      (** the copy gate held: every replica of both groups reported the same
+          {!Repdir_rep.Rep.digest_range} over the (write-frozen) moving
+          slice before the flip *)
+  catchup_sessions : int;  (** sliced cross-group sync sessions run *)
+  gate_attempts : int;  (** hub rounds (each ends with a gate check) *)
+  final_shard_epoch : int;  (** 2 for a completed split *)
+  epoch_agreed : bool;
+      (** every representative of every group held the final map's epoch
+          after the quiesce broadcast *)
+  n_groups : int;
+  n_shards : int;  (** shards in the final map *)
+  split_steady_ops : int;  (** workload ops completed before the split began *)
+  split_steady_span : float;  (** length of that window, virtual time *)
+  during_split_ops : int;  (** ops completed while the slice was in flight *)
+  during_split_span : float;
+}
+(** What the shard-migration driver achieved — the campaign's liveness side,
+    complementing the safety verdict in the {!outcome}'s audit. *)
+
+val pp_shard_report : Format.formatter -> shard_report -> unit
+
+val run_shard :
+  ?seed:int64 ->
+  ?duration:float ->
+  ?key_space:int ->
+  ?op_gap:float ->
+  ?lease:float ->
+  ?audit:bool ->
+  ?clients:int ->
+  ?faults:bool ->
+  ?groups:int ->
+  ?split_at:float ->
+  ?config:Repdir_quorum.Config.t ->
+  unit ->
+  outcome * shard_report
+(** One scripted shard split under the faults of {!shard_plan}, end to end,
+    with a live recorded workload throughout.
+
+    The world is a {!Shard_world} of [groups] (default 2, must be [>= 2])
+    replica groups, each running [config] (default the paper's 3-2-2).
+    Groups [0 .. groups-2] serve equal slices of the key space from epoch 0;
+    group [groups-1] starts empty. At [split_at] (default 80) the driver
+    splits the last shard at the [(groups-1)/groups] point:
+    {!Repdir_shard.Shard_map.begin_split} puts the upper slice into
+    [Moving], and the new epoch is installed on a write quorum of the source
+    group's votes before the copy starts, freezing writes to the slice.
+    Sliced cross-group sync sessions (hub rounds through the target's first
+    replica) copy the slice until every replica of both groups reports the
+    same slice digest, then {!Repdir_shard.Shard_map.finish_move} lands it —
+    installed on the source group first (fencing the stale readers still
+    routed there), then the target, then broadcast to every representative
+    at quiesce.
+
+    The workload runs through per-client {!Repdir_shard.Router}s: single-key
+    operations, boundary [next] probes across the seam, and cross-shard
+    read-write transactions committed with the router's two-phase protocol.
+    With one client every response is checked against the inline sequential
+    model; with more, [audit] (default {b true}) makes the
+    strict-serializability checker the oracle, and the replica scrubber
+    sweeps each group independently at quiesce. [faults] (default true) runs
+    the {!shard_plan} schedule; [false] gives the fault-free variant the
+    throughput benchmark measures. Defaults: duration 1500, 24 keys,
+    2 clients, op gap 2.0, lease 60. *)
 
 val run_all :
   ?seed:int64 ->

@@ -66,6 +66,15 @@ val create :
     exponential backoff starting at [rpc_backoff] (default 5.0) and
     deterministic jitter. *)
 
+val parallel_fanout : Sim.t -> Transport.fanout
+(** Fork/join quorum fan-out over simulator processes — the concurrent
+    [fanout] this world's client transports use. Exposed so other worlds
+    (e.g. the sharded one) can build transports over the same simulator. *)
+
+val parallel_race : Sim.t -> Transport.race
+(** First-success-wins hedged-call race over simulator processes — the
+    [race] primitive of this world's client transports. *)
+
 val sim : t -> Sim.t
 val net : t -> Net.t
 val config : t -> Config.t

@@ -13,6 +13,8 @@ exception Deadline_exceeded of string
 
 exception Stale_epoch of { rep : string; epoch : int; record : string }
 
+exception Stale_shard_epoch of { rep : string; epoch : int; record : string }
+
 type waiter = ((unit -> unit) -> unit) -> unit
 
 type timers = { now : unit -> float; after : float -> (unit -> unit) -> unit }
@@ -85,6 +87,10 @@ type t = {
      [Wal.Member_epoch] record. 0 / "" until the first installation. *)
   mutable m_epoch : int;
   mutable m_record : string;
+  (* Shard-map-epoch fence: the sharding analogue of the membership fence,
+     caching the newest durably installed [Wal.Shard_epoch] record. *)
+  mutable s_epoch : int;
+  mutable s_record : string;
   mutable wal_records_repaired : int;
   group_window : float option;
   group : Wal.Group.group;
@@ -118,6 +124,8 @@ let create ?(branching = Btree.default_branching) ?(waiter = no_waiter)
     incarnation = 0;
     m_epoch = 0;
     m_record = "";
+    s_epoch = 0;
+    s_record = "";
     wal_records_repaired = 0;
     group_window = group_commit;
     group = Wal.Group.create ();
@@ -254,6 +262,37 @@ let install_epoch t ~epoch ~record =
         force_wal t;
         t.m_epoch <- epoch;
         t.m_record <- record;
+        true
+
+(* --- shard-map-epoch fencing ----------------------------------------------------- *)
+
+(* The exact analogue of the membership fence for the multi-group directory:
+   requests are stamped with the client's shard-map epoch, and a stamp older
+   than this representative's durably installed one is rejected with the
+   newer encoded map so the router re-routes in the same round trip. Requests
+   from a newer epoch pass — the sender's map is current even if this
+   representative has not been told yet. Termination traffic and anti-entropy
+   stay unfenced for the same liveness reasons as the membership fence. *)
+
+let shard_epoch t = t.s_epoch
+let shard_record t = if t.s_record = "" then None else Some t.s_record
+let shard_view t = (t.s_epoch, t.s_record)
+
+let shard_fence_check t ~epoch =
+  check_alive t;
+  if epoch < t.s_epoch then
+    raise (Stale_shard_epoch { rep = t.name; epoch = t.s_epoch; record = t.s_record })
+
+let install_shard_epoch t ~epoch ~record =
+  check_alive t;
+  if epoch <= t.s_epoch then t.s_epoch >= epoch
+  else
+    match Wal.try_append t.wal (Wal.Shard_epoch (epoch, record)) with
+    | Error _ -> false
+    | Ok () ->
+        force_wal t;
+        t.s_epoch <- epoch;
+        t.s_record <- record;
         true
 
 (* --- transaction termination -------------------------------------------------- *)
@@ -646,6 +685,12 @@ let digest_range t ~txn ~lo ~hi =
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
   Btree.digest_range t.map ~lo ~hi
 
+let digest_interior_range t ~txn ~lo ~hi =
+  check_txn_open ~cls:`Maintenance t ~txn;
+  t.counters.digests <- t.counters.digests + 1;
+  lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
+  Btree.digest_interior_range t.map ~lo ~hi
+
 let split_range t ~txn ~lo ~hi ~arity =
   check_txn_open ~cls:`Maintenance t ~txn;
   lock_blocking t ~txn Mode.Rep_lookup (Bound.Interval.make lo hi);
@@ -947,9 +992,11 @@ let crash t =
   Hashtbl.reset t.outcomes;
   Hashtbl.reset t.indoubt;
   Queue.clear t.arrivals;
-  (* The epoch cache is volatile too; recovery restores it from the log. *)
+  (* The epoch caches are volatile too; recovery restores them from the log. *)
   t.m_epoch <- 0;
-  t.m_record <- ""
+  t.m_record <- "";
+  t.s_epoch <- 0;
+  t.s_record <- ""
 
 let is_crashed t = t.crashed
 let incarnation t = t.incarnation
@@ -995,6 +1042,13 @@ let recover t =
   | None ->
       t.m_epoch <- 0;
       t.m_record <- "");
+  (match Wal.last_shard_epoch t.wal with
+  | Some (ep, record) ->
+      t.s_epoch <- ep;
+      t.s_record <- record
+  | None ->
+      t.s_epoch <- 0;
+      t.s_record <- "");
   (* Restore each in-doubt transaction: re-hold its write locks so the
      withheld effects stay isolated (writers to those ranges block, nothing
      else does), and hand it to the termination protocol. Its redo records
@@ -1017,10 +1071,14 @@ let checkpoint t =
   let cp = Wal.checkpoint_of_map (Btree.entries t.map) ~gaps:(Btree.gaps t.map) in
   Wal.append t.wal (Wal.Checkpoint cp);
   Wal.truncate_to_checkpoint t.wal;
-  (* Truncation dropped any pre-checkpoint [Member_epoch] record; the fence
-     must survive the next crash, so re-log it. *)
+  (* Truncation dropped any pre-checkpoint [Member_epoch]/[Shard_epoch]
+     record; the fences must survive the next crash, so re-log them. *)
   if t.m_epoch > 0 then begin
     Wal.append t.wal (Wal.Member_epoch (t.m_epoch, t.m_record));
+    Wal.sync t.wal
+  end;
+  if t.s_epoch > 0 then begin
+    Wal.append t.wal (Wal.Shard_epoch (t.s_epoch, t.s_record));
     Wal.sync t.wal
   end
 

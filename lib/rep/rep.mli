@@ -46,6 +46,12 @@ exception Stale_epoch of { rep : string; epoch : int; record : string }
     so the sender can adopt the configuration and retry in one round
     trip. *)
 
+exception Stale_shard_epoch of { rep : string; epoch : int; record : string }
+(** Raised by {!shard_fence_check} when the caller's shard-map epoch is
+    older than this representative's: the request is rejected, and the
+    exception carries the newer epoch and encoded shard map so the router
+    can adopt the ownership map and re-route in one round trip. *)
+
 type waiter = ((unit -> unit) -> unit) -> unit
 (** [waiter register]: block the current logical thread; [register] must be
     called immediately with the wake-up callback and returns at once; the
@@ -177,6 +183,32 @@ val install_epoch : t -> epoch:int -> record:string -> bool
     returns [false] only when the log refuses the append (injected io
     fault). *)
 
+(* --- shard-map-epoch fencing ------------------------------------------------ *)
+
+val shard_epoch : t -> int
+(** The newest durably installed shard-map epoch (0 before any
+    installation). *)
+
+val shard_record : t -> string option
+(** The encoded shard map of the installed epoch — what a stale router
+    refetches. *)
+
+val shard_view : t -> int * string
+(** [(shard_epoch, encoded map)] in one read — the router's explicit
+    map-refresh probe (e.g. when a write keeps landing on a migrating
+    range and the router must learn the completed flip). *)
+
+val shard_fence_check : t -> epoch:int -> unit
+(** The sharding analogue of {!fence_check}: reject a request stamped with
+    an older shard-map epoch ({!Stale_shard_epoch}); accept equal or newer
+    stamps. Applied to the same stamped operation RPCs as the membership
+    fence and, like it, never to termination traffic or anti-entropy. *)
+
+val install_shard_epoch : t -> epoch:int -> record:string -> bool
+(** Install a shard-map epoch: logged as {!Repdir_txn.Wal.Shard_epoch},
+    forced before acknowledging, monotone — same contract as
+    {!install_epoch}. *)
+
 (* --- overload and deadline pushback ---------------------------------------- *)
 
 val reject_expired : t -> deadline:float -> unit
@@ -237,6 +269,15 @@ val digest_range :
 (** Digest of this representative's state over [(lo, hi]], under a
     RepLookup(lo, hi) lock — concurrent modifications of the range are
     serialized against the sync transaction. *)
+
+val digest_interior_range :
+  t -> txn:Repdir_txn.Txn.id -> lo:Bound.t -> hi:Bound.t -> Gapmap_intf.digest
+(** Like {!digest_range} but excluding the version of the gap immediately
+    above [lo] (RepLookup lock). That gap can extend below [lo], so its
+    version moves with deletions outside the range; convergence gates over a
+    write-fenced slice compare this digest instead, since the fence freezes
+    the slice's entries and interior gaps but not the shared boundary
+    gap. *)
 
 val split_range :
   t -> txn:Repdir_txn.Txn.id -> lo:Bound.t -> hi:Bound.t -> arity:int -> Bound.t list

@@ -1,0 +1,321 @@
+open Repdir_key
+open Repdir_txn
+open Repdir_core
+module Rep = Repdir_rep.Rep
+
+(* The client-side shard router: one per client, holding the client's current
+   shard map and one suite per replica group. Every operation resolves its
+   key through the map, runs on the owning group's suite, and adopts newer
+   maps carried by [Rep.Stale_shard_epoch] fence rejections. *)
+
+type t = {
+  map : Shard_map.t ref;
+  suites : Suite.t array;  (* index = group *)
+  txns : Txn.Manager.t;
+  refresh : (int -> string option) option;
+      (* peek a group's installed shard view — how a router blocked on a
+         [Moving] range learns the flip landed without waiting to be fenced *)
+  retries : int;
+}
+
+let group_label mref g () =
+  let m = !mref in
+  let owned =
+    List.filter_map
+      (fun (r, st) ->
+        match st with
+        | Shard_map.Serving g' when g' = g -> Some (Format.asprintf "%a" Shard_map.pp_range r)
+        | Shard_map.Moving { from_g; to_g } when from_g = g || to_g = g ->
+            Some (Format.asprintf "%a(moving)" Shard_map.pp_range r)
+        | _ -> None)
+      (Shard_map.shards m)
+  in
+  Format.asprintf "group %d %s (shard epoch %d)" g
+    (String.concat " " owned) (Shard_map.epoch_of m)
+
+(* [groups] may exceed the initial map's group count: a deployment whose
+   later maps split ranges onto fresh groups needs suites provisioned for
+   them up front (the suites are lazy about talking to anyone — an unrouted
+   group's suite never sends a message). *)
+let create ?refresh ?(retries = 8) ?groups ~map ~txns ~make_suite () =
+  let groups =
+    max (Shard_map.n_groups map) (match groups with None -> 0 | Some g -> g)
+  in
+  let mref = ref map in
+  let suites =
+    Array.init groups (fun g ->
+        make_suite g
+          {
+            Suite.shard_label = group_label mref g;
+            shard_epoch = (fun () -> Shard_map.epoch_of !mref);
+          })
+  in
+  let coord = Suite.coordinator suites.(0) in
+  Array.iter
+    (fun s ->
+      if Suite.coordinator s != coord then
+        invalid_arg "Router.create: all group suites must share one coordinator")
+    suites;
+  { map = mref; suites; txns; refresh; retries }
+
+let map t = !(t.map)
+let epoch t = Shard_map.epoch_of !(t.map)
+let n_groups t = Array.length t.suites
+let suite t g = t.suites.(g)
+
+(* Map adoption is forward-only, like membership adoption; any advance
+   re-derives every suite's cache epoch so lines cached under the old
+   ownership die immediately. *)
+let install t m =
+  if Shard_map.epoch_of m > Shard_map.epoch_of !(t.map) then begin
+    t.map := m;
+    Array.iter Suite.sync_cache_epoch t.suites
+  end
+
+let set_map t m = install t m
+
+let adopt t record =
+  match Shard_map.decode record with Ok m -> install t m | Error _ -> ()
+
+let refresh t g =
+  match t.refresh with
+  | None -> ()
+  | Some peek -> ( match peek g with Some r -> adopt t r | None -> ())
+
+(* --- routing -------------------------------------------------------------------- *)
+
+(* Reads during a migration stay on the source group: the slice is
+   write-frozen there (the Moving epoch fences every write quorum), so the
+   source remains authoritative until the flip. *)
+let read_group m shard =
+  match Shard_map.state_of m ~shard with
+  | Shard_map.Serving g -> g
+  | Shard_map.Moving { from_g; _ } -> from_g
+
+(* Writes to a moving range are refused. Before giving up, peek the source
+   group's installed view — the flip lands on the source group first, so a
+   blocked writer learns the new map without waiting to be fenced. The key
+   is re-resolved against the adopted map: a split may have changed shard
+   indices. *)
+let write_group t b =
+  let m = !(t.map) in
+  match Shard_map.state_of m ~shard:(Shard_map.find m b) with
+  | Shard_map.Serving g -> g
+  | Shard_map.Moving { from_g; _ } -> (
+      refresh t from_g;
+      let m = !(t.map) in
+      let shard = Shard_map.find m b in
+      match Shard_map.state_of m ~shard with
+      | Shard_map.Serving g -> g
+      | Shard_map.Moving _ ->
+          raise
+            (Suite.Unavailable
+               (Format.asprintf "%s is migrating"
+                  (Shard_map.shard_label m ~shard))))
+
+(* Adopt-and-retry around a whole operation: a fence rejection aborted the
+   attempt's (implicit) transaction and carries the newer map, so
+   re-resolving the key against the adopted map and re-running is exactly
+   the membership adoption dance, one level up. Only sound when the router
+   owns the operation's transaction — an operation inside a caller-supplied
+   transaction cannot be re-run in place (its earlier operations ran under
+   the stale map), so it propagates and the enclosing {!with_txn} turns the
+   rejection into a retryable abort. *)
+let rec run_retry t n f =
+  try f () with
+  | Rep.Stale_shard_epoch { record; _ } when n > 0 ->
+      adopt t record;
+      run_retry t (n - 1) f
+
+let run ~txn t f =
+  match txn with Some _ -> f () | None -> run_retry t t.retries f
+
+(* --- single-shard operations ------------------------------------------------------ *)
+
+(* Each resolves the key against the *current* map on every attempt and
+   delegates to the owning group's suite — on a single-group map this is one
+   array lookup and then exactly the seed path. *)
+
+let lookup ?txn t key =
+  run ~txn t (fun () ->
+      let m = !(t.map) in
+      Suite.lookup ?txn t.suites.(read_group m (Shard_map.find m (Bound.key key))) key)
+
+let mem ?txn t key =
+  run ~txn t (fun () ->
+      let m = !(t.map) in
+      Suite.mem ?txn t.suites.(read_group m (Shard_map.find m (Bound.key key))) key)
+
+let insert ?txn t key value =
+  run ~txn t (fun () ->
+      Suite.insert ?txn t.suites.(write_group t (Bound.key key)) key value)
+
+let update ?txn t key value =
+  run ~txn t (fun () ->
+      Suite.update ?txn t.suites.(write_group t (Bound.key key)) key value)
+
+let delete ?txn t key =
+  run ~txn t (fun () ->
+      Suite.delete ?txn t.suites.(write_group t (Bound.key key)) key)
+
+(* --- cross-shard transactions ----------------------------------------------------- *)
+
+(* Commit a transaction that may span several groups' suites: prepare at
+   every suite (each releases its read-only participants and collects
+   durable yes votes), force ONE decision in the shared coordinator's log —
+   it covers every group's participants, who all recorded that coordinator
+   at prepare time — then deliver the decision everywhere. Identical to the
+   single-suite protocol when only one group was touched. *)
+let commit_cross t txn =
+  let all_prepared =
+    Array.fold_left (fun acc s -> Suite.cross_prepare s txn && acc) true t.suites
+  in
+  let any_participants =
+    Array.exists (fun s -> Suite.has_participants s txn) t.suites
+  in
+  if not any_participants then
+    Array.iter (fun s -> Suite.cross_commit s txn) t.suites
+  else
+    let coord = Suite.coordinator t.suites.(0) in
+    match
+      Coordinator.decide coord txn
+        (if all_prepared then Coordinator.Committed else Coordinator.Aborted)
+    with
+    | Coordinator.Committed -> Array.iter (fun s -> Suite.cross_commit s txn) t.suites
+    | Coordinator.Aborted ->
+        Array.iter (fun s -> Suite.cross_abort s txn) t.suites;
+        raise (Suite.Unavailable "cross-shard transaction aborted during two-phase commit")
+
+let abort_cross t txn = Array.iter (fun s -> Suite.cross_abort s txn) t.suites
+
+let with_txn t f =
+  let txn = Txn.Manager.begin_txn t.txns in
+  let recorder_suite = t.suites.(0) in
+  match f txn with
+  | result -> (
+      match commit_cross t txn with
+      | () ->
+          Txn.Manager.commit t.txns txn;
+          Suite.record_finish recorder_suite ~txn `Ok;
+          result
+      | exception e ->
+          Txn.Manager.abort t.txns txn;
+          Suite.record_finish recorder_suite ~txn
+            (Suite.failed_commit_status recorder_suite txn);
+          raise e)
+  | exception e ->
+      abort_cross t txn;
+      Txn.Manager.abort t.txns txn;
+      Suite.record_finish recorder_suite ~txn `Failed;
+      (* A mid-transaction fence rejection cannot be retried in place — the
+         earlier operations ran under the stale map — so adopt and surface a
+         retryable abort, mirroring the membership suite's behaviour. *)
+      (match e with
+      | Rep.Stale_shard_epoch { record; _ } ->
+          adopt t record;
+          raise (Txn.Abort (Txn.Unavailable "shard map epoch advanced mid-transaction"))
+      | _ -> raise e)
+
+(* --- cross-shard traversal -------------------------------------------------------- *)
+
+(* A group's directory physically tiles the whole key space (it keeps its
+   own LOW/HIGH sentinels and, after a migration, possibly stale residue of
+   ranges it no longer owns), so traversal answers are only authoritative
+   inside the group's owned ranges: the router clamps every probe result to
+   the probed shard's range and walks into the adjacent shard when the
+   answer falls outside it. *)
+
+(* First current entry at-or-after an interior bound, within one group. *)
+let first_at_or_after ~txn s k =
+  match Suite.lookup ~txn s k with
+  | Some (ver, v) -> Some (k, ver, v)
+  | None -> Suite.next ~txn s k
+
+let last_at_or_before ~txn s k =
+  match Suite.lookup ~txn s k with
+  | Some (ver, v) -> Some (k, ver, v)
+  | None -> Suite.prev ~txn s k
+
+(* Smallest current entry with key > b (or >= b when [inclusive]), walking
+   shards upward from b's owner. *)
+let next_entry t ~txn ~inclusive b =
+  let m = !(t.map) in
+  let n = Shard_map.n_shards m in
+  let rec go i probe_b inclusive =
+    if i >= n then None
+    else
+      let r = Shard_map.range_of m ~shard:i in
+      let s = t.suites.(read_group m i) in
+      let res =
+        match probe_b with
+        | Bound.Low -> Suite.first ~txn s
+        | Bound.Key k -> if inclusive then first_at_or_after ~txn s k else Suite.next ~txn s k
+        | Bound.High -> None
+      in
+      match res with
+      | Some (k, _, _) as hit when Shard_map.range_contains r (Bound.key k) -> hit
+      | _ -> if Bound.equal r.hi Bound.High then None else go (i + 1) r.hi true
+  in
+  go (Shard_map.find m b) b inclusive
+
+(* Mirror: largest current entry with key < b (or <= b), walking downward. *)
+let prev_entry t ~txn ~inclusive b =
+  let m = !(t.map) in
+  let rec go i probe_b inclusive =
+    if i < 0 then None
+    else
+      let r = Shard_map.range_of m ~shard:i in
+      let s = t.suites.(read_group m i) in
+      let res =
+        match probe_b with
+        | Bound.High -> Suite.last ~txn s
+        | Bound.Key k -> if inclusive then last_at_or_before ~txn s k else Suite.prev ~txn s k
+        | Bound.Low -> None
+      in
+      match res with
+      | Some (k, _, _) as hit when Shard_map.range_contains r (Bound.key k) -> hit
+      | _ -> if Bound.equal r.lo Bound.Low then None else go (i - 1) r.lo false
+  in
+  go (Shard_map.find m b) b inclusive
+
+(* Traversals span groups, so each runs as one cross-shard transaction for a
+   consistent snapshot under strict 2PL — unless the caller supplied its
+   own. When the router owns the transaction, a fence rejection (already
+   adopted and converted to a retryable abort by [with_txn]) re-runs the
+   whole traversal under the new map. *)
+let traverse t txn body =
+  match txn with
+  | Some txn -> body txn
+  | None ->
+      let rec go n =
+        try with_txn t body
+        with Txn.Abort (Txn.Unavailable _) when n > 0 -> go (n - 1)
+      in
+      go t.retries
+
+let next ?txn t key =
+  traverse t txn (fun txn -> next_entry t ~txn ~inclusive:false (Bound.key key))
+
+let prev ?txn t key =
+  traverse t txn (fun txn -> prev_entry t ~txn ~inclusive:false (Bound.key key))
+
+let first ?txn t = traverse t txn (fun txn -> next_entry t ~txn ~inclusive:true Bound.Low)
+let last ?txn t = traverse t txn (fun txn -> prev_entry t ~txn ~inclusive:true Bound.High)
+
+let fold_range ?txn t ~lo ~hi ~init ~f =
+  traverse t txn (fun txn ->
+      let rec go acc probe inclusive =
+        match next_entry t ~txn ~inclusive probe with
+        | Some (k, _, v) when Key.compare k hi <= 0 -> go (f acc k v) (Bound.key k) false
+        | _ -> acc
+      in
+      go init (Bound.key lo) true)
+
+let to_alist ?txn t =
+  traverse t txn (fun txn ->
+      let rec go acc probe inclusive =
+        match next_entry t ~txn ~inclusive probe with
+        | Some (k, _, v) -> go ((k, v) :: acc) (Bound.key k) false
+        | None -> List.rev acc
+      in
+      go [] Bound.Low true)

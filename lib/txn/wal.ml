@@ -11,6 +11,7 @@ type record =
   | Recovery_marker
   | Checkpoint of checkpoint
   | Member_epoch of int * string
+  | Shard_epoch of int * string
 
 and checkpoint = {
   entries : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value * Version.t) list;
@@ -29,6 +30,7 @@ let pp_record ppf = function
   | Abort id -> Format.fprintf ppf "abort %d" id
   | Checkpoint c -> Format.fprintf ppf "checkpoint (%d entries)" (List.length c.entries)
   | Member_epoch (e, _) -> Format.fprintf ppf "member-epoch %d" e
+  | Shard_epoch (e, _) -> Format.fprintf ppf "shard-epoch %d" e
 
 (* --- stable-storage framing ------------------------------------------------------ *)
 
@@ -82,7 +84,7 @@ let index_record t = function
   | Insert (id, _, _, _) | Coalesce (id, _, _, _) | Sync_apply (id, _) ->
       if not (Hashtbl.mem t.op_epochs id) then Hashtbl.replace t.op_epochs id t.epoch
   | Commit id -> Hashtbl.replace t.committed_set id ()
-  | Begin _ | Prepare _ | Abort _ | Checkpoint _ | Member_epoch _ -> ()
+  | Begin _ | Prepare _ | Abort _ | Checkpoint _ | Member_epoch _ | Shard_epoch _ -> ()
 
 let rebuild_index t =
   t.epoch <- 0;
@@ -147,7 +149,7 @@ let in_doubt t =
           if not (Hashtbl.mem prepared id) then Hashtbl.replace prepared id (Some coord)
       | Commit id | Abort id -> Hashtbl.replace prepared id None
       | Begin _ | Insert _ | Coalesce _ | Sync_apply _ | Recovery_marker | Checkpoint _
-      | Member_epoch _ -> ())
+      | Member_epoch _ | Shard_epoch _ -> ())
     t.log;
   Hashtbl.fold
     (fun id pending acc -> match pending with Some coord -> (id, coord) :: acc | None -> acc)
@@ -185,6 +187,11 @@ let last_member_epoch t =
      (installation is monotone). *)
   List.find_map
     (fun e -> match e.rec_ with Member_epoch (ep, r) -> Some (ep, r) | _ -> None)
+    t.log
+
+let last_shard_epoch t =
+  List.find_map
+    (fun e -> match e.rec_ with Shard_epoch (ep, r) -> Some (ep, r) | _ -> None)
     t.log
 
 let checkpoint_of_map entries ~gaps =
@@ -362,7 +369,7 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
         | Sync_apply (id, ops) when is_committed id ->
             List.iter (M.apply_sync_op map) ops
         | Begin _ | Prepare _ | Commit _ | Abort _ | Insert _ | Coalesce _
-        | Sync_apply _ | Recovery_marker | Member_epoch _ -> ())
+        | Sync_apply _ | Recovery_marker | Member_epoch _ | Shard_epoch _ -> ())
       recs;
     map
 
@@ -378,6 +385,6 @@ module Replay (M : Repdir_gapmap.Gapmap_intf.S) = struct
         | Coalesce (id, lo, hi, v) when id = txn -> ignore (M.coalesce map ~lo ~hi v)
         | Sync_apply (id, ops) when id = txn -> List.iter (M.apply_sync_op map) ops
         | Begin _ | Prepare _ | Commit _ | Abort _ | Insert _ | Coalesce _ | Sync_apply _
-        | Recovery_marker | Checkpoint _ | Member_epoch _ -> ())
+        | Recovery_marker | Checkpoint _ | Member_epoch _ | Shard_epoch _ -> ())
       (records t)
 end

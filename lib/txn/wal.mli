@@ -47,6 +47,12 @@ type record =
           confusion with the log's internal recovery epochs (the
           [Recovery_marker] counter). Recovery restores the newest one;
           {!truncate_to_checkpoint} callers must re-append it. *)
+  | Shard_epoch of int * string
+      (** Durable shard-map-epoch installation: the sharding fence epoch with
+          the encoded shard map it came from — the exact analogue of
+          [Member_epoch] for the multi-group directory's ownership map.
+          Recovery restores the newest one; {!truncate_to_checkpoint} callers
+          must re-append it. *)
 
 and checkpoint = {
   entries : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value * Version.t) list;
@@ -119,6 +125,10 @@ val write_ranges : t -> Txn.id -> Bound.Interval.t list
 
 val last_member_epoch : t -> (int * string) option
 (** The newest [Member_epoch] record — the membership epoch a recovering
+    representative must resume fencing at. *)
+
+val last_shard_epoch : t -> (int * string) option
+(** The newest [Shard_epoch] record — the shard-map epoch a recovering
     representative must resume fencing at. *)
 
 val checkpoint_of_map : (Key.t * Version.t * Repdir_gapmap.Gapmap_intf.value) list
